@@ -1,0 +1,44 @@
+// Ablation for §III-A.2 ("Kernel Cache"): the paper argues a kernel cache's
+// hit probability falls as the dataset grows for a fixed budget, which is
+// one reason the proposed algorithm avoids a cache entirely. This bench
+// sweeps dataset size x cache budget on the libsvm-style baseline and
+// reports hit rate, kernel evaluations and wall time.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = svmbench::parse_args(argc, argv);
+  svmbench::print_banner("Ablation - kernel cache (SIII-A.2)",
+                         "for fixed cache size, hit probability decreases with dataset size; "
+                         "the proposed solver therefore avoids the cache");
+
+  const auto& entry = svmdata::zoo_entry("forest");
+  const std::size_t sizes[] = {500, 1000, 2000};
+  const std::size_t budgets_mb[] = {1, 8, 64};
+
+  svmutil::TextTable table(
+      {"n", "cache MB", "hit rate %", "kernel evals (M)", "iters", "wall s"});
+  for (const std::size_t n : sizes) {
+    const double scale =
+        static_cast<double>(n) / static_cast<double>(entry.default_train_size) * args.scale;
+    const auto train = svmdata::make_train(entry, scale);
+    for (const std::size_t mb : budgets_mb) {
+      svmbaseline::BaselineOptions options;
+      options.C = entry.C;
+      options.eps = args.eps;
+      options.kernel = svmkernel::KernelParams::rbf_with_sigma_sq(entry.sigma_sq);
+      options.cache_mb = mb;
+      const auto result = svmbaseline::solve_libsvm_like(train, options);
+      table.add_row({svmutil::TextTable::integer(train.size()),
+                     svmutil::TextTable::integer(mb),
+                     svmutil::TextTable::num(100.0 * result.cache_hit_rate, 1),
+                     svmutil::TextTable::num(
+                         static_cast<double>(result.kernel_evaluations) / 1e6, 2),
+                     svmutil::TextTable::integer(result.iterations),
+                     svmutil::TextTable::num(result.solve_seconds, 2)});
+    }
+  }
+  table.print();
+  std::printf("\nshape: within a budget column, the hit rate falls as n grows (the paper's\n"
+              "argument for the cache-free design of the proposed solver).\n");
+  return 0;
+}

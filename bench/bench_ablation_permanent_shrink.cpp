@@ -1,0 +1,60 @@
+// Ablation for §IV's design decision: "A possible design choice is to
+// eliminate the sample permanently ... However, the algorithm may lose
+// accuracy — an approach recently considered by Communication-Avoiding SVM.
+// However, we consider only accurate solutions in this paper." This bench
+// quantifies that trade on a noisy workload: permanent shrinking (no
+// gradient reconstruction) vs the paper's reconstruction-based algorithm.
+#include "bench_common.hpp"
+
+#include "core/objective.hpp"
+#include "data/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = svmbench::parse_args(argc, argv);
+  svmbench::print_banner("Ablation - permanent shrinking (CA-SVM design choice, SIV)",
+                         "permanent elimination can lose accuracy; gradient reconstruction "
+                         "keeps the solution exact at modest extra cost");
+
+  const auto train = svmdata::synthetic::gaussian_blobs(
+      {.n = static_cast<std::size_t>(1200 * args.scale), .d = 8, .separation = 1.4,
+       .label_noise = 0.12, .seed = 77});
+  const auto test = svmdata::synthetic::gaussian_blobs(
+      {.n = 1500, .d = 8, .separation = 1.4, .label_noise = 0.0, .seed = 77, .draw = 1});
+
+  svmcore::SolverParams params;
+  params.C = 8.0;
+  params.eps = 1e-3;
+  params.kernel = svmkernel::KernelParams::rbf_with_sigma_sq(8.0);
+
+  svmutil::TextTable table({"config", "test acc %", "full-data KKT gap", "work/rank (kevals)",
+                            "recon", "wall s"});
+  for (const char* heuristic : {"Original", "Multi2", "Single5pc"}) {
+    for (const bool permanent : {false, true}) {
+      if (std::string(heuristic) == "Original" && permanent) continue;
+      svmcore::TrainOptions options;
+      options.num_ranks = 4;
+      options.heuristic = svmcore::Heuristic::parse(heuristic);
+      options.permanent_shrink = permanent;
+      const auto result = svmcore::train(train, params, options);
+
+      // Full-dataset KKT gap: for the accurate algorithms it must be within
+      // 2*eps; permanent shrinking has no such guarantee.
+      const double gap =
+          result.rank_stats[0].final_beta_low - result.rank_stats[0].final_beta_up;
+
+      const std::string label =
+          std::string(heuristic) + (permanent ? " + permanent" : "");
+      table.add_row({label, svmutil::TextTable::num(100.0 * result.model.accuracy(test), 2),
+                     svmutil::TextTable::num(gap, 4),
+                     svmutil::TextTable::integer(static_cast<long long>(
+                         result.max_rank_kernel_evaluations / 1000)),
+                     svmutil::TextTable::integer(result.reconstructions),
+                     svmutil::TextTable::num(result.wall_seconds, 2)});
+    }
+  }
+  table.print();
+  std::printf("\n'+ permanent' rows skip Algorithm 3 entirely: less work, but the reported\n"
+              "KKT gap is measured on the SHRUNK problem and the accuracy can drift;\n"
+              "reconstruction rows must match Original's accuracy (the paper's claim).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Comparator for the paper's related-work claim (§VI): "Cascade SVM suffers
+// from load imbalance, since many processes finish their individual
+// sub-problem before others... We address this limitation by providing a
+// shrinking based solution." This bench trains Cascade SVM and the proposed
+// shrinking solver on the same workload and reports accuracy, total work,
+// and the per-leaf imbalance the paper blames.
+#include "bench_common.hpp"
+
+#include "cascade/cascade_svm.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = svmbench::parse_args(argc, argv);
+  svmbench::print_banner("Comparison - Cascade SVM (Graf et al.) vs shrinking (SVI)",
+                         "Cascade SVM's leaf sub-problems finish at different times (load "
+                         "imbalance); the shrinking solver keeps all ranks on one problem");
+
+  const auto& entry = svmdata::zoo_entry("forest");
+  const auto train = svmdata::make_train(entry, 0.3 * args.scale);
+  const auto params = svmbench::params_for(entry, args.eps);
+
+  svmutil::TextTable table({"method", "train acc %", "total kevals", "wall s",
+                            "leaf imbalance (max/mean)", "notes"});
+
+  for (const int levels : {2, 3}) {
+    svmcascade::CascadeOptions options;
+    options.params = params;
+    options.levels = levels;
+    svmutil::Timer timer;
+    const auto cascade = svmcascade::train_cascade(train, options);
+    char notes[64];
+    std::snprintf(notes, sizeof(notes), "%d leaves, %zu passes", 1 << levels, cascade.passes);
+    table.add_row({"Cascade L" + std::to_string(levels),
+                   svmutil::TextTable::num(100.0 * cascade.model.accuracy(train), 2),
+                   svmutil::TextTable::integer(
+                       static_cast<long long>(cascade.total_kernel_evaluations / 1000)),
+                   svmutil::TextTable::num(timer.seconds(), 2),
+                   svmutil::TextTable::num(cascade.imbalance(), 2), notes});
+  }
+
+  for (const char* heuristic : {"Original", "Multi5pc"}) {
+    svmcore::TrainOptions options;
+    options.num_ranks = 4;
+    options.heuristic = svmcore::Heuristic::parse(heuristic);
+    const auto result = svmcore::train(train, params, options);
+    table.add_row({std::string("Shrinking ") + heuristic,
+                   svmutil::TextTable::num(100.0 * result.model.accuracy(train), 2),
+                   svmutil::TextTable::integer(
+                       static_cast<long long>(result.total_kernel_evaluations / 1000)),
+                   svmutil::TextTable::num(result.wall_seconds, 2), "1.00 (single problem)",
+                   "p=4"});
+  }
+
+  std::printf("workload: forest-like n=%zu\n\n", train.size());
+  table.print();
+  std::printf("\nCascade's leaf imbalance > 1 quantifies the idle time the paper criticizes;\n"
+              "the row-partitioned shrinking solver has no such stage. Accuracies agree\n"
+              "(both solve the same dual to the same tolerance).\n");
+  return 0;
+}

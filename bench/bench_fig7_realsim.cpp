@@ -1,0 +1,32 @@
+// Figure 7: real-sim scaling. Paper: 72K samples, up to 256 processes; 6.6x
+// at 16 nodes; 47K iterations; after the first gradient reconstruction fewer
+// than 10% of the samples remain active; first shrink at 36K iterations for
+// Single50pc loses most of the benefit.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = svmbench::parse_args(argc, argv);
+  const int status = svmbench::run_figure_bench(
+      "Figure 7", "realsim", /*scale_hint=*/0.4, {1, 2, 4, 8},
+      "6.6x vs libsvm-enhanced at 256 procs; <10% of samples active after first "
+      "reconstruction; Multi5pc best / Single50pc worst",
+      args);
+
+  // Verify the "<10% active" claim's analogue: after Multi5pc training, the
+  // final active fraction should be well below one.
+  const auto& entry = svmdata::zoo_entry("realsim");
+  const auto train = svmdata::make_train(entry, 0.4 * args.scale);
+  svmcore::TrainOptions options;
+  options.num_ranks = 4;
+  options.heuristic = svmcore::Heuristic::best();
+  const auto result = svmcore::train(train, svmbench::params_for(entry, args.eps), options);
+  // After the final reconstruction everything is re-activated, so the
+  // paper's "<10% active" claim maps to the minimum active-set size reached
+  // during training (just before a reconstruction).
+  std::size_t min_active = 0;
+  for (const auto& s : result.rank_stats) min_active += s.min_active;
+  std::printf("smallest active set during training: %zu / %zu (%.1f%%)\n", min_active,
+              train.size(),
+              100.0 * static_cast<double>(min_active) / static_cast<double>(train.size()));
+  return status;
+}

@@ -1,0 +1,110 @@
+// Microbenchmarks (google-benchmark) for the message-passing substrate: the
+// per-operation costs behind §III's complexity analysis — pt2pt latency,
+// bcast and allreduce vs rank count, ring exchange vs payload — plus the
+// alpha-beta model's predictions for the same operations at paper scale.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "mpisim/spmd.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void BM_Pt2PtRoundTrip(benchmark::State& state) {
+  const std::size_t doubles = state.range(0);
+  for (auto _ : state) {
+    svmmpi::run_spmd(2, [doubles](svmmpi::Comm& comm) {
+      std::vector<double> payload(doubles, 1.0);
+      if (comm.rank() == 0) {
+        comm.send<double>(payload, 1);
+        benchmark::DoNotOptimize(comm.recv<double>(1));
+      } else {
+        auto got = comm.recv<double>(0);
+        comm.send<double>(got, 0);
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * doubles * 16);
+}
+BENCHMARK(BM_Pt2PtRoundTrip)->Arg(8)->Arg(1024)->Arg(65536);
+
+void BM_AllreduceScalar(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    svmmpi::run_spmd(ranks, [](svmmpi::Comm& comm) {
+      for (int i = 0; i < 64; ++i)
+        benchmark::DoNotOptimize(comm.allreduce(1.0, svmmpi::ReduceOp::sum));
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_AllreduceScalar)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MinlocPair(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    svmmpi::run_spmd(ranks, [](svmmpi::Comm& comm) {
+      for (int i = 0; i < 64; ++i) {
+        const svmmpi::DoubleInt mine{static_cast<double>(comm.rank()), comm.rank()};
+        benchmark::DoNotOptimize(comm.allreduce_minloc(mine));
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_MinlocPair)->Arg(2)->Arg(8);
+
+void BM_Bcast(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    svmmpi::run_spmd(ranks, [](svmmpi::Comm& comm) {
+      std::vector<double> payload(1024);
+      for (int i = 0; i < 16; ++i) comm.bcast(payload, 0);
+    });
+  }
+}
+BENCHMARK(BM_Bcast)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_RingExchange(benchmark::State& state) {
+  const int ranks = 4;
+  const std::size_t doubles = state.range(0);
+  for (auto _ : state) {
+    svmmpi::run_spmd(ranks, [doubles](svmmpi::Comm& comm) {
+      std::vector<double> block(doubles, 1.0);
+      const int to = (comm.rank() + 1) % ranks;
+      const int from = (comm.rank() - 1 + ranks) % ranks;
+      for (int step = 0; step < ranks - 1; ++step)
+        block = comm.sendrecv<double>(block, to, from);
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * doubles * 8 *
+                          (ranks - 1) * ranks);
+}
+BENCHMARK(BM_RingExchange)->Arg(1024)->Arg(32768);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Before the microbenchmarks, print the alpha-beta model's predictions for
+  // the paper-scale operations analysed in §III (p=4096, InfiniBand FDR).
+  const svmmpi::NetModel model;
+  svmutil::TextTable table({"operation", "payload", "p", "modeled time"});
+  const auto row = [&](const char* op, const char* payload, int p, double seconds) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.2f us", seconds * 1e6);
+    table.add_row({op, payload, svmutil::TextTable::integer(p), buffer});
+  };
+  row("pt2pt (x_up to rank0)", "1 sample ~ 1KB", 2, model.pt2pt(1024));
+  row("bcast (x_up/x_low)", "1 sample ~ 1KB", 4096, model.tree(1024, 4096));
+  row("allreduce (beta)", "16 B", 4096, model.tree(16, 4096));
+  row("ring step (Algorithm 3)", "N/p samples ~ 5MB", 4096, model.ring_step(5 << 20));
+  std::printf("alpha-beta model predictions at paper scale (l=%.1e s, G=%.1e s/B):\n\n",
+              model.latency_s, model.seconds_per_byte);
+  table.print();
+  std::printf("\n");
+
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

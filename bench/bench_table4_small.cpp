@@ -1,0 +1,76 @@
+// Table IV: relative speedup to libsvm-SEQUENTIAL on the smaller datasets
+// (Adult-9, RCV1, USPS, Mushrooms, w7a), for Default / Shrinking(Worst) /
+// Shrinking(Best) at the paper's per-dataset process counts. Paper values:
+//   Adult-9: 1.5 / 3.1 / 3.2 (16 procs),  RCV1: 27 / 31 / 39 (64),
+//   USPS: 0.5 / 0.7 / 1.3 (4),  Mushrooms: 0.4 / 1.09 / 1.9 (4),
+//   w7a: 1.7 / 2.4 / 3.1 (16).
+// Wall-clock speedup from parallelism cannot appear on this 1-core box, so
+// the table reports modeled-time speedups (work/lambda + alpha-beta network)
+// alongside raw wall time; shapes to match: Best >= Worst >= Default, and
+// the tiny datasets (USPS, Mushrooms) showing Default < 1 (parallel overhead
+// exceeding the win on a few thousand samples).
+#include "bench_common.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* dataset;
+  int processes;
+  double paper_default, paper_worst, paper_best;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = svmbench::parse_args(argc, argv);
+  svmbench::print_banner("Table IV - small-dataset speedups vs libsvm-sequential",
+                         "Default / Shrink(Worst) / Shrink(Best) relative to single-threaded "
+                         "libsvm at the paper's process counts");
+
+  const PaperRow rows[] = {{"a9a", 16, 1.5, 3.1, 3.2},
+                           {"rcv1", 64, 27.0, 31.0, 39.0},
+                           {"usps", 4, 0.5, 0.7, 1.3},
+                           {"mushrooms", 4, 0.4, 1.09, 1.9},
+                           {"w7a", 16, 1.7, 2.4, 3.1}};
+
+  svmutil::TextTable table({"dataset", "p", "Default", "Shrink(Worst)", "Shrink(Best)",
+                            "paper D/W/B", "baseline s"});
+  for (const PaperRow& row : rows) {
+    const auto& entry = svmdata::zoo_entry(row.dataset);
+    const auto train = svmdata::make_train(entry, 0.5 * args.scale);
+    const auto params = svmbench::params_for(entry, args.eps);
+    // Cap simulated ranks at 8: beyond that, thread time-sharing noise on
+    // one core swamps the signal. The modeled time still uses the real p.
+    const int p = std::min(row.processes, 8);
+
+    // libsvm-sequential reference: baseline solver, single thread, no OpenMP.
+    svmbaseline::BaselineOptions sequential;
+    sequential.C = entry.C;
+    sequential.eps = args.eps;
+    sequential.kernel = svmkernel::KernelParams::rbf_with_sigma_sq(entry.sigma_sq);
+    sequential.use_openmp = false;
+    const auto baseline = svmbaseline::solve_libsvm_like(train, sequential);
+
+    auto run = [&](const char* heuristic) {
+      svmcore::TrainOptions options;
+      options.num_ranks = p;
+      options.heuristic = svmcore::Heuristic::parse(heuristic);
+      const auto result = svmcore::train(train, params, options);
+      return baseline.solve_seconds / std::max(result.modeled_seconds, 1e-9);
+    };
+
+    char paper[48];
+    std::snprintf(paper, sizeof(paper), "%.1f / %.2f / %.1f (p=%d)", row.paper_default,
+                  row.paper_worst, row.paper_best, row.processes);
+    table.add_row({row.dataset, svmutil::TextTable::integer(p),
+                   svmutil::TextTable::num(run("Original"), 2),
+                   svmutil::TextTable::num(run("Single50pc"), 2),
+                   svmutil::TextTable::num(run("Multi5pc"), 2), paper,
+                   svmutil::TextTable::num(baseline.solve_seconds, 2)});
+  }
+  table.print();
+  std::printf("\nmeasured columns are modeled-time speedups vs the single-threaded baseline\n"
+              "(1-core container; see DESIGN.md); the ordering Best >= Worst >= Default is\n"
+              "the paper's shape.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table V: testing accuracy — the proposed (shrinking) solver vs libsvm on
+// every dataset with a test set. Paper values (ours / libsvm, %):
+//   Adult-9 85.18/83.12, USPS 97.6/97.75, MNIST 98.9/98.62,
+//   Cod-RNA 92.33/92.1, Web(w7a) 98.82/98.9.
+// The property under test is parity: shrinking plus gradient reconstruction
+// must not change the classifier.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = svmbench::parse_args(argc, argv);
+  svmbench::print_banner("Table V - testing accuracy parity",
+                         "ours vs libsvm: 85.18/83.12 (a9a), 97.6/97.75 (usps), 98.9/98.62 "
+                         "(mnist), 92.33/92.1 (codrna), 98.82/98.9 (w7a)");
+
+  const struct {
+    const char* dataset;
+    double paper_ours, paper_libsvm;
+  } rows[] = {{"a9a", 85.18, 83.12},
+              {"usps", 97.6, 97.75},
+              {"mnist", 98.9, 98.62},
+              {"codrna", 92.33, 92.1},
+              {"w7a", 98.82, 98.9}};
+
+  svmutil::TextTable table({"dataset", "ours %", "libsvm-style %", "delta", "paper ours/libsvm"});
+  for (const auto& row : rows) {
+    const auto& entry = svmdata::zoo_entry(row.dataset);
+    const auto train = svmdata::make_train(entry, 0.5 * args.scale);
+    const auto test = svmdata::make_test(entry, 0.5 * args.scale);
+
+    svmcore::TrainOptions options;
+    options.num_ranks = 4;
+    options.heuristic = svmcore::Heuristic::best();
+    const auto ours = svmcore::train(train, svmbench::params_for(entry, args.eps), options);
+    const double acc_ours = 100.0 * ours.model.accuracy(test);
+
+    const auto baseline = svmbench::run_baseline(train, entry, args.eps);
+    const auto baseline_model = svmcore::build_model(
+        train, baseline.alpha, baseline.rho,
+        svmkernel::KernelParams::rbf_with_sigma_sq(entry.sigma_sq));
+    const double acc_baseline = 100.0 * baseline_model.accuracy(test);
+
+    char paper[32];
+    std::snprintf(paper, sizeof(paper), "%.2f / %.2f", row.paper_ours, row.paper_libsvm);
+    table.add_row({row.dataset, svmutil::TextTable::num(acc_ours, 2),
+                   svmutil::TextTable::num(acc_baseline, 2),
+                   svmutil::TextTable::num(acc_ours - acc_baseline, 2), paper});
+  }
+  table.print();
+  std::printf("\nparity (|delta| small) is the property the paper claims; absolute values\n"
+              "depend on the synthetic workloads, not the paper's real datasets.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Active-set trajectory (§V-D.4): "We observed that for 75% of the
+// iterations, the active set is a fraction of the overall number of samples
+// (20%)" — MNIST — and §V-D.5: after real-sim's first reconstruction "less
+// than 10% of the samples are actually active". This bench records the
+// global active-set size over iterations (Multi5pc) and reports the
+// fraction-of-iterations-below-threshold statistics behind those claims.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = svmbench::parse_args(argc, argv);
+  svmbench::print_banner("Active-set trajectory (SV-D.4 / SV-D.5)",
+                         "paper: MNIST active set ~20% of samples for 75% of iterations; "
+                         "real-sim <10% active after first reconstruction");
+
+  svmutil::TextTable table({"dataset", "iters", "min active %", "median active %",
+                            "% of iters below 50% active", "% below 25% active"});
+  for (const char* name : {"mnist", "realsim", "forest", "higgs"}) {
+    const auto& entry = svmdata::zoo_entry(name);
+    const auto train = svmdata::make_train(entry, 0.4 * args.scale);
+    svmcore::TrainOptions options;
+    options.num_ranks = 4;
+    options.heuristic = svmcore::Heuristic::best();
+    options.trace_active_interval = 25;
+    const auto result = svmcore::train(train, svmbench::params_for(entry, args.eps), options);
+
+    const double n = static_cast<double>(train.size());
+    std::vector<double> fractions;
+    for (const auto& [iteration, active] : result.active_trace)
+      fractions.push_back(static_cast<double>(active) / n);
+    if (fractions.empty()) fractions.push_back(1.0);
+
+    const auto summary = svmutil::summarize(fractions);
+    std::size_t below_half = 0;
+    std::size_t below_quarter = 0;
+    for (const double f : fractions) {
+      if (f < 0.5) ++below_half;
+      if (f < 0.25) ++below_quarter;
+    }
+    const double total = static_cast<double>(fractions.size());
+    table.add_row({name, svmutil::TextTable::integer(result.iterations),
+                   svmutil::TextTable::num(100.0 * summary.min, 1),
+                   svmutil::TextTable::num(100.0 * summary.median, 1),
+                   svmutil::TextTable::num(100.0 * below_half / total, 1),
+                   svmutil::TextTable::num(100.0 * below_quarter / total, 1)});
+  }
+  table.print();
+  std::printf("\nthe paper's regime (iters >> n) pushes 'min active' toward the SV fraction\n"
+              "and the below-threshold columns toward 75%%+; at container scale (iters ~ n)\n"
+              "the trajectory is shorter but its instrumentation is identical.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// The paper's Figure 1 as a terminal demo: a two-class 2-D dataset where
+// only the few samples near the boundary become support vectors (encircled
+// in the paper; upper-cased here). Prints an ASCII scatter plot with the
+// hyperplane region and reports the SV fraction — the premise of shrinking.
+//
+//   ./figure1_support_vectors [--n 200]
+#include <cstdio>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  const svmutil::CliFlags flags(argc, argv, {"n"});
+  const std::size_t n = flags.get_int("n", 200);
+
+  const svmdata::Dataset data = svmdata::synthetic::gaussian_blobs(
+      {.n = n, .d = 2, .separation = 4.0, .seed = 42});
+
+  svmcore::SolverParams params;
+  params.C = 10.0;
+  params.eps = 1e-4;
+  params.kernel = svmkernel::KernelParams{svmkernel::KernelType::linear, 1.0, 0.0, 3};
+  const auto result = svmcore::train(data, params, {});
+
+  // Identify support vectors by matching alpha > 0 through the model's SV
+  // list: re-derive per-sample SV flags from decision margins instead.
+  std::vector<bool> is_sv(data.size(), false);
+  std::size_t sv_count = 0;
+  {
+    // A sample is a support vector iff its margin y*f(x) <= 1 (+ slack).
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const double margin = data.y[i] * result.model.decision_value(data.X.row(i));
+      if (margin <= 1.0 + 1e-6) {
+        is_sv[i] = true;
+        ++sv_count;
+      }
+    }
+  }
+
+  // ASCII scatter: 64x24 grid over the bounding box.
+  constexpr int kWidth = 64;
+  constexpr int kHeight = 24;
+  double min_x = 1e30;
+  double max_x = -1e30;
+  double min_y = 1e30;
+  double max_y = -1e30;
+  auto coord = [&](std::size_t i, int axis) {
+    for (const svmdata::Feature& f : data.X.row(i))
+      if (f.index == axis) return f.value;
+    return 0.0;
+  };
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    min_x = std::min(min_x, coord(i, 0));
+    max_x = std::max(max_x, coord(i, 0));
+    min_y = std::min(min_y, coord(i, 1));
+    max_y = std::max(max_y, coord(i, 1));
+  }
+  std::vector<std::string> canvas(kHeight, std::string(kWidth, ' '));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const int col = static_cast<int>((coord(i, 0) - min_x) / (max_x - min_x) * (kWidth - 1));
+    const int row =
+        kHeight - 1 - static_cast<int>((coord(i, 1) - min_y) / (max_y - min_y) * (kHeight - 1));
+    const char glyph = data.y[i] > 0 ? (is_sv[i] ? 'O' : 'o') : (is_sv[i] ? 'X' : 'x');
+    // Support vectors overwrite non-SVs in shared cells.
+    if (canvas[row][col] == ' ' || glyph == 'O' || glyph == 'X') canvas[row][col] = glyph;
+  }
+
+  std::printf("Figure 1 analogue: 'o'/'x' classes, upper-case = support vector\n\n");
+  for (const std::string& line : canvas) std::printf("|%s|\n", line.c_str());
+  std::printf("\nsupport vectors: %zu / %zu samples (%.1f%%)\n", sv_count, data.size(),
+              100.0 * static_cast<double>(sv_count) / static_cast<double>(data.size()));
+  std::printf("-> the vast majority of samples never define the boundary, which is\n"
+              "   exactly what the paper's shrinking heuristics exploit.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Model and dataset IO example: write a dataset in libsvm text format, read
+// it back, train, save the model, reload it and verify that the reloaded
+// model makes bitwise-identical predictions.
+//
+//   ./model_io [--dir /tmp]
+#include <cstdio>
+
+#include "core/trainer.hpp"
+#include "data/libsvm_io.hpp"
+#include "data/synthetic.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  const svmutil::CliFlags flags(argc, argv, {"dir"});
+  const std::string dir = flags.get("dir", ".");
+
+  // Generate data and round-trip it through the libsvm text format — the
+  // same format as every dataset on the libsvm page the paper draws from.
+  const svmdata::Dataset generated = svmdata::synthetic::digits_like(
+      {.n = 800, .d = 256, .noise = 0.25, .seed = 12});
+  const std::string data_path = dir + "/digits.libsvm";
+  svmdata::write_libsvm_file(data_path, generated);
+  const svmdata::Dataset train = svmdata::read_libsvm_file(data_path);
+  std::printf("dataset: %zu samples, %zu features, density %.1f%% -> %s\n", train.size(),
+              train.dim(), 100.0 * train.X.density(), data_path.c_str());
+
+  svmcore::SolverParams params;
+  params.C = 10.0;
+  params.eps = 1e-3;
+  params.kernel = svmkernel::KernelParams::rbf_with_sigma_sq(25.0);
+  svmcore::TrainOptions options;
+  options.num_ranks = 4;
+  options.heuristic = svmcore::Heuristic::parse("Multi5pc");
+  const svmcore::TrainResult result = svmcore::train(train, params, options);
+  std::printf("trained: %zu support vectors, beta=%.6f\n", result.num_support_vectors(),
+              result.beta);
+
+  const std::string model_path = dir + "/digits.model";
+  result.model.save_file(model_path);
+  const svmcore::SvmModel loaded = svmcore::SvmModel::load_file(model_path);
+  std::printf("model round trip: %s\n", model_path.c_str());
+
+  // Bitwise agreement between the in-memory and reloaded models.
+  const svmdata::Dataset probe = svmdata::synthetic::digits_like(
+      {.n = 200, .d = 256, .noise = 0.25, .seed = 12, .draw = 1});
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < probe.size(); ++i)
+    if (loaded.decision_value(probe.X.row(i)) != result.model.decision_value(probe.X.row(i)))
+      ++mismatches;
+  std::printf("decision-value mismatches after reload: %zu (expected 0)\n", mismatches);
+  std::printf("held-out accuracy: %.2f%%\n", 100.0 * loaded.accuracy(probe));
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// SPMD embedding example: drive DistributedSolver directly on an explicit
+// communicator (the way an MPI application would), compare several Table II
+// heuristics, and inspect per-rank statistics and traffic — including how
+// the paper's x_up/x_low broadcast and gradient-reconstruction ring show up
+// in the communication counters.
+//
+//   ./parallel_training [--ranks 8] [--n 3000]
+#include <cstdio>
+#include <vector>
+
+#include "core/distributed_solver.hpp"
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "mpisim/spmd.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const svmutil::CliFlags flags(argc, argv, {"ranks", "n"});
+  const int ranks = static_cast<int>(flags.get_int("ranks", 8));
+  const std::size_t n = flags.get_int("n", 3000);
+
+  const svmdata::Dataset train = svmdata::synthetic::gaussian_blobs(
+      {.n = n, .d = 12, .separation = 1.8, .label_noise = 0.05, .seed = 99});
+
+  svmcore::SolverParams params;
+  params.C = 8.0;
+  params.eps = 1e-3;
+  params.kernel = svmkernel::KernelParams::rbf_with_sigma_sq(8.0);
+
+  svmutil::TextTable table({"heuristic", "iters", "shrunk", "recon", "kernel evals (max rank)",
+                            "bytes sent", "wall s"});
+
+  for (const char* name : {"Original", "Single50pc", "Multi5pc"}) {
+    const svmcore::DistributedConfig config{params, svmcore::Heuristic::parse(name), false};
+
+    // The SPMD region: every rank constructs its own solver bound to its
+    // block of the dataset and they cooperate through the communicator.
+    std::vector<svmcore::RankResult> results(ranks);
+    svmmpi::TrafficStats traffic = svmmpi::run_spmd(ranks, [&](svmmpi::Comm& comm) {
+      svmcore::DistributedSolver solver(comm, train, config);
+      results[comm.rank()] = solver.solve();
+    });
+
+    std::uint64_t max_kernel = 0;
+    std::uint64_t shrunk = 0;
+    double wall = 0.0;
+    for (const auto& r : results) {
+      max_kernel = std::max(max_kernel, r.stats.kernel_evaluations);
+      shrunk += r.stats.samples_shrunk;
+      wall = std::max(wall, r.stats.solve_seconds);
+    }
+    table.add_row({name, svmutil::TextTable::integer(results[0].stats.iterations),
+                   svmutil::TextTable::integer(shrunk),
+                   svmutil::TextTable::integer(results[0].stats.reconstructions),
+                   svmutil::TextTable::integer(max_kernel),
+                   svmutil::TextTable::integer(traffic.bytes_sent),
+                   svmutil::TextTable::num(wall, 3)});
+  }
+
+  std::printf("Distributed SMO on %d simulated ranks, n=%zu\n\n", ranks, train.size());
+  table.print();
+  std::printf(
+      "\nNote: 'Original' never shrinks (Algorithm 2); Single50pc shrinks late with one\n"
+      "gradient reconstruction (Algorithm 4); Multi5pc shrinks early and reconstructs\n"
+      "repeatedly (Algorithm 5) - the paper's best heuristic.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Feature-scaling utility over libsvm-format files, after libsvm's
+// `svm-scale`: fit scaling statistics on a training file, apply the SAME
+// transform to any number of files (train/test consistency).
+//
+//   ./svm_scale fit-and-apply <train-in> <train-out> [<other-in> <other-out>]...
+//               [--method maxabs|standard]
+#include <cstdio>
+#include <string>
+
+#include "data/libsvm_io.hpp"
+#include "data/scale.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    const svmutil::CliFlags flags(argc, argv, {"method"});
+    const auto& files = flags.positional();
+    if (files.size() < 3 || files[0] != "fit-and-apply" || files.size() % 2 == 0) {
+      std::fprintf(stderr,
+                   "usage: %s fit-and-apply <train-in> <train-out> [<in> <out>]... "
+                   "[--method maxabs|standard]\n",
+                   argv[0]);
+      return 2;
+    }
+    const std::string method = flags.get("method", "maxabs");
+
+    const svmdata::Dataset train = svmdata::read_libsvm_file(files[1]);
+    std::printf("fit on %s: %zu samples, %zu features (%s scaling)\n", files[1].c_str(),
+                train.size(), train.dim(), method.c_str());
+
+    // Fit once on the training data, then transform every file pair with the
+    // same statistics — the fit/transform discipline svm-scale enforces with
+    // its -s/-r save/restore files.
+    if (method == "maxabs") {
+      const auto scaler = svmdata::MaxAbsScaler::fit(train);
+      for (std::size_t pair = 1; pair + 1 < files.size(); pair += 2) {
+        const svmdata::Dataset in = svmdata::read_libsvm_file(files[pair]);
+        svmdata::write_libsvm_file(files[pair + 1], scaler.transform(in));
+        std::printf("  %s -> %s (%zu rows)\n", files[pair].c_str(), files[pair + 1].c_str(),
+                    in.size());
+      }
+    } else if (method == "standard") {
+      const auto scaler = svmdata::StandardScaler::fit(train);
+      for (std::size_t pair = 1; pair + 1 < files.size(); pair += 2) {
+        const svmdata::Dataset in = svmdata::read_libsvm_file(files[pair]);
+        svmdata::write_libsvm_file(files[pair + 1], scaler.transform(in));
+        std::printf("  %s -> %s (%zu rows)\n", files[pair].c_str(), files[pair + 1].c_str(),
+                    in.size());
+      }
+    } else {
+      std::fprintf(stderr, "unknown --method %s (maxabs|standard)\n", method.c_str());
+      return 2;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

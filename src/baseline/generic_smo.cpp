@@ -1,0 +1,511 @@
+#include "baseline/generic_smo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace svmbaseline::detail {
+
+namespace {
+
+constexpr double kTau = 1e-12;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class Solver {
+ public:
+  Solver(const GenericProblem& problem, const GenericOptions& options)
+      : problem_(problem), options_(options), l_(problem.size) {
+    G_.assign(problem.linear.begin(), problem.linear.end());
+    G_bar_.assign(l_, 0.0);
+    if (problem.initial_alpha.empty()) {
+      alpha_.assign(l_, 0.0);  // G = p already correct
+    } else {
+      alpha_.assign(problem.initial_alpha.begin(), problem.initial_alpha.end());
+      // G = p + Q*alpha0; G_bar collects the upper-bound part.
+      for (std::size_t j = 0; j < l_; ++j) {
+        if (alpha_[j] == 0.0) continue;
+        const std::span<const float> Q_j = problem_.q_row(j);
+        for (std::size_t t = 0; t < l_; ++t) G_[t] += alpha_[j] * Q_j[t];
+        if (alpha_[j] >= problem_.C_of(j))
+          for (std::size_t t = 0; t < l_; ++t) G_bar_[t] += problem_.C_of(j) * Q_j[t];
+      }
+    }
+    active_.resize(l_);
+    for (std::size_t t = 0; t < l_; ++t) active_[t] = t;
+  }
+
+  GenericResult solve();
+
+ private:
+  [[nodiscard]] double C_of(std::size_t t) const { return problem_.C_of(t); }
+  [[nodiscard]] bool is_upper_bound(std::size_t t) const { return alpha_[t] >= C_of(t); }
+  [[nodiscard]] bool is_lower_bound(std::size_t t) const { return alpha_[t] <= 0.0; }
+  [[nodiscard]] bool is_free(std::size_t t) const {
+    return !is_upper_bound(t) && !is_lower_bound(t);
+  }
+  [[nodiscard]] double y(std::size_t t) const { return problem_.y[t]; }
+  [[nodiscard]] double QD(std::size_t t) const { return problem_.q_diag[t]; }
+
+  [[nodiscard]] bool select_working_set(std::size_t& out_i, std::size_t& out_j);
+  [[nodiscard]] bool select_working_set_nu(std::size_t& out_i, std::size_t& out_j);
+  void update_pair(std::size_t i, std::size_t j);
+  void do_shrinking();
+  void do_shrinking_nu();
+  void reconstruct_gradient();
+  [[nodiscard]] bool be_shrunk(std::size_t t, double Gmax1, double Gmax2) const;
+  [[nodiscard]] bool be_shrunk_nu(std::size_t t, double Gmax1, double Gmax2, double Gmax3,
+                                  double Gmax4) const;
+  [[nodiscard]] double calculate_rho() const;
+  [[nodiscard]] double calculate_rho_nu(double& r_out) const;
+
+  const GenericProblem& problem_;
+  const GenericOptions& options_;
+  std::size_t l_;
+  std::vector<double> alpha_;
+  std::vector<double> G_;
+  std::vector<double> G_bar_;
+  std::vector<std::size_t> active_;
+  bool unshrink_done_ = false;
+  std::uint64_t iterations_ = 0;
+};
+
+bool Solver::select_working_set(std::size_t& out_i, std::size_t& out_j) {
+  double Gmax = -kInf;
+  double Gmax2 = -kInf;
+  std::size_t Gmax_idx = l_;
+
+  for (const std::size_t t : active_) {
+    if (y(t) > 0.0) {
+      if (!is_upper_bound(t) && -G_[t] >= Gmax) {
+        Gmax = -G_[t];
+        Gmax_idx = t;
+      }
+    } else {
+      if (!is_lower_bound(t) && G_[t] >= Gmax) {
+        Gmax = G_[t];
+        Gmax_idx = t;
+      }
+    }
+  }
+
+  const std::size_t i = Gmax_idx;
+  std::span<const float> Q_i;
+  if (i != l_) Q_i = problem_.q_row(i);
+
+  double obj_diff_min = kInf;
+  std::size_t Gmin_idx = l_;
+  for (const std::size_t j : active_) {
+    if (y(j) > 0.0) {
+      if (!is_lower_bound(j)) {
+        const double grad_diff = Gmax + G_[j];
+        if (G_[j] >= Gmax2) Gmax2 = G_[j];
+        if (grad_diff > 0.0) {
+          double quad_coef = QD(i) + QD(j) - 2.0 * y(i) * Q_i[j];
+          if (quad_coef <= 0.0) quad_coef = kTau;
+          const double obj_diff = -(grad_diff * grad_diff) / quad_coef;
+          if (obj_diff <= obj_diff_min) {
+            Gmin_idx = j;
+            obj_diff_min = obj_diff;
+          }
+        }
+      }
+    } else {
+      if (!is_upper_bound(j)) {
+        const double grad_diff = Gmax - G_[j];
+        if (-G_[j] >= Gmax2) Gmax2 = -G_[j];
+        if (grad_diff > 0.0) {
+          double quad_coef = QD(i) + QD(j) + 2.0 * y(i) * Q_i[j];
+          if (quad_coef <= 0.0) quad_coef = kTau;
+          const double obj_diff = -(grad_diff * grad_diff) / quad_coef;
+          if (obj_diff <= obj_diff_min) {
+            Gmin_idx = j;
+            obj_diff_min = obj_diff;
+          }
+        }
+      }
+    }
+  }
+
+  if (Gmax + Gmax2 < options_.eps || Gmin_idx == l_) return false;
+  out_i = i;
+  out_j = Gmin_idx;
+  return true;
+}
+
+void Solver::update_pair(std::size_t i, std::size_t j) {
+  // Copy row i: fetching row j may invalidate the provider's buffer/cache.
+  const std::span<const float> Q_i_view = problem_.q_row(i);
+  const std::vector<float> Q_i_copy(Q_i_view.begin(), Q_i_view.end());
+  const std::span<const float> Q_i(Q_i_copy);
+  const std::span<const float> Q_j = problem_.q_row(j);
+  const double C_i = C_of(i);
+  const double C_j = C_of(j);
+  const double old_alpha_i = alpha_[i];
+  const double old_alpha_j = alpha_[j];
+
+  if (y(i) != y(j)) {
+    double quad_coef = QD(i) + QD(j) + 2.0 * Q_i[j];
+    if (quad_coef <= 0.0) quad_coef = kTau;
+    const double delta = (-G_[i] - G_[j]) / quad_coef;
+    const double diff = alpha_[i] - alpha_[j];
+    alpha_[i] += delta;
+    alpha_[j] += delta;
+    if (diff > 0.0) {
+      if (alpha_[j] < 0.0) {
+        alpha_[j] = 0.0;
+        alpha_[i] = diff;
+      }
+    } else {
+      if (alpha_[i] < 0.0) {
+        alpha_[i] = 0.0;
+        alpha_[j] = -diff;
+      }
+    }
+    if (diff > C_i - C_j) {
+      if (alpha_[i] > C_i) {
+        alpha_[i] = C_i;
+        alpha_[j] = C_i - diff;
+      }
+    } else {
+      if (alpha_[j] > C_j) {
+        alpha_[j] = C_j;
+        alpha_[i] = C_j + diff;
+      }
+    }
+  } else {
+    double quad_coef = QD(i) + QD(j) - 2.0 * Q_i[j];
+    if (quad_coef <= 0.0) quad_coef = kTau;
+    const double delta = (G_[i] - G_[j]) / quad_coef;
+    const double sum = alpha_[i] + alpha_[j];
+    alpha_[i] -= delta;
+    alpha_[j] += delta;
+    if (sum > C_i) {
+      if (alpha_[i] > C_i) {
+        alpha_[i] = C_i;
+        alpha_[j] = sum - C_i;
+      }
+    } else {
+      if (alpha_[j] < 0.0) {
+        alpha_[j] = 0.0;
+        alpha_[i] = sum;
+      }
+    }
+    if (sum > C_j) {
+      if (alpha_[j] > C_j) {
+        alpha_[j] = C_j;
+        alpha_[i] = sum - C_j;
+      }
+    } else {
+      if (alpha_[i] < 0.0) {
+        alpha_[i] = 0.0;
+        alpha_[j] = sum;
+      }
+    }
+  }
+
+  const double delta_alpha_i = alpha_[i] - old_alpha_i;
+  const double delta_alpha_j = alpha_[j] - old_alpha_j;
+  for (const std::size_t t : active_)
+    G_[t] += Q_i[t] * delta_alpha_i + Q_j[t] * delta_alpha_j;
+
+  // Maintain G_bar across upper-bound transitions (full-length rows).
+  const bool ui_before = old_alpha_i >= C_i;
+  const bool uj_before = old_alpha_j >= C_j;
+  if (ui_before != is_upper_bound(i)) {
+    const double sign = ui_before ? -1.0 : 1.0;
+    for (std::size_t t = 0; t < l_; ++t) G_bar_[t] += sign * C_i * Q_i[t];
+  }
+  if (uj_before != is_upper_bound(j)) {
+    const double sign = uj_before ? -1.0 : 1.0;
+    for (std::size_t t = 0; t < l_; ++t) G_bar_[t] += sign * C_j * Q_j[t];
+  }
+}
+
+bool Solver::be_shrunk(std::size_t t, double Gmax1, double Gmax2) const {
+  if (is_upper_bound(t)) return y(t) > 0.0 ? -G_[t] > Gmax1 : -G_[t] > Gmax2;
+  if (is_lower_bound(t)) return y(t) > 0.0 ? G_[t] > Gmax2 : G_[t] > Gmax1;
+  return false;
+}
+
+void Solver::reconstruct_gradient() {
+  std::vector<std::uint8_t> is_active(l_, 0);
+  for (const std::size_t t : active_) is_active[t] = 1;
+
+  std::vector<std::size_t> inactive;
+  for (std::size_t t = 0; t < l_; ++t)
+    if (!is_active[t]) {
+      G_[t] = G_bar_[t] + problem_.linear[t];
+      inactive.push_back(t);
+    }
+  if (inactive.empty()) return;
+
+  for (const std::size_t j : active_) {
+    if (!is_free(j)) continue;
+    const std::span<const float> Q_j = problem_.q_row(j);
+    for (const std::size_t t : inactive) G_[t] += alpha_[j] * Q_j[t];
+  }
+}
+
+void Solver::do_shrinking() {
+  double Gmax1 = -kInf;
+  double Gmax2 = -kInf;
+  for (const std::size_t t : active_) {
+    if (y(t) > 0.0) {
+      if (!is_upper_bound(t)) Gmax1 = std::max(Gmax1, -G_[t]);
+      if (!is_lower_bound(t)) Gmax2 = std::max(Gmax2, G_[t]);
+    } else {
+      if (!is_upper_bound(t)) Gmax2 = std::max(Gmax2, -G_[t]);
+      if (!is_lower_bound(t)) Gmax1 = std::max(Gmax1, G_[t]);
+    }
+  }
+
+  if (!unshrink_done_ && Gmax1 + Gmax2 <= options_.eps * 10.0) {
+    unshrink_done_ = true;
+    reconstruct_gradient();
+    active_.resize(l_);
+    for (std::size_t t = 0; t < l_; ++t) active_[t] = t;
+  }
+
+  std::size_t kept = 0;
+  for (std::size_t a = 0; a < active_.size(); ++a)
+    if (!be_shrunk(active_[a], Gmax1, Gmax2)) active_[kept++] = active_[a];
+  active_.resize(kept);
+}
+
+// Solver_NU working-set selection (Fan et al. WSS2 restricted to same-label
+// pairs, since nu problems carry one equality constraint per label).
+bool Solver::select_working_set_nu(std::size_t& out_i, std::size_t& out_j) {
+  double Gmaxp = -kInf;
+  double Gmaxp2 = -kInf;
+  std::size_t Gmaxp_idx = l_;
+  double Gmaxn = -kInf;
+  double Gmaxn2 = -kInf;
+  std::size_t Gmaxn_idx = l_;
+
+  for (const std::size_t t : active_) {
+    if (y(t) > 0.0) {
+      if (!is_upper_bound(t) && -G_[t] >= Gmaxp) {
+        Gmaxp = -G_[t];
+        Gmaxp_idx = t;
+      }
+    } else {
+      if (!is_lower_bound(t) && G_[t] >= Gmaxn) {
+        Gmaxn = G_[t];
+        Gmaxn_idx = t;
+      }
+    }
+  }
+
+  const std::size_t ip = Gmaxp_idx;
+  const std::size_t in = Gmaxn_idx;
+  // Row pointers: fetch lazily; the provider's buffer may alias, so cache
+  // copies of both candidate rows.
+  std::vector<float> Q_ip;
+  std::vector<float> Q_in;
+  if (ip != l_) {
+    const auto row = problem_.q_row(ip);
+    Q_ip.assign(row.begin(), row.end());
+  }
+  if (in != l_) {
+    const auto row = problem_.q_row(in);
+    Q_in.assign(row.begin(), row.end());
+  }
+
+  double obj_diff_min = kInf;
+  std::size_t Gmin_idx = l_;
+  for (const std::size_t j : active_) {
+    if (y(j) > 0.0) {
+      if (!is_lower_bound(j)) {
+        const double grad_diff = Gmaxp + G_[j];
+        if (G_[j] >= Gmaxp2) Gmaxp2 = G_[j];
+        if (grad_diff > 0.0 && ip != l_) {
+          double quad_coef = QD(ip) + QD(j) - 2.0 * Q_ip[j];
+          if (quad_coef <= 0.0) quad_coef = kTau;
+          const double obj_diff = -(grad_diff * grad_diff) / quad_coef;
+          if (obj_diff <= obj_diff_min) {
+            Gmin_idx = j;
+            obj_diff_min = obj_diff;
+          }
+        }
+      }
+    } else {
+      if (!is_upper_bound(j)) {
+        const double grad_diff = Gmaxn - G_[j];
+        if (-G_[j] >= Gmaxn2) Gmaxn2 = -G_[j];
+        if (grad_diff > 0.0 && in != l_) {
+          double quad_coef = QD(in) + QD(j) - 2.0 * Q_in[j];
+          if (quad_coef <= 0.0) quad_coef = kTau;
+          const double obj_diff = -(grad_diff * grad_diff) / quad_coef;
+          if (obj_diff <= obj_diff_min) {
+            Gmin_idx = j;
+            obj_diff_min = obj_diff;
+          }
+        }
+      }
+    }
+  }
+
+  if (std::max(Gmaxp + Gmaxp2, Gmaxn + Gmaxn2) < options_.eps || Gmin_idx == l_) return false;
+  out_i = y(Gmin_idx) > 0.0 ? Gmaxp_idx : Gmaxn_idx;
+  out_j = Gmin_idx;
+  return true;
+}
+
+bool Solver::be_shrunk_nu(std::size_t t, double Gmax1, double Gmax2, double Gmax3,
+                          double Gmax4) const {
+  if (is_upper_bound(t)) return y(t) > 0.0 ? -G_[t] > Gmax1 : -G_[t] > Gmax4;
+  if (is_lower_bound(t)) return y(t) > 0.0 ? G_[t] > Gmax2 : G_[t] > Gmax3;
+  return false;
+}
+
+void Solver::do_shrinking_nu() {
+  double Gmax1 = -kInf;  // max { -G | y = +1, not upper bound }
+  double Gmax2 = -kInf;  // max {  G | y = +1, not lower bound }
+  double Gmax3 = -kInf;  // max {  G | y = -1, not lower bound }
+  double Gmax4 = -kInf;  // max { -G | y = -1, not upper bound }
+  for (const std::size_t t : active_) {
+    if (!is_upper_bound(t)) {
+      if (y(t) > 0.0)
+        Gmax1 = std::max(Gmax1, -G_[t]);
+      else
+        Gmax4 = std::max(Gmax4, -G_[t]);
+    }
+    if (!is_lower_bound(t)) {
+      if (y(t) > 0.0)
+        Gmax2 = std::max(Gmax2, G_[t]);
+      else
+        Gmax3 = std::max(Gmax3, G_[t]);
+    }
+  }
+
+  if (!unshrink_done_ && std::max(Gmax1 + Gmax2, Gmax3 + Gmax4) <= options_.eps * 10.0) {
+    unshrink_done_ = true;
+    reconstruct_gradient();
+    active_.resize(l_);
+    for (std::size_t t = 0; t < l_; ++t) active_[t] = t;
+  }
+
+  std::size_t kept = 0;
+  for (std::size_t a = 0; a < active_.size(); ++a)
+    if (!be_shrunk_nu(active_[a], Gmax1, Gmax2, Gmax3, Gmax4)) active_[kept++] = active_[a];
+  active_.resize(kept);
+}
+
+double Solver::calculate_rho_nu(double& r_out) const {
+  std::size_t nr_free1 = 0;
+  std::size_t nr_free2 = 0;
+  double ub1 = kInf;
+  double ub2 = kInf;
+  double lb1 = -kInf;
+  double lb2 = -kInf;
+  double sum_free1 = 0.0;
+  double sum_free2 = 0.0;
+  for (std::size_t t = 0; t < l_; ++t) {
+    if (y(t) > 0.0) {
+      if (is_upper_bound(t))
+        lb1 = std::max(lb1, G_[t]);
+      else if (is_lower_bound(t))
+        ub1 = std::min(ub1, G_[t]);
+      else {
+        ++nr_free1;
+        sum_free1 += G_[t];
+      }
+    } else {
+      if (is_upper_bound(t))
+        lb2 = std::max(lb2, G_[t]);
+      else if (is_lower_bound(t))
+        ub2 = std::min(ub2, G_[t]);
+      else {
+        ++nr_free2;
+        sum_free2 += G_[t];
+      }
+    }
+  }
+  const double r1 = nr_free1 > 0 ? sum_free1 / static_cast<double>(nr_free1) : (ub1 + lb1) / 2;
+  const double r2 = nr_free2 > 0 ? sum_free2 / static_cast<double>(nr_free2) : (ub2 + lb2) / 2;
+  r_out = (r1 + r2) / 2.0;
+  return (r1 - r2) / 2.0;
+}
+
+double Solver::calculate_rho() const {
+  double upper = kInf;
+  double lower = -kInf;
+  double sum_free = 0.0;
+  std::size_t free_count = 0;
+  for (const std::size_t t : active_) {
+    const double yG = y(t) * G_[t];
+    if (is_upper_bound(t)) {
+      if (y(t) < 0.0)
+        upper = std::min(upper, yG);
+      else
+        lower = std::max(lower, yG);
+    } else if (is_lower_bound(t)) {
+      if (y(t) > 0.0)
+        upper = std::min(upper, yG);
+      else
+        lower = std::max(lower, yG);
+    } else {
+      sum_free += yG;
+      ++free_count;
+    }
+  }
+  if (free_count > 0) return sum_free / static_cast<double>(free_count);
+  return (upper + lower) / 2.0;
+}
+
+GenericResult Solver::solve() {
+  GenericResult result;
+  std::uint64_t shrink_counter = std::min<std::uint64_t>(l_, 1000) + 1;
+  bool converged = false;
+  const bool nu = options_.nu_variant;
+
+  auto select = [&](std::size_t& i, std::size_t& j) {
+    return nu ? select_working_set_nu(i, j) : select_working_set(i, j);
+  };
+
+  while (iterations_ < options_.max_iterations) {
+    if (options_.use_shrinking && --shrink_counter == 0) {
+      shrink_counter = std::min<std::uint64_t>(l_, 1000);
+      nu ? do_shrinking_nu() : do_shrinking();
+    }
+
+    std::size_t i = 0;
+    std::size_t j = 0;
+    if (!select(i, j)) {
+      if (!options_.use_shrinking || (unshrink_done_ && active_.size() == l_)) {
+        converged = true;
+        break;
+      }
+      reconstruct_gradient();
+      active_.resize(l_);
+      for (std::size_t t = 0; t < l_; ++t) active_[t] = t;
+      unshrink_done_ = true;
+      shrink_counter = std::min<std::uint64_t>(l_, 1000);
+      if (!select(i, j)) {
+        converged = true;
+        break;
+      }
+    }
+
+    update_pair(i, j);
+    ++iterations_;
+  }
+
+  if (!converged && options_.use_shrinking) reconstruct_gradient();
+
+  // Rho reads alpha_ via the bound predicates: must precede the move.
+  result.rho = nu ? calculate_rho_nu(result.r) : calculate_rho();
+  result.alpha = std::move(alpha_);
+  result.iterations = iterations_;
+  result.converged = converged;
+  return result;
+}
+
+}  // namespace
+
+GenericResult solve_generic_smo(const GenericProblem& problem, const GenericOptions& options) {
+  Solver solver(problem, options);
+  return solver.solve();
+}
+
+}  // namespace svmbaseline::detail

@@ -1,0 +1,56 @@
+// Generic SMO solver over an abstract quadratic problem, libsvm's Solver:
+//   minimize 0.5 a'Qa + p'a   s.t. y'a = 0, 0 <= a_t <= C_t
+// with y_t in {+1,-1}. Both C-SVC (l = n variables, p = -e) and epsilon-SVR
+// (l = 2n variables, p from the tube/targets) instantiate it. Features:
+// WSS2 second-order working-set selection, libsvm shrinking with G_bar
+// reconstruction, rho estimation.
+//
+// The Q matrix is supplied by a row provider so problem types control their
+// own caching; rows are float (libsvm's Qfloat).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace svmbaseline::detail {
+
+struct GenericProblem {
+  std::size_t size = 0;                ///< number of variables l
+  std::span<const double> y;           ///< ±1 per variable
+  std::span<const double> linear;      ///< p vector
+  std::span<const double> q_diag;      ///< Q(t, t)
+  /// Returns Q row t at full length l. The span must stay valid until the
+  /// next q_row call (single-row aliasing is handled inside the solver).
+  std::function<std::span<const float>(std::size_t)> q_row;
+  /// Per-variable box constraint.
+  std::function<double(std::size_t)> C_of;
+  /// Optional warm start (e.g. one-class SVM's sum-to-one initial point).
+  /// Empty means alpha = 0. When set, the solver computes the initial
+  /// gradient G = p + Q * alpha0 from the nonzero entries.
+  std::span<const double> initial_alpha;
+};
+
+struct GenericOptions {
+  double eps = 1e-3;
+  bool use_shrinking = true;
+  std::uint64_t max_iterations = 100'000'000;
+  /// Solver_NU variant: the working set is restricted to same-label pairs
+  /// (two equality constraints), used by nu-SVC/nu-SVR. Changes selection,
+  /// shrinking and the rho computation; the result's `r` becomes meaningful.
+  bool nu_variant = false;
+};
+
+struct GenericResult {
+  std::vector<double> alpha;
+  double rho = 0.0;
+  double r = 0.0;  ///< Solver_NU only: (r1 + r2)/2, the alpha rescaling factor
+  std::uint64_t iterations = 0;
+  bool converged = false;
+};
+
+[[nodiscard]] GenericResult solve_generic_smo(const GenericProblem& problem,
+                                              const GenericOptions& options);
+
+}  // namespace svmbaseline::detail

@@ -1,0 +1,76 @@
+#include "baseline/libsvm_like.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "baseline/generic_smo.hpp"
+#include "kernel/kernel_cache.hpp"
+#include "util/timer.hpp"
+
+namespace svmbaseline {
+
+BaselineResult solve_libsvm_like(const svmdata::Dataset& dataset,
+                                 const BaselineOptions& options) {
+  dataset.validate();
+  const std::size_t n = dataset.size();
+  if (n < 2) throw std::invalid_argument("solve_libsvm_like: need at least two samples");
+
+  svmutil::Timer timer;
+  const svmkernel::Kernel kernel(options.kernel);
+  svmkernel::KernelRowCache cache(options.cache_mb * (1 << 20));
+  const std::vector<double> sq = dataset.X.row_squared_norms();
+
+  std::vector<double> q_diag(n);
+  for (std::size_t i = 0; i < n; ++i)
+    q_diag[i] = kernel.eval(dataset.X.row(i), dataset.X.row(i), sq[i], sq[i]);
+
+  // Q row provider with LRU caching; rows hold Q_ij = y_i y_j K_ij as float.
+  // The paper's OpenMP enhancement parallelizes exactly this row loop.
+  std::vector<float> row_buffer(n);
+  auto q_row = [&](std::size_t i) -> std::span<const float> {
+    const std::span<const float> cached = cache.lookup(i);
+    if (!cached.empty()) return cached;
+    const auto row_i = dataset.X.row(i);
+    const double sq_i = sq[i];
+    const double y_i = dataset.y[i];
+    const auto count = static_cast<std::ptrdiff_t>(n);
+#pragma omp parallel for schedule(static) if (options.use_openmp)
+    for (std::ptrdiff_t t = 0; t < count; ++t) {
+      const auto j = static_cast<std::size_t>(t);
+      row_buffer[j] = static_cast<float>(
+          y_i * dataset.y[j] * kernel.eval(row_i, dataset.X.row(j), sq_i, sq[j]));
+    }
+    cache.insert(i, row_buffer);
+    const std::span<const float> inserted = cache.lookup(i);
+    return inserted.empty() ? std::span<const float>(row_buffer) : inserted;
+  };
+
+  const std::vector<double> linear(n, -1.0);  // p = -e for C-SVC
+
+  detail::GenericProblem problem;
+  problem.size = n;
+  problem.y = dataset.y;
+  problem.linear = linear;
+  problem.q_diag = q_diag;
+  problem.q_row = q_row;
+  problem.C_of = [&](std::size_t i) { return options.C_of(dataset.y[i]); };
+
+  detail::GenericOptions solver_options;
+  solver_options.eps = options.eps;
+  solver_options.use_shrinking = options.use_shrinking;
+  solver_options.max_iterations = options.max_iterations;
+
+  detail::GenericResult generic = detail::solve_generic_smo(problem, solver_options);
+
+  BaselineResult result;
+  result.alpha = std::move(generic.alpha);
+  result.rho = generic.rho;
+  result.iterations = generic.iterations;
+  result.converged = generic.converged;
+  result.kernel_evaluations = kernel.evaluations();
+  result.cache_hit_rate = cache.hit_rate();
+  result.solve_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace svmbaseline

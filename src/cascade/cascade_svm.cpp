@@ -1,0 +1,151 @@
+#include "cascade/cascade_svm.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "baseline/libsvm_like.hpp"
+#include "core/trainer.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace svmcascade {
+
+namespace {
+
+/// A sub-problem: global row indices into the original dataset.
+using IndexSet = std::vector<std::size_t>;
+
+struct SubSolve {
+  IndexSet support_vectors;  ///< global indices with alpha > 0
+  double seconds = 0.0;
+  std::uint64_t kernel_evaluations = 0;
+};
+
+/// Trains on the subset and returns the support-vector indices.
+SubSolve solve_subset(const svmdata::Dataset& dataset, const IndexSet& indices,
+                      const svmcore::SolverParams& params) {
+  svmutil::Timer timer;
+  const svmdata::Dataset subset = dataset.subset(indices);
+  svmbaseline::BaselineOptions options;
+  options.C = params.C;
+  options.weight_positive = params.weight_positive;
+  options.weight_negative = params.weight_negative;
+  options.eps = params.eps;
+  options.kernel = params.kernel;
+  const auto result = svmbaseline::solve_libsvm_like(subset, options);
+
+  SubSolve out;
+  for (std::size_t i = 0; i < indices.size(); ++i)
+    if (result.alpha[i] > 0.0) out.support_vectors.push_back(indices[i]);
+  out.seconds = timer.seconds();
+  out.kernel_evaluations = result.kernel_evaluations;
+  return out;
+}
+
+/// Merge two sorted-unique index sets.
+IndexSet merge(const IndexSet& a, const IndexSet& b) {
+  IndexSet out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+double CascadeResult::imbalance() const {
+  if (leaf_seconds.empty()) return 1.0;
+  const double max_time = *std::max_element(leaf_seconds.begin(), leaf_seconds.end());
+  const double mean =
+      std::accumulate(leaf_seconds.begin(), leaf_seconds.end(), 0.0) /
+      static_cast<double>(leaf_seconds.size());
+  return mean > 0.0 ? max_time / mean : 1.0;
+}
+
+CascadeResult train_cascade(const svmdata::Dataset& dataset, const CascadeOptions& options) {
+  dataset.validate();
+  if (options.levels < 0 || options.levels > 12)
+    throw std::invalid_argument("train_cascade: levels must be in [0, 12]");
+  const std::size_t leaves = std::size_t{1} << options.levels;
+  if (dataset.size() < 2 * leaves)
+    throw std::invalid_argument("train_cascade: too few samples for this many leaves");
+
+  // Class-striped shuffled partition so every leaf holds both classes.
+  std::vector<std::size_t> positives;
+  std::vector<std::size_t> negatives;
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    (dataset.y[i] > 0 ? positives : negatives).push_back(i);
+  if (positives.empty() || negatives.empty())
+    throw std::invalid_argument("train_cascade: dataset must contain both classes");
+  svmutil::Rng rng(options.seed);
+  rng.shuffle(positives);
+  rng.shuffle(negatives);
+
+  std::vector<IndexSet> base_partition(leaves);
+  for (std::size_t k = 0; k < positives.size(); ++k)
+    base_partition[k % leaves].push_back(positives[k]);
+  for (std::size_t k = 0; k < negatives.size(); ++k)
+    base_partition[k % leaves].push_back(negatives[k]);
+  for (IndexSet& part : base_partition) std::sort(part.begin(), part.end());
+
+  CascadeResult result;
+  IndexSet feedback;  // root SVs fed back into every leaf on later passes
+
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    ++result.passes;
+
+    // Leaf level: independent sub-problems (this is where the paper's load
+    // imbalance shows up — record per-leaf times on the first pass).
+    std::vector<IndexSet> frontier;
+    frontier.reserve(leaves);
+    for (std::size_t leaf = 0; leaf < leaves; ++leaf) {
+      const IndexSet problem = merge(base_partition[leaf], feedback);
+      SubSolve solved = solve_subset(dataset, problem, options.params);
+      result.total_kernel_evaluations += solved.kernel_evaluations;
+      if (pass == 0) {
+        result.leaf_seconds.push_back(solved.seconds);
+        result.leaf_support_vectors.push_back(solved.support_vectors.size());
+      }
+      frontier.push_back(std::move(solved.support_vectors));
+    }
+
+    // Binary merge tree up to the root.
+    while (frontier.size() > 1) {
+      std::vector<IndexSet> next;
+      next.reserve((frontier.size() + 1) / 2);
+      for (std::size_t pair = 0; pair + 1 < frontier.size(); pair += 2) {
+        SubSolve solved =
+            solve_subset(dataset, merge(frontier[pair], frontier[pair + 1]), options.params);
+        result.total_kernel_evaluations += solved.kernel_evaluations;
+        next.push_back(std::move(solved.support_vectors));
+      }
+      if (frontier.size() % 2 == 1) next.push_back(std::move(frontier.back()));
+      frontier = std::move(next);
+    }
+    IndexSet root_svs = std::move(frontier.front());
+
+    // Converged when the feedback pass keeps the root SV set unchanged.
+    if (root_svs == feedback) {
+      result.converged = true;
+      feedback = std::move(root_svs);
+      break;
+    }
+    feedback = std::move(root_svs);
+  }
+
+  // Final model from the root's sub-problem.
+  const svmdata::Dataset root_data = dataset.subset(feedback);
+  svmbaseline::BaselineOptions final_options;
+  final_options.C = options.params.C;
+  final_options.eps = options.params.eps;
+  final_options.kernel = options.params.kernel;
+  const auto final_solve = svmbaseline::solve_libsvm_like(root_data, final_options);
+  result.total_kernel_evaluations += final_solve.kernel_evaluations;
+  result.beta = final_solve.rho;
+  result.model = svmcore::build_model(root_data, final_solve.alpha, final_solve.rho,
+                                      options.params.kernel);
+  return result;
+}
+
+}  // namespace svmcascade

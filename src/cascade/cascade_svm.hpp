@@ -1,0 +1,49 @@
+// Cascade SVM (Graf, Cosatto, Bottou, Durdanovic, Vapnik, NIPS 2005) — the
+// prior distributed-SVM design the paper's related work critiques: "Cascade
+// SVM suffers from load imbalance, since many processes finish their
+// individual sub-problem before others. As a result, this approach does not
+// scale well for very large scale of processes" (§VI). Implemented here as
+// a comparator so the bench suite can measure that trade directly.
+//
+// Algorithm: partition the data into 2^levels subsets, train each
+// independently, keep only the support vectors, merge pairwise up a binary
+// tree retraining at each node, and feed the root's support vectors back
+// into the leaf partitions for another pass until the root SV set is stable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/types.hpp"
+#include "data/sparse.hpp"
+
+namespace svmcascade {
+
+struct CascadeOptions {
+  svmcore::SolverParams params{};
+  int levels = 2;               ///< 2^levels leaf partitions
+  std::size_t max_passes = 5;   ///< feedback loops before giving up
+  std::uint64_t seed = 1;       ///< partition shuffle seed
+};
+
+struct CascadeResult {
+  svmcore::SvmModel model;
+  double beta = 0.0;
+  std::size_t passes = 0;              ///< feedback passes executed
+  bool converged = false;              ///< root SV set stabilized
+  std::uint64_t total_kernel_evaluations = 0;
+
+  // Load-imbalance evidence (first pass, leaf level): the paper's critique.
+  std::vector<double> leaf_seconds;
+  std::vector<std::size_t> leaf_support_vectors;
+  [[nodiscard]] double imbalance() const;  ///< max/mean of leaf_seconds (1 = balanced)
+};
+
+/// Trains a Cascade SVM. Throws std::invalid_argument on degenerate input
+/// (needs both classes in every leaf partition to start — the partitioner
+/// stripes classes across leaves to guarantee this).
+[[nodiscard]] CascadeResult train_cascade(const svmdata::Dataset& dataset,
+                                          const CascadeOptions& options);
+
+}  // namespace svmcascade

@@ -1,0 +1,302 @@
+#include "core/distributed_solver.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/pair_update.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace svmcore {
+
+namespace {
+constexpr int kTagSampleToRoot = 11;  ///< owner -> rank 0 (Algorithm 2 lines 4-9)
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+DistributedSolver::DistributedSolver(svmmpi::Comm& comm, const svmdata::Dataset& dataset,
+                                     const DistributedConfig& config)
+    : comm_(comm),
+      data_(dataset),
+      config_(config),
+      range_(svmdata::block_range(dataset.size(), comm.size(), comm.rank())),
+      kernel_(config.params.kernel) {
+  if (comm.rank() == 0) dataset.validate();
+  const std::size_t local_n = range_.size();
+  alpha_.assign(local_n, 0.0);
+  gamma_.resize(local_n);
+  sq_.resize(local_n);
+  shrunk_.assign(local_n, 0);
+  active_.resize(local_n);
+  for (std::size_t i = 0; i < local_n; ++i) {
+    const std::size_t g = range_.begin + i;
+    gamma_[i] = -data_.y[g];  // alpha = 0 => gamma = -y (Algorithm 2 line 1)
+    sq_[i] = svmdata::CsrMatrix::squared_norm(data_.X.row(g));
+    active_[i] = static_cast<std::uint32_t>(i);
+  }
+  stats_.min_active = local_n;
+}
+
+void DistributedSolver::select_violators() {
+  svmmpi::DoubleInt up{kInf, std::numeric_limits<std::int64_t>::max()};
+  svmmpi::DoubleInt low{-kInf, std::numeric_limits<std::int64_t>::max()};
+  for (const std::uint32_t i : active_) {
+    const std::size_t g = range_.begin + i;
+    const IndexSet set = classify(data_.y[g], alpha_[i], config_.params.C_of(data_.y[g]));
+    if (in_up_set(set) && gamma_[i] < up.value)
+      up = svmmpi::DoubleInt{gamma_[i], static_cast<std::int64_t>(g)};
+    if (in_low_set(set) && gamma_[i] > low.value)
+      low = svmmpi::DoubleInt{gamma_[i], static_cast<std::int64_t>(g)};
+  }
+  const svmmpi::DoubleInt global_up = comm_.allreduce_minloc(up);
+  const svmmpi::DoubleInt global_low = comm_.allreduce_maxloc(low);
+  beta_up_ = global_up.value;
+  beta_low_ = global_low.value;
+  i_up_ = global_up.index;
+  i_low_ = global_low.index;
+  stats_.final_beta_up = beta_up_;
+  stats_.final_beta_low = beta_low_;
+}
+
+PackedSamples DistributedSolver::fetch_sample(std::int64_t global_index) {
+  const int owner = svmdata::owner_of(data_.size(), comm_.size(), global_index);
+  std::vector<std::byte> bytes;
+  if (owner == 0) {
+    if (comm_.rank() == 0) {
+      PackedSamples one;
+      const std::size_t i = local_of(global_index);
+      one.add(global_index, data_.y[global_index], alpha_[i], sq_[i],
+              data_.X.row(static_cast<std::size_t>(global_index)));
+      bytes = one.pack();
+    }
+  } else {
+    // Owner sends the sample to rank 0 first (Algorithm 2 lines 4-9)...
+    if (comm_.rank() == owner) {
+      PackedSamples one;
+      const std::size_t i = local_of(global_index);
+      one.add(global_index, data_.y[global_index], alpha_[i], sq_[i],
+              data_.X.row(static_cast<std::size_t>(global_index)));
+      comm_.send<std::byte>(one.pack(), 0, kTagSampleToRoot);
+    }
+    if (comm_.rank() == 0) bytes = comm_.recv<std::byte>(owner, kTagSampleToRoot);
+  }
+  // ...then rank 0 broadcasts it to everyone (line 10).
+  comm_.bcast(bytes, 0);
+  return PackedSamples::unpack(bytes);
+}
+
+DistributedSolver::PhaseExit DistributedSolver::run_phase(double tolerance, bool shrinking) {
+  while (true) {
+    select_violators();
+    if (i_up_ == std::numeric_limits<std::int64_t>::max() ||
+        i_low_ == std::numeric_limits<std::int64_t>::max()) {
+      // Active set lost one side entirely; only reconstruction can help.
+      return PhaseExit::converged;
+    }
+    if (beta_up_ + tolerance >= beta_low_) return PhaseExit::converged;
+    if (stats_.iterations >= config_.params.max_iterations) return PhaseExit::iteration_cap;
+
+    const PackedSamples up = fetch_sample(i_up_);
+    const PackedSamples low = fetch_sample(i_low_);
+
+    // The pair update (Eq. 6) is computed redundantly on every rank from the
+    // broadcast state, so all replicas agree bit-for-bit.
+    const PairState state{up.y(0),
+                          low.y(0),
+                          up.alpha(0),
+                          low.alpha(0),
+                          beta_up_,
+                          beta_low_,
+                          kernel_.eval(up.row(0), up.row(0), up.sq_norm(0), up.sq_norm(0)),
+                          kernel_.eval(low.row(0), low.row(0), low.sq_norm(0), low.sq_norm(0)),
+                          kernel_.eval(up.row(0), low.row(0), up.sq_norm(0), low.sq_norm(0)),
+                          config_.params.C_of(up.y(0)),
+                          config_.params.C_of(low.y(0))};
+    const PairResult updated = solve_pair(state);
+    if (!updated.progress) {
+      SVM_LOG_WARN << "distributed solver: stalled pair at gap "
+                   << (beta_low_ - beta_up_) << "; ending phase";
+      return PhaseExit::stalled;
+    }
+    const double delta_up = updated.alpha_up - up.alpha(0);
+    const double delta_low = updated.alpha_low - low.alpha(0);
+    if (owns(i_up_)) alpha_[local_of(i_up_)] = updated.alpha_up;
+    if (owns(i_low_)) alpha_[local_of(i_low_)] = updated.alpha_low;
+
+    // Shrink pass scheduling (Algorithm 4 lines 9-11): when the counter
+    // expires, this iteration's gamma loop also applies the Eq. (9) test.
+    bool shrink_now = false;
+    if (shrinking && delta_counter_ != ~0ULL) {
+      --delta_counter_;
+      if (delta_counter_ == 0) shrink_now = true;
+    }
+
+    // Gradient update over active samples (Eq. 2), with optional shrinking.
+    const double coef_up = up.y(0) * delta_up;
+    const double coef_low = low.y(0) * delta_low;
+    if (config_.openmp_gamma && !shrink_now) {
+      // Hybrid path: pure gamma updates are independent across samples, so
+      // they parallelize across the rank's cores. Shrink iterations keep the
+      // serial path (the compaction below is order-dependent).
+      const auto count = static_cast<std::ptrdiff_t>(active_.size());
+#pragma omp parallel for schedule(static)
+      for (std::ptrdiff_t a = 0; a < count; ++a) {
+        const std::uint32_t i = active_[static_cast<std::size_t>(a)];
+        const auto row = data_.X.row(range_.begin + i);
+        gamma_[i] += coef_up * kernel_.eval(up.row(0), row, up.sq_norm(0), sq_[i]) +
+                     coef_low * kernel_.eval(low.row(0), row, low.sq_norm(0), sq_[i]);
+      }
+      ++stats_.iterations;
+      maybe_trace_active();
+      continue;
+    }
+    std::size_t kept = 0;
+    for (std::size_t a = 0; a < active_.size(); ++a) {
+      const std::uint32_t i = active_[a];
+      const std::size_t g = range_.begin + i;
+      const auto row = data_.X.row(g);
+      gamma_[i] += coef_up * kernel_.eval(up.row(0), row, up.sq_norm(0), sq_[i]) +
+                   coef_low * kernel_.eval(low.row(0), row, low.sq_norm(0), sq_[i]);
+      if (static_cast<std::int64_t>(g) == i_up_ || static_cast<std::int64_t>(g) == i_low_) {
+        active_[kept++] = i;  // the pair is never shrunk this iteration
+        continue;
+      }
+      if (shrink_now) {
+        const IndexSet set = classify(data_.y[g], alpha_[i], config_.params.C_of(data_.y[g]));
+        const bool at_bound_up = set == IndexSet::I3 || set == IndexSet::I4;
+        const bool at_bound_low = set == IndexSet::I1 || set == IndexSet::I2;
+        if ((at_bound_up && gamma_[i] < beta_up_) || (at_bound_low && gamma_[i] > beta_low_)) {
+          shrunk_[i] = 1;  // eliminated (Eq. 9); gamma/alpha frozen from here
+          ++stats_.samples_shrunk;
+          continue;
+        }
+      }
+      active_[kept++] = i;
+    }
+    active_.resize(kept);
+
+    if (shrink_now) {
+      ++stats_.shrink_passes;
+      stats_.min_active = std::min(stats_.min_active, active_.size());
+      // Subsequent threshold (§IV-A.2): the global active-set size, or the
+      // initial threshold again under the fixed-threshold ablation.
+      const auto local_active = static_cast<std::int64_t>(active_.size());
+      const std::int64_t global_active =
+          comm_.allreduce(local_active, svmmpi::ReduceOp::sum);
+      delta_counter_ = config_.heuristic.fixed_subsequent_threshold
+                           ? config_.heuristic.initial_threshold(data_.size())
+                           : static_cast<std::uint64_t>(global_active);
+      if (delta_counter_ == 0) delta_counter_ = 1;
+    }
+
+    ++stats_.iterations;
+    maybe_trace_active();
+  }
+}
+
+void DistributedSolver::maybe_trace_active() {
+  if (config_.trace_active_interval == 0 ||
+      stats_.iterations % config_.trace_active_interval != 0)
+    return;
+  const auto local_active = static_cast<std::int64_t>(active_.size());
+  const std::int64_t global_active = comm_.allreduce(local_active, svmmpi::ReduceOp::sum);
+  if (comm_.rank() == 0)
+    stats_.active_trace.emplace_back(stats_.iterations,
+                                     static_cast<std::uint64_t>(global_active));
+}
+
+void DistributedSolver::refresh_bounds_all_samples() {
+  svmmpi::DoubleInt up{kInf, std::numeric_limits<std::int64_t>::max()};
+  svmmpi::DoubleInt low{-kInf, std::numeric_limits<std::int64_t>::max()};
+  for (std::size_t i = 0; i < range_.size(); ++i) {
+    const std::size_t g = range_.begin + i;
+    const IndexSet set = classify(data_.y[g], alpha_[i], config_.params.C_of(data_.y[g]));
+    if (in_up_set(set) && gamma_[i] < up.value)
+      up = svmmpi::DoubleInt{gamma_[i], static_cast<std::int64_t>(g)};
+    if (in_low_set(set) && gamma_[i] > low.value)
+      low = svmmpi::DoubleInt{gamma_[i], static_cast<std::int64_t>(g)};
+  }
+  const svmmpi::DoubleInt global_up = comm_.allreduce_minloc(up);
+  const svmmpi::DoubleInt global_low = comm_.allreduce_maxloc(low);
+  beta_up_ = global_up.value;
+  beta_low_ = global_low.value;
+  i_up_ = global_up.index;
+  i_low_ = global_low.index;
+  stats_.final_beta_up = beta_up_;
+  stats_.final_beta_low = beta_low_;
+}
+
+RankResult DistributedSolver::solve() {
+  svmutil::Timer total;
+  const double two_eps = 2.0 * config_.params.eps;
+  const bool shrinking = config_.heuristic.shrinking_enabled();
+  delta_counter_ = config_.heuristic.initial_threshold(data_.size());
+
+  // Both classes must be present globally or no violating pair exists.
+  std::int64_t class_counts[2] = {0, 0};
+  for (std::size_t i = 0; i < range_.size(); ++i)
+    ++class_counts[data_.y[range_.begin + i] > 0.0 ? 0 : 1];
+  const std::vector<std::int64_t> totals =
+      comm_.allreduce(std::span<const std::int64_t>(class_counts, 2), svmmpi::ReduceOp::sum);
+  if (totals[0] == 0 || totals[1] == 0)
+    throw std::invalid_argument("DistributedSolver: dataset must contain both classes");
+
+  PhaseExit exit = PhaseExit::converged;
+  if (!shrinking) {
+    exit = run_phase(two_eps, /*shrinking=*/false);  // Algorithm 2 (Original)
+  } else if (config_.permanent_shrink) {
+    // CA-SVM-style ablation: shrink and never repair. Accuracy not guaranteed.
+    exit = run_phase(two_eps, /*shrinking=*/true);
+  } else if (!config_.heuristic.multi_reconstruction) {
+    // Algorithm 4: single gradient reconstruction.
+    exit = run_phase(two_eps, /*shrinking=*/true);
+    if (exit != PhaseExit::iteration_cap) {
+      reconstruct_gradients();
+      if (beta_up_ + two_eps < beta_low_) {
+        delta_counter_ = ~0ULL;  // "should not shrink samples again" (line 32)
+        exit = run_phase(two_eps, /*shrinking=*/false);
+      }
+    }
+  } else {
+    // Algorithm 5: first converge loosely (20*eps), then alternate
+    // reconstruction and tight phases until reconstruction confirms 2*eps.
+    exit = run_phase(20.0 * config_.params.eps, /*shrinking=*/true);
+    int consecutive_stalls = exit == PhaseExit::stalled ? 1 : 0;
+    while (exit != PhaseExit::iteration_cap && consecutive_stalls < 2) {
+      reconstruct_gradients();
+      if (beta_up_ + two_eps >= beta_low_) break;
+      exit = run_phase(two_eps, /*shrinking=*/true);
+      consecutive_stalls = exit == PhaseExit::stalled ? consecutive_stalls + 1 : 0;
+    }
+  }
+
+  stats_.converged = exit != PhaseExit::iteration_cap;
+  stats_.active_at_end = active_.size();
+
+  // Hyperplane threshold over global I0 (Section III).
+  double local_sum = 0.0;
+  std::int64_t local_count = 0;
+  for (std::size_t i = 0; i < range_.size(); ++i) {
+    const std::size_t g = range_.begin + i;
+    if (classify(data_.y[g], alpha_[i], config_.params.C_of(data_.y[g])) == IndexSet::I0) {
+      local_sum += gamma_[i];
+      ++local_count;
+    }
+  }
+  const double global_sum = comm_.allreduce(local_sum, svmmpi::ReduceOp::sum);
+  const std::int64_t global_count = comm_.allreduce(local_count, svmmpi::ReduceOp::sum);
+  const double beta = global_count > 0 ? global_sum / static_cast<double>(global_count)
+                                       : 0.5 * (beta_low_ + beta_up_);
+
+  stats_.kernel_evaluations = kernel_.evaluations();
+  stats_.solve_seconds = total.seconds();
+
+  RankResult result;
+  result.range = range_;
+  result.alpha = alpha_;
+  result.beta = beta;
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace svmcore

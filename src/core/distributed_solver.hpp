@@ -1,0 +1,121 @@
+// Distributed SMO solvers, executed SPMD by every rank of a communicator:
+//
+//  - Heuristic "Original" (no shrinking)      -> Algorithm 2
+//  - Single gradient reconstruction            -> Algorithm 4
+//  - Multiple gradient reconstruction          -> Algorithm 5
+//  - Ring gradient reconstruction              -> Algorithm 3
+//
+// Data layout: every rank owns the contiguous block of samples given by
+// block_range(n, p, rank) and touches only those rows of the shared dataset
+// directly; remote samples arrive exclusively through messages (the
+// x_up/x_low broadcast and the reconstruction ring), preserving the paper's
+// communication pattern exactly. All ranks compute the pair update
+// redundantly from broadcast state, so solver state stays replica-consistent
+// without further synchronization.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "core/sample_block.hpp"
+#include "core/types.hpp"
+#include "data/split.hpp"
+#include "data/sparse.hpp"
+#include "mpisim/comm.hpp"
+
+namespace svmcore {
+
+struct DistributedConfig {
+  SolverParams params{};
+  Heuristic heuristic{};
+  /// CA-SVM-style ablation (§IV, design choice the paper rejects): shrink
+  /// permanently and never reconstruct gradients. Faster, loses accuracy.
+  bool permanent_shrink = false;
+  /// Hybrid MPI+OpenMP: parallelize the per-iteration gamma update across
+  /// the rank's cores (the paper's Cascade nodes have 16). Off by default —
+  /// with many simulated ranks on few cores it oversubscribes.
+  bool openmp_gamma = false;
+  /// When > 0, record (iteration, global active-set size) every this many
+  /// iterations into SolverStats::active_trace (rank 0 only). Costs one
+  /// Allreduce per sample point; used by the figure benches.
+  std::uint64_t trace_active_interval = 0;
+};
+
+/// Per-rank output of a distributed solve. Alphas cover this rank's block.
+struct RankResult {
+  svmdata::BlockRange range{};
+  std::vector<double> alpha;  ///< local block's multipliers
+  double beta = 0.0;          ///< hyperplane threshold (identical on all ranks)
+  SolverStats stats;          ///< this rank's counters and timings
+};
+
+class DistributedSolver {
+ public:
+  /// `dataset` is the full training set; the solver derives this rank's
+  /// block from comm.rank()/comm.size().
+  DistributedSolver(svmmpi::Comm& comm, const svmdata::Dataset& dataset,
+                    const DistributedConfig& config);
+
+  [[nodiscard]] RankResult solve();
+
+ private:
+  enum class PhaseExit { converged, stalled, iteration_cap };
+
+  /// One SMO phase: iterate until beta_up + tolerance >= beta_low over the
+  /// active set. `shrinking` enables the Eq. (9) elimination logic.
+  PhaseExit run_phase(double tolerance, bool shrinking);
+
+  /// Algorithm 3 (gradient_reconstruction.cpp): repairs gamma of shrunk
+  /// samples via the ring exchange, reactivates all samples and refreshes
+  /// the global bounds. No-op (except bounds refresh) when nothing shrunk.
+  void reconstruct_gradients();
+
+  /// Worst-violator selection over active samples + MINLOC/MAXLOC reduce.
+  void select_violators();
+
+  /// Owner -> rank 0 -> Bcast of one sample (Algorithm 2 lines 3-9).
+  [[nodiscard]] PackedSamples fetch_sample(std::int64_t global_index);
+
+  /// Recomputes local extrema over ALL local samples and Allreduces them;
+  /// used after reconstruction.
+  void refresh_bounds_all_samples();
+
+  /// Records the global active-set size when tracing is enabled.
+  void maybe_trace_active();
+
+  [[nodiscard]] std::size_t local_of(std::int64_t global) const noexcept {
+    return static_cast<std::size_t>(global) - range_.begin;
+  }
+  [[nodiscard]] bool owns(std::int64_t global) const noexcept {
+    return range_.contains(static_cast<std::size_t>(global));
+  }
+
+  svmmpi::Comm& comm_;
+  const svmdata::Dataset& data_;
+  DistributedConfig config_;
+  svmdata::BlockRange range_;
+  svmkernel::Kernel kernel_;
+
+  // Per-local-sample state (index = global - range_.begin).
+  std::vector<double> alpha_;
+  std::vector<double> gamma_;
+  std::vector<double> sq_;
+  std::vector<std::uint8_t> shrunk_;
+  std::vector<std::uint32_t> active_;  ///< local indices still in play
+
+  // Global selection state, identical on every rank after each Allreduce.
+  double beta_up_ = 0.0;
+  double beta_low_ = 0.0;
+  std::int64_t i_up_ = -1;
+  std::int64_t i_low_ = -1;
+
+  // Shrinking counters (Algorithm 4): delta_counter_ iterations remain until
+  // the next shrink pass; ~0ULL disables.
+  std::uint64_t delta_counter_ = ~0ULL;
+
+  SolverStats stats_;
+};
+
+}  // namespace svmcore

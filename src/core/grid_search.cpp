@@ -1,0 +1,60 @@
+#include "core/grid_search.hpp"
+
+#include <stdexcept>
+
+#include "core/trainer.hpp"
+#include "data/split.hpp"
+
+namespace svmcore {
+
+GridSearchResult grid_search(const svmdata::Dataset& dataset,
+                             const GridSearchOptions& options) {
+  if (options.c_values.empty() || options.gamma_values.empty())
+    throw std::invalid_argument("grid_search: empty parameter grid");
+  dataset.validate();
+
+  const auto folds = svmdata::kfold_indices(dataset.size(), options.folds, options.seed);
+
+  // Materialize the fold datasets once; each cell reuses them.
+  std::vector<svmdata::Dataset> validation_sets;
+  std::vector<svmdata::Dataset> training_sets;
+  validation_sets.reserve(folds.size());
+  training_sets.reserve(folds.size());
+  for (std::size_t fold = 0; fold < folds.size(); ++fold) {
+    std::vector<std::size_t> train_idx;
+    for (std::size_t other = 0; other < folds.size(); ++other)
+      if (other != fold) train_idx.insert(train_idx.end(), folds[other].begin(),
+                                          folds[other].end());
+    training_sets.push_back(dataset.subset(train_idx));
+    validation_sets.push_back(dataset.subset(folds[fold]));
+  }
+
+  GridSearchResult result;
+  for (const double C : options.c_values) {
+    for (const double gamma : options.gamma_values) {
+      GridCell cell;
+      cell.C = C;
+      cell.gamma = gamma;
+      for (std::size_t fold = 0; fold < folds.size(); ++fold) {
+        SolverParams params;
+        params.C = C;
+        params.eps = options.eps;
+        params.kernel = svmkernel::KernelParams{options.kernel, gamma, 0.0, 3};
+        TrainOptions train_options;
+        train_options.num_ranks = options.num_ranks;
+        train_options.heuristic = options.heuristic;
+        const TrainResult trained = train(training_sets[fold], params, train_options);
+        cell.mean_accuracy += trained.model.accuracy(validation_sets[fold]);
+        cell.mean_support_vectors += static_cast<double>(trained.num_support_vectors());
+      }
+      cell.mean_accuracy /= static_cast<double>(folds.size());
+      cell.mean_support_vectors /= static_cast<double>(folds.size());
+      if (result.cells.empty() || cell.mean_accuracy > result.best.mean_accuracy)
+        result.best = cell;
+      result.cells.push_back(cell);
+    }
+  }
+  return result;
+}
+
+}  // namespace svmcore

@@ -1,0 +1,112 @@
+#include "core/heuristics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace svmcore {
+
+std::string to_string(ShrinkClass c) {
+  switch (c) {
+    case ShrinkClass::none: return "n/a";
+    case ShrinkClass::aggressive: return "aggressive";
+    case ShrinkClass::average: return "average";
+    case ShrinkClass::conservative: return "conservative";
+  }
+  return "?";
+}
+
+std::uint64_t Heuristic::initial_threshold(std::size_t num_samples) const {
+  switch (kind) {
+    case Kind::none: return ~0ULL;
+    case Kind::random: return static_cast<std::uint64_t>(value);
+    case Kind::numsamples: {
+      const auto t =
+          static_cast<std::uint64_t>(std::llround(value * static_cast<double>(num_samples)));
+      return t == 0 ? 1 : t;
+    }
+  }
+  return ~0ULL;
+}
+
+std::string Heuristic::name() const {
+  if (kind == Kind::none) return "Original";
+  std::ostringstream out;
+  out << (multi_reconstruction ? "Multi" : "Single");
+  if (kind == Kind::random)
+    out << static_cast<std::uint64_t>(value);
+  else
+    out << static_cast<int>(std::llround(value * 100.0)) << "pc";
+  return out.str();
+}
+
+ShrinkClass Heuristic::shrink_class() const {
+  // Table II classification: random 2/500 and numsamples 5% are aggressive,
+  // random 1000 and numsamples 10% average, numsamples 50% conservative.
+  switch (kind) {
+    case Kind::none: return ShrinkClass::none;
+    case Kind::random:
+      return value <= 500.0 ? ShrinkClass::aggressive : ShrinkClass::average;
+    case Kind::numsamples:
+      if (value <= 0.05) return ShrinkClass::aggressive;
+      return value <= 0.10 ? ShrinkClass::average : ShrinkClass::conservative;
+  }
+  return ShrinkClass::none;
+}
+
+Heuristic Heuristic::parse(const std::string& raw) {
+  std::string name = raw;
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (name == "original" || name == "none" || name == "default") return Heuristic{};
+
+  Heuristic h;
+  std::string rest;
+  if (name.rfind("single", 0) == 0) {
+    h.multi_reconstruction = false;
+    rest = name.substr(6);
+  } else if (name.rfind("multi", 0) == 0) {
+    h.multi_reconstruction = true;
+    rest = name.substr(5);
+  } else {
+    throw std::invalid_argument(
+        "unknown heuristic '" + raw +
+        "' (expected Original, Single<N>, Single<P>pc, Multi<N> or Multi<P>pc)");
+  }
+  if (rest.empty()) throw std::invalid_argument("heuristic '" + raw + "' is missing a threshold");
+  if (rest.size() > 2 && rest.substr(rest.size() - 2) == "pc") {
+    h.kind = Kind::numsamples;
+    h.value = std::stod(rest.substr(0, rest.size() - 2)) / 100.0;
+    if (h.value <= 0.0 || h.value > 1.0)
+      throw std::invalid_argument("heuristic '" + raw + "': percentage must be in (0, 100]");
+  } else {
+    h.kind = Kind::random;
+    h.value = std::stod(rest);
+    if (h.value < 1.0)
+      throw std::invalid_argument("heuristic '" + raw + "': iteration count must be >= 1");
+  }
+  return h;
+}
+
+const std::vector<Heuristic>& Heuristic::table2() {
+  static const std::vector<Heuristic> rows = [] {
+    std::vector<Heuristic> t;
+    t.push_back(Heuristic{});  // 1) Original
+    for (const bool multi : {false, true}) {
+      for (const double iters : {2.0, 500.0, 1000.0})
+        t.push_back(Heuristic{Kind::random, iters, multi, false});
+      for (const double frac : {0.05, 0.10, 0.50})
+        t.push_back(Heuristic{Kind::numsamples, frac, multi, false});
+    }
+    return t;
+  }();
+  return rows;
+}
+
+Heuristic Heuristic::best() { return Heuristic{Kind::numsamples, 0.05, true, false}; }
+
+Heuristic Heuristic::worst() { return Heuristic{Kind::numsamples, 0.50, false, false}; }
+
+}  // namespace svmcore

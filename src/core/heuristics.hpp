@@ -1,0 +1,59 @@
+// Shrinking heuristics — the paper's Table II. A heuristic decides (a) the
+// iteration at which shrinking is first attempted (the initial shrinking
+// threshold delta), derived either from a fixed iteration count ("random")
+// or from a fraction of the sample count ("numsamples"), and (b) whether the
+// solver performs a single gradient reconstruction (Algorithm 4) or multiple
+// ones (Algorithm 5). The subsequent shrinking threshold is the global
+// active-set size, Allreduced at each shrink pass (§IV-A.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svmcore {
+
+enum class ShrinkClass : std::uint8_t { none, aggressive, average, conservative };
+
+[[nodiscard]] std::string to_string(ShrinkClass c);
+
+struct Heuristic {
+  enum class Kind : std::uint8_t {
+    none,        ///< never shrink — the "Original" algorithm
+    random,      ///< first shrink after a fixed number of iterations
+    numsamples,  ///< first shrink after fraction * N iterations
+  };
+
+  Kind kind = Kind::none;
+  double value = 0.0;  ///< random: iteration count; numsamples: fraction in (0,1]
+  bool multi_reconstruction = false;
+  /// Ablation switch (§IV-A.2): reuse the initial threshold as the subsequent
+  /// threshold instead of the adaptive active-set-size rule.
+  bool fixed_subsequent_threshold = false;
+
+  /// Iterations before the first shrink attempt; ~0ULL ("infinity") disables.
+  [[nodiscard]] std::uint64_t initial_threshold(std::size_t num_samples) const;
+
+  [[nodiscard]] bool shrinking_enabled() const noexcept { return kind != Kind::none; }
+
+  /// Paper's Table II name: "Original", "Single2", "Multi5pc", ...
+  [[nodiscard]] std::string name() const;
+
+  /// Table II class: aggressive (*), average (diamond) or conservative (dot).
+  [[nodiscard]] ShrinkClass shrink_class() const;
+
+  /// Parses a Table II name (case-insensitive). Throws std::invalid_argument
+  /// with the valid names on failure.
+  [[nodiscard]] static Heuristic parse(const std::string& name);
+
+  /// All 13 rows of Table II, in order (Original first).
+  [[nodiscard]] static const std::vector<Heuristic>& table2();
+
+  /// The paper's overall best (Multi5pc) and worst (Single50pc) heuristics.
+  [[nodiscard]] static Heuristic best();
+  [[nodiscard]] static Heuristic worst();
+
+  [[nodiscard]] bool operator==(const Heuristic& other) const = default;
+};
+
+}  // namespace svmcore

@@ -1,0 +1,74 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace svmcore {
+
+double ConfusionMatrix::accuracy() const noexcept {
+  const std::size_t n = total();
+  return n == 0 ? 0.0
+               : static_cast<double>(true_positive + true_negative) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::precision() const noexcept {
+  const std::size_t denom = true_positive + false_positive;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::recall() const noexcept {
+  const std::size_t denom = true_positive + false_negative;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::matthews() const noexcept {
+  const double tp = static_cast<double>(true_positive);
+  const double tn = static_cast<double>(true_negative);
+  const double fp = static_cast<double>(false_positive);
+  const double fn = static_cast<double>(false_negative);
+  const double denom = std::sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn));
+  return denom == 0.0 ? 0.0 : (tp * tn - fp * fn) / denom;
+}
+
+ConfusionMatrix confusion(std::span<const double> predicted, std::span<const double> actual) {
+  if (predicted.size() != actual.size())
+    throw std::invalid_argument("confusion: prediction/label count mismatch");
+  ConfusionMatrix m;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const bool predicted_positive = predicted[i] > 0.0;
+    const bool actually_positive = actual[i] > 0.0;
+    if (predicted_positive && actually_positive)
+      ++m.true_positive;
+    else if (!predicted_positive && !actually_positive)
+      ++m.true_negative;
+    else if (predicted_positive)
+      ++m.false_positive;
+    else
+      ++m.false_negative;
+  }
+  return m;
+}
+
+std::string classification_report(const ConfusionMatrix& m) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(4);
+  out << "samples   : " << m.total() << '\n';
+  out << "confusion : TP=" << m.true_positive << " FP=" << m.false_positive
+      << " FN=" << m.false_negative << " TN=" << m.true_negative << '\n';
+  out << "accuracy  : " << m.accuracy() << '\n';
+  out << "precision : " << m.precision() << '\n';
+  out << "recall    : " << m.recall() << '\n';
+  out << "f1        : " << m.f1() << '\n';
+  out << "mcc       : " << m.matthews() << '\n';
+  return out.str();
+}
+
+}  // namespace svmcore

@@ -1,0 +1,38 @@
+// Classification quality metrics beyond plain accuracy: confusion matrix,
+// precision/recall/F1 and a text classification report. Used by examples and
+// the accuracy benches; the paper reports accuracy only (Table V), but a
+// release-quality library owes its users the full set.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace svmcore {
+
+/// Binary confusion counts for ±1 labels; +1 is the positive class.
+struct ConfusionMatrix {
+  std::size_t true_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_positive = 0;
+  std::size_t false_negative = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return true_positive + true_negative + false_positive + false_negative;
+  }
+  [[nodiscard]] double accuracy() const noexcept;
+  [[nodiscard]] double precision() const noexcept;  ///< TP / (TP + FP); 0 when undefined
+  [[nodiscard]] double recall() const noexcept;     ///< TP / (TP + FN); 0 when undefined
+  [[nodiscard]] double f1() const noexcept;         ///< harmonic mean; 0 when undefined
+  /// Matthews correlation coefficient in [-1, 1]; 0 when undefined.
+  [[nodiscard]] double matthews() const noexcept;
+};
+
+/// Tallies predictions against labels; both must be ±1 and equal length.
+/// Throws std::invalid_argument on length mismatch.
+[[nodiscard]] ConfusionMatrix confusion(std::span<const double> predicted,
+                                        std::span<const double> actual);
+
+/// Multi-line human-readable report (accuracy, per-class P/R/F1, MCC).
+[[nodiscard]] std::string classification_report(const ConfusionMatrix& matrix);
+
+}  // namespace svmcore

@@ -1,0 +1,65 @@
+// One-vs-one multiclass classification on top of the binary solvers —
+// libsvm's multiclass strategy. The paper evaluates binary problems (MNIST
+// and USPS are binarized), but the public datasets are natively multiclass;
+// a release-quality SVM library must handle them. For k classes, k(k-1)/2
+// binary machines are trained (each on the subset of two classes) and
+// prediction is by majority vote with decision-value tie-breaking.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/heuristics.hpp"
+#include "core/model.hpp"
+#include "core/types.hpp"
+#include "data/sparse.hpp"
+
+namespace svmcore {
+
+/// A labelled dataset with arbitrary (not necessarily ±1) class labels.
+using MulticlassDataset = svmdata::MultiClassData;
+
+struct MulticlassTrainOptions {
+  Heuristic heuristic{};
+  int num_ranks = 1;
+};
+
+class MulticlassModel {
+ public:
+  MulticlassModel() = default;
+  /// `pairwise[k]` separates classes (pair_first[k], pair_second[k]), with
+  /// +1 meaning the first class of the pair.
+  MulticlassModel(std::vector<double> classes, std::vector<SvmModel> pairwise);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept { return classes_.size(); }
+  [[nodiscard]] const std::vector<double>& classes() const noexcept { return classes_; }
+  [[nodiscard]] const std::vector<SvmModel>& machines() const noexcept { return pairwise_; }
+
+  /// Majority vote over the k(k-1)/2 machines; ties break toward the class
+  /// with the larger summed |decision value| margin.
+  [[nodiscard]] double predict(std::span<const svmdata::Feature> x) const;
+
+  [[nodiscard]] std::vector<double> predict_all(const svmdata::CsrMatrix& X) const;
+
+  [[nodiscard]] double accuracy(const MulticlassDataset& test) const;
+
+  // Versioned text container wrapping the binary model format.
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+  [[nodiscard]] static MulticlassModel load(std::istream& in);
+  [[nodiscard]] static MulticlassModel load_file(const std::string& path);
+
+ private:
+  std::vector<double> classes_;     ///< distinct labels, ascending
+  std::vector<SvmModel> pairwise_;  ///< index (a,b), a<b: a*(k)-... row-major upper triangle
+};
+
+/// Trains the one-vs-one ensemble. Throws std::invalid_argument if fewer
+/// than two classes are present.
+[[nodiscard]] MulticlassModel train_one_vs_one(const MulticlassDataset& dataset,
+                                               const SolverParams& params,
+                                               const MulticlassTrainOptions& options = {});
+
+}  // namespace svmcore

@@ -1,0 +1,71 @@
+#include "core/objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace svmcore {
+
+double dual_objective(const svmdata::Dataset& dataset, std::span<const double> alpha,
+                      const svmkernel::KernelParams& kernel_params) {
+  const svmkernel::Kernel kernel(kernel_params);
+  const std::vector<double> sq = dataset.X.row_squared_norms();
+
+  // Only samples with alpha != 0 contribute to either term.
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < alpha.size(); ++i)
+    if (alpha[i] != 0.0) active.push_back(i);
+
+  double linear = 0.0;
+  for (const std::size_t i : active) linear += alpha[i];
+
+  double quadratic = 0.0;
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    const std::size_t i = active[a];
+    quadratic += alpha[i] * alpha[i] * kernel.eval(dataset.X.row(i), dataset.X.row(i), sq[i], sq[i]);
+    for (std::size_t b = a + 1; b < active.size(); ++b) {
+      const std::size_t j = active[b];
+      quadratic += 2.0 * alpha[i] * alpha[j] * dataset.y[i] * dataset.y[j] *
+                   kernel.eval(dataset.X.row(i), dataset.X.row(j), sq[i], sq[j]);
+    }
+  }
+  return linear - 0.5 * quadratic;
+}
+
+KktReport kkt_report(const svmdata::Dataset& dataset, std::span<const double> alpha,
+                     const SolverParams& params) {
+  const svmkernel::Kernel kernel(params.kernel);
+  const std::vector<double> sq = dataset.X.row_squared_norms();
+  const std::size_t n = dataset.size();
+
+  KktReport report;
+  report.beta_up = std::numeric_limits<double>::infinity();
+  report.beta_low = -std::numeric_limits<double>::infinity();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double gamma = -dataset.y[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alpha[j] == 0.0) continue;
+      gamma += alpha[j] * dataset.y[j] *
+               kernel.eval(dataset.X.row(j), dataset.X.row(i), sq[j], sq[i]);
+    }
+    const IndexSet set = classify(dataset.y[i], alpha[i], params.C_of(dataset.y[i]));
+    if (in_up_set(set)) report.beta_up = std::min(report.beta_up, gamma);
+    if (in_low_set(set)) report.beta_low = std::max(report.beta_low, gamma);
+  }
+  report.gap = report.beta_low - report.beta_up;
+
+  double residual = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    residual += alpha[i] * dataset.y[i];
+    const double below = -alpha[i];
+    const double above = alpha[i] - params.C_of(dataset.y[i]);
+    report.max_alpha_bound_violation =
+        std::max({report.max_alpha_bound_violation, below, above});
+  }
+  report.equality_residual = std::abs(residual);
+  return report;
+}
+
+}  // namespace svmcore

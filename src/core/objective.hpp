@@ -1,0 +1,32 @@
+// Dual objective and KKT diagnostics. O(n^2) in the number of samples with
+// nonzero alpha — used by tests and the accuracy/ablation benches to verify
+// that different solvers reached the same optimum, not by the solvers.
+#pragma once
+
+#include <span>
+
+#include "core/types.hpp"
+#include "data/sparse.hpp"
+
+namespace svmcore {
+
+/// L_D(alpha) = sum_i alpha_i - 1/2 sum_ij alpha_i alpha_j y_i y_j K_ij.
+[[nodiscard]] double dual_objective(const svmdata::Dataset& dataset,
+                                    std::span<const double> alpha,
+                                    const svmkernel::KernelParams& kernel);
+
+/// Maximum KKT violation at tolerance semantics of Eq. (3)/(5): recomputes
+/// every gamma_i from scratch and returns beta_low - beta_up. At an
+/// eps-accurate solution this is <= 2*eps.
+struct KktReport {
+  double beta_up = 0.0;
+  double beta_low = 0.0;
+  double gap = 0.0;  ///< beta_low - beta_up
+  double max_alpha_bound_violation = 0.0;  ///< distance of any alpha outside [0, C]
+  double equality_residual = 0.0;          ///< |sum alpha_i y_i|
+};
+
+[[nodiscard]] KktReport kkt_report(const svmdata::Dataset& dataset, std::span<const double> alpha,
+                                   const SolverParams& params);
+
+}  // namespace svmcore

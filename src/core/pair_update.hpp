@@ -1,0 +1,70 @@
+// The analytic two-variable optimization step shared by every SMO variant
+// (Eq. 6/7 and Platt's clipping). Pure function of the pair's state, so the
+// sequential and distributed solvers compute bit-identical updates.
+#pragma once
+
+namespace svmcore {
+
+struct PairState {
+  double y_up, y_low;
+  double alpha_up, alpha_low;
+  double gamma_up, gamma_low;  ///< current gradients (F values) of the pair
+  double k_uu, k_ll, k_ul;     ///< kernel values K(up,up), K(low,low), K(up,low)
+  double C_up, C_low;          ///< per-sample box constraints (class-weighted C)
+};
+
+struct PairResult {
+  double alpha_up;   ///< updated, clipped value
+  double alpha_low;  ///< updated, clipped value
+  bool progress;     ///< false if the pair could not move (degenerate)
+};
+
+/// Solves the two-variable subproblem for the worst-violating pair with
+/// per-sample box constraints C_up/C_low (equal in the unweighted case).
+/// rho = 2*K_ul - K_uu - K_ll (Eq. 7) is <= 0 for PSD kernels; the degenerate
+/// rho >= 0 case (duplicate samples / indefinite kernels) is regularized to a
+/// tiny negative curvature, libsvm's TAU approach to Platt's "eta >= 0" case.
+[[nodiscard]] inline PairResult solve_pair(const PairState& s) noexcept {
+  constexpr double kTau = 1e-12;
+  double eta = s.k_uu + s.k_ll - 2.0 * s.k_ul;  // -rho
+  if (eta <= 0.0) eta = kTau;
+
+  // Unconstrained step along alpha_low (Platt's alpha_2), Eq. (6):
+  // gamma_up is the minimum (F_1 = E_1), gamma_low the maximum (F_2 = E_2).
+  double alpha_low_new = s.alpha_low + s.y_low * (s.gamma_up - s.gamma_low) / eta;
+
+  // Clip to the feasible segment of the equality constraint, honouring the
+  // two samples' (possibly different, class-weighted) box constraints.
+  double low_bound;
+  double high_bound;
+  if (s.y_up != s.y_low) {
+    const double diff = s.alpha_low - s.alpha_up;  // conserved quantity
+    low_bound = diff > 0.0 ? diff : 0.0;
+    high_bound = s.C_up + diff < s.C_low ? s.C_up + diff : s.C_low;
+  } else {
+    const double sum = s.alpha_low + s.alpha_up;  // conserved quantity
+    low_bound = sum - s.C_up > 0.0 ? sum - s.C_up : 0.0;
+    high_bound = sum < s.C_low ? sum : s.C_low;
+  }
+  if (alpha_low_new < low_bound)
+    alpha_low_new = low_bound;
+  else if (alpha_low_new > high_bound)
+    alpha_low_new = high_bound;
+
+  // Second line of Eq. (6): alpha_up moves to preserve sum alpha_i y_i = 0.
+  double alpha_up_new = s.alpha_up + s.y_up * s.y_low * (s.alpha_low - alpha_low_new);
+
+  // Snap to the exact bounds so the I0..I4 classification (exact comparisons
+  // against 0 and C) is immune to the last-ulp rounding of the clip.
+  const double snap_low = 1e-12 * s.C_low;
+  if (alpha_low_new < snap_low) alpha_low_new = 0.0;
+  if (alpha_low_new > s.C_low - snap_low) alpha_low_new = s.C_low;
+  const double snap_up = 1e-12 * s.C_up;
+  if (alpha_up_new < snap_up) alpha_up_new = 0.0;
+  if (alpha_up_new > s.C_up - snap_up) alpha_up_new = s.C_up;
+
+  const bool progress = alpha_low_new != s.alpha_low || alpha_up_new != s.alpha_up;
+  return PairResult{alpha_up_new, alpha_low_new, progress};
+}
+
+}  // namespace svmcore

@@ -1,0 +1,115 @@
+#include "core/probability.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace svmcore {
+
+double PlattScaling::probability(double decision_value) const noexcept {
+  const double fApB = decision_value * A + B;
+  // Numerically stable logistic (Lin et al. 2007, eq. 10).
+  if (fApB >= 0.0) return std::exp(-fApB) / (1.0 + std::exp(-fApB));
+  return 1.0 / (1.0 + std::exp(fApB));
+}
+
+PlattScaling fit_platt(std::span<const double> decision_values,
+                       std::span<const double> labels) {
+  if (decision_values.size() != labels.size())
+    throw std::invalid_argument("fit_platt: decision/label count mismatch");
+  const std::size_t n = decision_values.size();
+  if (n < 2) throw std::invalid_argument("fit_platt: need at least two samples");
+
+  // Regularized targets (Platt 1999): t = (N+ + 1)/(N+ + 2) for positives,
+  // 1/(N- + 2) for negatives.
+  double prior1 = 0.0;
+  for (const double y : labels)
+    if (y > 0) prior1 += 1.0;
+  const double prior0 = static_cast<double>(n) - prior1;
+  const double high_target = (prior1 + 1.0) / (prior1 + 2.0);
+  const double low_target = 1.0 / (prior0 + 2.0);
+
+  std::vector<double> t(n);
+  for (std::size_t i = 0; i < n; ++i) t[i] = labels[i] > 0 ? high_target : low_target;
+
+  double A = 0.0;
+  double B = std::log((prior0 + 1.0) / (prior1 + 1.0));
+
+  auto objective = [&](double a, double b) {
+    double value = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double fApB = decision_values[i] * a + b;
+      if (fApB >= 0.0)
+        value += t[i] * fApB + std::log1p(std::exp(-fApB));
+      else
+        value += (t[i] - 1.0) * fApB + std::log1p(std::exp(fApB));
+    }
+    return value;
+  };
+
+  constexpr int kMaxIterations = 100;
+  constexpr double kMinStep = 1e-10;
+  constexpr double kSigma = 1e-12;  // Hessian ridge
+  double fval = objective(A, B);
+
+  for (int iteration = 0; iteration < kMaxIterations; ++iteration) {
+    // Gradient and Hessian of the negative log-likelihood.
+    double h11 = kSigma;
+    double h22 = kSigma;
+    double h21 = 0.0;
+    double g1 = 0.0;
+    double g2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double fApB = decision_values[i] * A + B;
+      double p;
+      double q;
+      if (fApB >= 0.0) {
+        p = std::exp(-fApB) / (1.0 + std::exp(-fApB));
+        q = 1.0 / (1.0 + std::exp(-fApB));
+      } else {
+        p = 1.0 / (1.0 + std::exp(fApB));
+        q = std::exp(fApB) / (1.0 + std::exp(fApB));
+      }
+      const double d2 = p * q;
+      h11 += decision_values[i] * decision_values[i] * d2;
+      h22 += d2;
+      h21 += decision_values[i] * d2;
+      const double d1 = t[i] - p;
+      g1 += decision_values[i] * d1;
+      g2 += d1;
+    }
+    if (std::abs(g1) < 1e-5 && std::abs(g2) < 1e-5) break;  // converged
+
+    // Newton direction.
+    const double det = h11 * h22 - h21 * h21;
+    const double dA = -(h22 * g1 - h21 * g2) / det;
+    const double dB = -(-h21 * g1 + h11 * g2) / det;
+    const double gd = g1 * dA + g2 * dB;
+
+    // Backtracking line search.
+    double step = 1.0;
+    while (step >= kMinStep) {
+      const double new_a = A + step * dA;
+      const double new_b = B + step * dB;
+      const double new_f = objective(new_a, new_b);
+      if (new_f < fval + 1e-4 * step * gd) {
+        A = new_a;
+        B = new_b;
+        fval = new_f;
+        break;
+      }
+      step /= 2.0;
+    }
+    if (step < kMinStep) break;  // line search failed; accept current point
+  }
+  return PlattScaling{A, B};
+}
+
+PlattScaling fit_platt(const SvmModel& model, const svmdata::Dataset& calibration) {
+  std::vector<double> decisions(calibration.size());
+  for (std::size_t i = 0; i < calibration.size(); ++i)
+    decisions[i] = model.decision_value(calibration.X.row(i));
+  return fit_platt(decisions, calibration.y);
+}
+
+}  // namespace svmcore

@@ -1,0 +1,34 @@
+// Platt scaling: fits a sigmoid P(y=1|x) = 1/(1+exp(A*f(x)+B)) to a trained
+// model's decision values, turning margins into calibrated probabilities —
+// libsvm's -b 1. The fit follows Lin, Lin & Weng (2007), "A note on Platt's
+// probabilistic outputs for support vector machines": Newton iterations with
+// backtracking on the regularized maximum-likelihood objective.
+#pragma once
+
+#include <span>
+
+#include "core/model.hpp"
+#include "data/sparse.hpp"
+
+namespace svmcore {
+
+struct PlattScaling {
+  double A = 0.0;
+  double B = 0.0;
+
+  /// P(y=+1 | decision value f).
+  [[nodiscard]] double probability(double decision_value) const noexcept;
+};
+
+/// Fits A, B from decision values and ±1 labels (typically on a held-out or
+/// cross-validation set). Throws std::invalid_argument on size mismatch or
+/// fewer than two samples.
+[[nodiscard]] PlattScaling fit_platt(std::span<const double> decision_values,
+                                     std::span<const double> labels);
+
+/// Convenience: computes the model's decision values on `calibration` and
+/// fits the sigmoid against its labels.
+[[nodiscard]] PlattScaling fit_platt(const SvmModel& model,
+                                     const svmdata::Dataset& calibration);
+
+}  // namespace svmcore

@@ -1,0 +1,85 @@
+#include "core/sample_block.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace svmcore {
+
+namespace {
+
+template <typename T>
+void append(std::vector<std::byte>& out, std::span<const T> data) {
+  const std::size_t at = out.size();
+  out.resize(at + data.size_bytes());
+  if (!data.empty()) std::memcpy(out.data() + at, data.data(), data.size_bytes());
+}
+
+template <typename T>
+std::vector<T> consume(std::span<const std::byte>& bytes, std::size_t count) {
+  const std::size_t want = count * sizeof(T);
+  if (bytes.size() < want) throw std::runtime_error("PackedSamples: truncated buffer");
+  std::vector<T> data(count);
+  if (want != 0) std::memcpy(data.data(), bytes.data(), want);
+  bytes = bytes.subspan(want);
+  return data;
+}
+
+}  // namespace
+
+void PackedSamples::reserve(std::size_t samples, std::size_t features) {
+  index_.reserve(samples);
+  y_.reserve(samples);
+  alpha_.reserve(samples);
+  sq_norm_.reserve(samples);
+  offsets_.reserve(samples + 1);
+  features_.reserve(features);
+}
+
+void PackedSamples::add(std::int64_t global_index, double y, double alpha, double sq_norm,
+                        std::span<const svmdata::Feature> features) {
+  index_.push_back(global_index);
+  y_.push_back(y);
+  alpha_.push_back(alpha);
+  sq_norm_.push_back(sq_norm);
+  features_.insert(features_.end(), features.begin(), features.end());
+  offsets_.push_back(features_.size());
+}
+
+std::size_t PackedSamples::packed_bytes() const noexcept {
+  return 2 * sizeof(std::uint64_t) + index_.size() * sizeof(std::int64_t) +
+         3 * y_.size() * sizeof(double) + offsets_.size() * sizeof(std::uint64_t) +
+         features_.size() * sizeof(svmdata::Feature);
+}
+
+std::vector<std::byte> PackedSamples::pack() const {
+  std::vector<std::byte> out;
+  out.reserve(packed_bytes());
+  const std::uint64_t header[2] = {index_.size(), features_.size()};
+  append(out, std::span<const std::uint64_t>(header, 2));
+  append(out, std::span<const std::int64_t>(index_));
+  append(out, std::span<const double>(y_));
+  append(out, std::span<const double>(alpha_));
+  append(out, std::span<const double>(sq_norm_));
+  append(out, std::span<const std::uint64_t>(offsets_));
+  append(out, std::span<const svmdata::Feature>(features_));
+  return out;
+}
+
+PackedSamples PackedSamples::unpack(std::span<const std::byte> bytes) {
+  const auto header = consume<std::uint64_t>(bytes, 2);
+  const std::size_t samples = header[0];
+  const std::size_t features = header[1];
+  PackedSamples out;
+  out.index_ = consume<std::int64_t>(bytes, samples);
+  out.y_ = consume<double>(bytes, samples);
+  out.alpha_ = consume<double>(bytes, samples);
+  out.sq_norm_ = consume<double>(bytes, samples);
+  out.offsets_ = consume<std::uint64_t>(bytes, samples + 1);
+  out.features_ = consume<svmdata::Feature>(bytes, features);
+  if (!bytes.empty()) throw std::runtime_error("PackedSamples: trailing bytes");
+  if (out.offsets_.front() != 0 || out.offsets_.back() != features)
+    throw std::runtime_error("PackedSamples: corrupt offsets");
+  return out;
+}
+
+}  // namespace svmcore

@@ -1,0 +1,106 @@
+#include "core/sequential_smo.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/pair_update.hpp"
+#include "util/timer.hpp"
+
+namespace svmcore {
+
+SequentialResult solve_sequential(const svmdata::Dataset& dataset, const SolverParams& params) {
+  dataset.validate();
+  const std::size_t n = dataset.size();
+  if (n < 2) throw std::invalid_argument("solve_sequential: need at least two samples");
+
+  const svmkernel::Kernel kernel(params.kernel);
+  const std::vector<double> sq = dataset.X.row_squared_norms();
+  const auto& X = dataset.X;
+  const std::vector<double>& y = dataset.y;
+
+  SequentialResult result;
+  result.alpha.assign(n, 0.0);
+  std::vector<double>& alpha = result.alpha;
+  std::vector<double> gamma(n);
+  for (std::size_t i = 0; i < n; ++i) gamma[i] = -y[i];  // alpha = 0 => gamma = -y
+
+  svmutil::Timer total;
+  const double two_eps = 2.0 * params.eps;
+
+  while (true) {
+    // Worst-violator selection over the index sets (Eq. 3): first index
+    // achieving the extremum wins, matching the MINLOC/MAXLOC tie-break of
+    // the distributed solver.
+    double beta_up = std::numeric_limits<double>::infinity();
+    double beta_low = -std::numeric_limits<double>::infinity();
+    std::size_t i_up = n;
+    std::size_t i_low = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const IndexSet set = classify(y[i], alpha[i], params.C_of(y[i]));
+      if (in_up_set(set) && gamma[i] < beta_up) {
+        beta_up = gamma[i];
+        i_up = i;
+      }
+      if (in_low_set(set) && gamma[i] > beta_low) {
+        beta_low = gamma[i];
+        i_low = i;
+      }
+    }
+    result.stats.final_beta_up = beta_up;
+    result.stats.final_beta_low = beta_low;
+
+    if (i_up == n || i_low == n)
+      throw std::invalid_argument("solve_sequential: dataset must contain both classes");
+    if (beta_up + two_eps >= beta_low) {
+      result.stats.converged = true;
+      break;
+    }
+    if (result.stats.iterations >= params.max_iterations) break;
+
+    const auto row_up = X.row(i_up);
+    const auto row_low = X.row(i_low);
+    const PairState state{
+        y[i_up],       y[i_low],      alpha[i_up],
+        alpha[i_low],  gamma[i_up],   gamma[i_low],
+        kernel.eval(row_up, row_up, sq[i_up], sq[i_up]),
+        kernel.eval(row_low, row_low, sq[i_low], sq[i_low]),
+        kernel.eval(row_up, row_low, sq[i_up], sq[i_low]),
+        params.C_of(y[i_up]),
+        params.C_of(y[i_low])};
+    const PairResult update = solve_pair(state);
+    if (!update.progress) break;  // degenerate pair; cannot move further
+
+    const double delta_up = update.alpha_up - alpha[i_up];
+    const double delta_low = update.alpha_low - alpha[i_low];
+    alpha[i_up] = update.alpha_up;
+    alpha[i_low] = update.alpha_low;
+
+    // Gradient update, Eq. (2), for every sample.
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = X.row(i);
+      gamma[i] += y[i_up] * delta_up * kernel.eval(row_up, row, sq[i_up], sq[i]) +
+                  y[i_low] * delta_low * kernel.eval(row_low, row, sq[i_low], sq[i]);
+    }
+    ++result.stats.iterations;
+  }
+
+  // Threshold beta (Section III): average gamma over I0, else the midpoint.
+  double sum_i0 = 0.0;
+  std::size_t count_i0 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (classify(y[i], alpha[i], params.C_of(y[i])) == IndexSet::I0) {
+      sum_i0 += gamma[i];
+      ++count_i0;
+    }
+  }
+  result.beta = count_i0 > 0
+                    ? sum_i0 / static_cast<double>(count_i0)
+                    : 0.5 * (result.stats.final_beta_low + result.stats.final_beta_up);
+
+  result.stats.kernel_evaluations = kernel.evaluations();
+  result.stats.solve_seconds = total.seconds();
+  result.stats.active_at_end = n;
+  return result;
+}
+
+}  // namespace svmcore

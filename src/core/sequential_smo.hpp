@@ -1,0 +1,25 @@
+// Algorithm 1: sequential SMO with Keerthi's modification-2 working-set
+// selection (the worst-violating pair beta_up/beta_low). This is the
+// reference implementation: the parallel Original solver (Algorithm 2) is
+// proven against it bit-for-bit in tests.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "data/sparse.hpp"
+
+namespace svmcore {
+
+struct SequentialResult {
+  std::vector<double> alpha;  ///< Lagrange multipliers, one per sample
+  double beta = 0.0;          ///< hyperplane threshold (Section III)
+  SolverStats stats;
+};
+
+/// Trains on the full dataset. Throws std::invalid_argument on malformed
+/// input (labels not ±1, fewer than two classes).
+[[nodiscard]] SequentialResult solve_sequential(const svmdata::Dataset& dataset,
+                                                const SolverParams& params);
+
+}  // namespace svmcore

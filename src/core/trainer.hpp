@@ -1,0 +1,64 @@
+// High-level training API. `train()` runs the requested solver SPMD over an
+// in-process world of `num_ranks` ranks, assembles the SvmModel from the
+// per-rank alpha blocks and reports per-rank statistics plus communication
+// traffic. SPMD users embedding the solver in their own communicator (see
+// examples/parallel_training.cpp) can construct DistributedSolver directly.
+#pragma once
+
+#include <vector>
+
+#include "core/distributed_solver.hpp"
+#include "core/heuristics.hpp"
+#include "core/model.hpp"
+#include "core/types.hpp"
+#include "data/sparse.hpp"
+#include "mpisim/netmodel.hpp"
+
+namespace svmcore {
+
+struct TrainOptions {
+  Heuristic heuristic{};  ///< default = Original (no shrinking)
+  int num_ranks = 1;
+  svmmpi::NetModel net_model{};
+  bool permanent_shrink = false;  ///< CA-SVM ablation; see DistributedConfig
+  bool openmp_gamma = false;      ///< hybrid MPI+OpenMP gamma updates
+  std::uint64_t trace_active_interval = 0;  ///< see DistributedConfig
+};
+
+struct TrainResult {
+  SvmModel model;
+  double beta = 0.0;
+  std::uint64_t iterations = 0;  ///< global iteration count (rank-invariant)
+
+  std::vector<SolverStats> rank_stats;           ///< indexed by rank
+  /// (iteration, global active samples) trace from rank 0 when enabled.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> active_trace;
+  std::vector<svmmpi::TrafficStats> rank_traffic;
+  svmmpi::TrafficStats traffic;                  ///< totals over ranks
+
+  /// Aggregates across ranks: summed work counters, max wall times.
+  std::uint64_t total_kernel_evaluations = 0;
+  std::uint64_t max_rank_kernel_evaluations = 0;
+  std::uint64_t samples_shrunk = 0;
+  std::uint64_t reconstructions = 0;
+  std::uint64_t recon_kernel_evaluations = 0;  ///< summed over ranks
+  double solve_seconds = 0.0;           ///< max over ranks
+  double reconstruction_seconds = 0.0;  ///< max over ranks
+  double wall_seconds = 0.0;            ///< around the whole SPMD region
+  double modeled_seconds = 0.0;         ///< max per-rank compute+network model
+  bool converged = false;
+
+  [[nodiscard]] std::size_t num_support_vectors() const {
+    return model.num_support_vectors();
+  }
+};
+
+[[nodiscard]] TrainResult train(const svmdata::Dataset& dataset, const SolverParams& params,
+                                const TrainOptions& options = {});
+
+/// Builds a model from a full alpha vector (e.g. the sequential solver's).
+[[nodiscard]] SvmModel build_model(const svmdata::Dataset& dataset,
+                                   std::span<const double> alpha, double beta,
+                                   const svmkernel::KernelParams& kernel);
+
+}  // namespace svmcore

@@ -1,0 +1,75 @@
+// Shared solver types: parameters, per-sample index-set classification
+// (Eq. 4), termination statistics. Used by the sequential solver, the
+// parallel "Original" solver (Algorithm 2) and the shrinking solvers
+// (Algorithms 4 and 5).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+
+namespace svmcore {
+
+struct SolverParams {
+  double C = 1.0;  ///< box constraint
+  svmkernel::KernelParams kernel{};
+  double eps = 1e-3;  ///< user tolerance; terminate when beta_up + 2*eps >= beta_low
+  std::uint64_t max_iterations = 100'000'000;  ///< safety valve, not a tuning knob
+
+  /// Per-class cost weights (libsvm's -wi): the box constraint of a sample
+  /// with label y is C * (y > 0 ? weight_positive : weight_negative). Used
+  /// for imbalanced datasets; 1.0/1.0 is the paper's (unweighted) setting.
+  double weight_positive = 1.0;
+  double weight_negative = 1.0;
+
+  [[nodiscard]] double C_of(double y) const noexcept {
+    return C * (y > 0.0 ? weight_positive : weight_negative);
+  }
+};
+
+/// Index-set membership from Eq. (4). A sample is in exactly one of the five
+/// sets given (y, alpha); alpha hits the bounds {0, C} exactly because the
+/// pair update clips with assignment, so exact comparisons are sound.
+enum class IndexSet : std::uint8_t { I0, I1, I2, I3, I4 };
+
+[[nodiscard]] inline IndexSet classify(double y, double alpha, double C) noexcept {
+  if (alpha > 0.0 && alpha < C) return IndexSet::I0;
+  if (y > 0.0) return alpha == 0.0 ? IndexSet::I1 : IndexSet::I3;
+  return alpha == 0.0 ? IndexSet::I4 : IndexSet::I2;
+}
+
+/// I_up = I0 u I1 u I2: samples eligible to define beta_up = min gamma.
+[[nodiscard]] inline bool in_up_set(IndexSet s) noexcept {
+  return s == IndexSet::I0 || s == IndexSet::I1 || s == IndexSet::I2;
+}
+
+/// I_low = I0 u I3 u I4: samples eligible to define beta_low = max gamma.
+[[nodiscard]] inline bool in_low_set(IndexSet s) noexcept {
+  return s == IndexSet::I0 || s == IndexSet::I3 || s == IndexSet::I4;
+}
+
+/// Execution statistics; in the distributed solvers, counter fields are this
+/// rank's share and the times are this rank's wall clock.
+struct SolverStats {
+  std::uint64_t iterations = 0;
+  std::uint64_t kernel_evaluations = 0;
+  std::uint64_t shrink_passes = 0;       ///< number of times the shrink test ran
+  std::uint64_t samples_shrunk = 0;      ///< cumulative samples removed
+  std::uint64_t reconstructions = 0;     ///< gradient-reconstruction rounds
+  double solve_seconds = 0.0;            ///< total wall time in the solver
+  double reconstruction_seconds = 0.0;   ///< wall time inside Algorithm 3
+  std::uint64_t recon_kernel_evaluations = 0;  ///< kernel evals inside Algorithm 3
+  double final_beta_up = std::numeric_limits<double>::quiet_NaN();
+  double final_beta_low = std::numeric_limits<double>::quiet_NaN();
+  std::size_t active_at_end = 0;         ///< active (non-shrunk) samples at exit
+  std::size_t min_active = 0;            ///< smallest active-set size seen (this rank)
+  bool converged = false;                ///< false only if max_iterations hit
+  /// (iteration, global active samples) samples; filled on rank 0 when
+  /// DistributedConfig::trace_active_interval > 0.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> active_trace;
+};
+
+}  // namespace svmcore

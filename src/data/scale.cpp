@@ -1,0 +1,76 @@
+#include "data/scale.hpp"
+
+#include <cmath>
+
+namespace svmdata {
+
+MaxAbsScaler MaxAbsScaler::fit(const Dataset& dataset) {
+  MaxAbsScaler scaler;
+  scaler.max_abs_.assign(dataset.dim(), 0.0);
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    for (const Feature& f : dataset.X.row(i))
+      scaler.max_abs_[f.index] = std::max(scaler.max_abs_[f.index], std::abs(f.value));
+  return scaler;
+}
+
+Dataset MaxAbsScaler::transform(const Dataset& dataset) const {
+  Dataset out;
+  out.y = dataset.y;
+  out.X.reserve(dataset.size(), dataset.X.nonzeros());
+  std::vector<Feature> row;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    row.clear();
+    for (const Feature& f : dataset.X.row(i)) {
+      const double scale =
+          f.index < static_cast<std::int32_t>(max_abs_.size()) && max_abs_[f.index] > 0.0
+              ? max_abs_[f.index]
+              : 1.0;
+      row.push_back(Feature{f.index, f.value / scale});
+    }
+    out.X.add_row(row);
+  }
+  return out;
+}
+
+StandardScaler StandardScaler::fit(const Dataset& dataset) {
+  StandardScaler scaler;
+  const std::size_t d = dataset.dim();
+  const auto n = static_cast<double>(dataset.size());
+  scaler.mean_.assign(d, 0.0);
+  scaler.stddev_.assign(d, 0.0);
+  // CSR zeros count toward the mean/variance as explicit zeros.
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    for (const Feature& f : dataset.X.row(i)) scaler.mean_[f.index] += f.value;
+  for (double& m : scaler.mean_) m /= n;
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    for (const Feature& f : dataset.X.row(i))
+      scaler.stddev_[f.index] += f.value * f.value - 2.0 * f.value * scaler.mean_[f.index];
+  for (std::size_t j = 0; j < d; ++j) {
+    // sum((x-m)^2) = sum(x^2) - 2m*sum(x) + n*m^2; zeros contribute m^2 each.
+    scaler.stddev_[j] = std::sqrt(std::max(0.0, scaler.stddev_[j] / n + scaler.mean_[j] * scaler.mean_[j]));
+    if (scaler.stddev_[j] == 0.0) scaler.stddev_[j] = 1.0;
+  }
+  return scaler;
+}
+
+Dataset StandardScaler::transform(const Dataset& dataset) const {
+  Dataset out;
+  out.y = dataset.y;
+  std::vector<double> dense;
+  std::vector<Feature> row;
+  const std::size_t d = mean_.size();
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    dense.assign(d, 0.0);
+    for (const Feature& f : dataset.X.row(i))
+      if (static_cast<std::size_t>(f.index) < d) dense[f.index] = f.value;
+    row.clear();
+    for (std::size_t j = 0; j < d; ++j) {
+      const double v = (dense[j] - mean_[j]) / stddev_[j];
+      if (v != 0.0) row.push_back(Feature{static_cast<std::int32_t>(j), v});
+    }
+    out.X.add_row(row);
+  }
+  return out;
+}
+
+}  // namespace svmdata

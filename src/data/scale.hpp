@@ -1,0 +1,42 @@
+// Feature scaling. Two scalers, both learned on training data and applied
+// unchanged to test data (fit/transform separation, as `svm-scale` does):
+//  - MaxAbsScaler: divides each feature by its max |value|; maps to [-1,1]
+//    and preserves sparsity (zero stays zero), appropriate for sparse data.
+//  - StandardScaler: (x - mean) / stddev per feature; for dense data. Zeros
+//    in the CSR representation are treated as explicit 0.0 values.
+#pragma once
+
+#include <vector>
+
+#include "data/sparse.hpp"
+
+namespace svmdata {
+
+class MaxAbsScaler {
+ public:
+  /// Learns per-feature max-abs from the dataset.
+  static MaxAbsScaler fit(const Dataset& dataset);
+
+  /// Returns a scaled copy. Features unseen at fit time pass through.
+  [[nodiscard]] Dataset transform(const Dataset& dataset) const;
+
+  [[nodiscard]] const std::vector<double>& max_abs() const noexcept { return max_abs_; }
+
+ private:
+  std::vector<double> max_abs_;
+};
+
+class StandardScaler {
+ public:
+  static StandardScaler fit(const Dataset& dataset);
+  [[nodiscard]] Dataset transform(const Dataset& dataset) const;
+
+  [[nodiscard]] const std::vector<double>& mean() const noexcept { return mean_; }
+  [[nodiscard]] const std::vector<double>& stddev() const noexcept { return stddev_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace svmdata

@@ -1,0 +1,84 @@
+#include "data/sparse.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace svmdata {
+
+void CsrMatrix::add_row(std::span<const Feature> features) {
+  std::int32_t previous = -1;
+  for (const Feature& f : features) {
+    if (f.index <= previous)
+      throw std::invalid_argument("CsrMatrix: feature indices must be strictly increasing, got " +
+                                  std::to_string(f.index) + " after " + std::to_string(previous));
+    previous = f.index;
+  }
+  features_.insert(features_.end(), features.begin(), features.end());
+  row_offsets_.push_back(features_.size());
+  if (previous >= 0) cols_ = std::max(cols_, static_cast<std::size_t>(previous) + 1);
+}
+
+double CsrMatrix::density() const noexcept {
+  const std::size_t cells = rows() * cols();
+  return cells == 0 ? 0.0 : static_cast<double>(nonzeros()) / static_cast<double>(cells);
+}
+
+void CsrMatrix::reserve(std::size_t rows, std::size_t nonzeros) {
+  row_offsets_.reserve(rows + 1);
+  features_.reserve(nonzeros);
+}
+
+double CsrMatrix::dot(std::span<const Feature> a, std::span<const Feature> b) noexcept {
+  double sum = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::int32_t ai = a[i].index;
+    const std::int32_t bj = b[j].index;
+    if (ai == bj) {
+      sum += a[i].value * b[j].value;
+      ++i;
+      ++j;
+    } else if (ai < bj) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double CsrMatrix::squared_norm(std::span<const Feature> a) noexcept {
+  double sum = 0.0;
+  for (const Feature& f : a) sum += f.value * f.value;
+  return sum;
+}
+
+std::vector<double> CsrMatrix::row_squared_norms() const {
+  std::vector<double> norms(rows());
+  for (std::size_t i = 0; i < rows(); ++i) norms[i] = squared_norm(row(i));
+  return norms;
+}
+
+void Dataset::validate() const {
+  if (X.rows() != y.size())
+    throw std::invalid_argument("Dataset: row count " + std::to_string(X.rows()) +
+                                " != label count " + std::to_string(y.size()));
+  for (std::size_t i = 0; i < y.size(); ++i)
+    if (y[i] != 1.0 && y[i] != -1.0)
+      throw std::invalid_argument("Dataset: label at row " + std::to_string(i) +
+                                  " must be +1 or -1");
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.X.reserve(indices.size(), indices.size() * (X.rows() ? X.nonzeros() / X.rows() : 0));
+  out.y.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    out.X.add_row(X.row(i));
+    out.y.push_back(y[i]);
+  }
+  return out;
+}
+
+}  // namespace svmdata

@@ -1,0 +1,98 @@
+// Compressed sparse row (CSR) storage for datasets. The paper (§III-A)
+// stores samples in CSR and co-locates per-sample metadata with the rows;
+// kernels operate directly on sparse rows with precomputed self-dots.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace svmdata {
+
+/// One nonzero feature. Trivially copyable so rows can move through the
+/// message-passing substrate by memcpy.
+struct Feature {
+  std::int32_t index = 0;  ///< zero-based feature id, strictly increasing per row
+  double value = 0.0;
+};
+
+static_assert(sizeof(Feature) == 16, "Feature must stay trivially packable");
+
+class CsrMatrix {
+ public:
+  CsrMatrix() { row_offsets_.push_back(0); }
+
+  /// Appends one row. Feature indices must be strictly increasing and
+  /// non-negative; throws std::invalid_argument otherwise.
+  void add_row(std::span<const Feature> features);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return row_offsets_.size() - 1; }
+  [[nodiscard]] std::size_t nonzeros() const noexcept { return features_.size(); }
+  /// Number of feature columns = 1 + max index seen (0 when empty).
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] std::span<const Feature> row(std::size_t i) const {
+    return std::span<const Feature>(features_.data() + row_offsets_[i],
+                                    row_offsets_[i + 1] - row_offsets_[i]);
+  }
+
+  /// nnz / (rows*cols); 0 for an empty matrix.
+  [[nodiscard]] double density() const noexcept;
+
+  /// Bytes of feature payload, the quantity the ring exchange moves.
+  [[nodiscard]] std::size_t payload_bytes() const noexcept {
+    return features_.size() * sizeof(Feature);
+  }
+
+  void reserve(std::size_t rows, std::size_t nonzeros);
+
+  // --- sparse row algebra -------------------------------------------------
+
+  /// Sparse-sparse dot product (merge join over sorted indices).
+  [[nodiscard]] static double dot(std::span<const Feature> a, std::span<const Feature> b) noexcept;
+
+  [[nodiscard]] static double squared_norm(std::span<const Feature> a) noexcept;
+
+  /// ||a-b||^2 given precomputed squared norms (for the RBF kernel).
+  [[nodiscard]] static double squared_distance(std::span<const Feature> a,
+                                               std::span<const Feature> b, double sq_a,
+                                               double sq_b) noexcept {
+    double d = sq_a + sq_b - 2.0 * dot(a, b);
+    return d > 0.0 ? d : 0.0;  // clamp tiny negative round-off
+  }
+
+  /// Self-dot of every row; precomputed once per dataset.
+  [[nodiscard]] std::vector<double> row_squared_norms() const;
+
+ private:
+  std::vector<std::size_t> row_offsets_;
+  std::vector<Feature> features_;
+  std::size_t cols_ = 0;
+};
+
+/// A labelled dataset with arbitrary class labels (multiclass); binary
+/// problems use Dataset below, whose labels are constrained to ±1.
+struct MultiClassData {
+  CsrMatrix X;
+  std::vector<double> labels;
+
+  [[nodiscard]] std::size_t size() const noexcept { return labels.size(); }
+};
+
+/// A labelled binary-classification dataset: CSR features plus ±1 labels.
+struct Dataset {
+  CsrMatrix X;
+  std::vector<double> y;  ///< each exactly +1.0 or -1.0
+
+  [[nodiscard]] std::size_t size() const noexcept { return y.size(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return X.cols(); }
+
+  /// Throws std::invalid_argument if labels are not ±1 or row/label counts
+  /// disagree; solvers call this at entry.
+  void validate() const;
+
+  /// New dataset containing the selected rows, in order.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+};
+
+}  // namespace svmdata

@@ -1,0 +1,60 @@
+#include "data/split.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace svmdata {
+
+TrainTestSplit train_test_split(const Dataset& dataset, double test_fraction,
+                                std::uint64_t seed) {
+  if (test_fraction < 0.0 || test_fraction >= 1.0)
+    throw std::invalid_argument("train_test_split: test_fraction must be in [0, 1)");
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  svmutil::Rng rng(seed);
+  rng.shuffle(order);
+
+  const auto test_count = static_cast<std::size_t>(test_fraction * static_cast<double>(order.size()));
+  const std::vector<std::size_t> test_idx(order.begin(), order.begin() + test_count);
+  const std::vector<std::size_t> train_idx(order.begin() + test_count, order.end());
+  return TrainTestSplit{dataset.subset(train_idx), dataset.subset(test_idx)};
+}
+
+std::vector<std::vector<std::size_t>> kfold_indices(std::size_t n, std::size_t folds,
+                                                    std::uint64_t seed) {
+  if (folds == 0 || folds > n) throw std::invalid_argument("kfold_indices: need 1 <= folds <= n");
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  svmutil::Rng rng(seed);
+  rng.shuffle(order);
+
+  std::vector<std::vector<std::size_t>> result(folds);
+  for (std::size_t i = 0; i < n; ++i) result[i % folds].push_back(order[i]);
+  return result;
+}
+
+BlockRange block_range(std::size_t n, int num_ranks, int rank) {
+  if (num_ranks <= 0 || rank < 0 || rank >= num_ranks)
+    throw std::invalid_argument("block_range: invalid rank/num_ranks");
+  const std::size_t p = static_cast<std::size_t>(num_ranks);
+  const std::size_t base = n / p;
+  const std::size_t extra = n % p;
+  const std::size_t r = static_cast<std::size_t>(rank);
+  const std::size_t begin = r * base + std::min(r, extra);
+  const std::size_t size = base + (r < extra ? 1 : 0);
+  return BlockRange{begin, begin + size};
+}
+
+int owner_of(std::size_t n, int num_ranks, std::size_t index) {
+  if (index >= n) throw std::out_of_range("owner_of: index out of range");
+  const std::size_t p = static_cast<std::size_t>(num_ranks);
+  const std::size_t base = n / p;
+  const std::size_t extra = n % p;
+  const std::size_t boundary = extra * (base + 1);
+  if (index < boundary) return static_cast<int>(index / (base + 1));
+  return static_cast<int>(extra + (index - boundary) / base);
+}
+
+}  // namespace svmdata

@@ -1,0 +1,43 @@
+// Train/test splitting, k-fold cross-validation indices and block
+// partitioning of samples across ranks (each rank owns N/p contiguous rows,
+// as in Algorithm 2's row-partitioned layout).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/sparse.hpp"
+
+namespace svmdata {
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Shuffled split; `test_fraction` of rows go to the test set.
+[[nodiscard]] TrainTestSplit train_test_split(const Dataset& dataset, double test_fraction,
+                                              std::uint64_t seed);
+
+/// k disjoint folds covering all indices; fold sizes differ by at most one.
+[[nodiscard]] std::vector<std::vector<std::size_t>> kfold_indices(std::size_t n, std::size_t folds,
+                                                                  std::uint64_t seed);
+
+/// Contiguous block ownership: rank r owns [begin, end) with sizes differing
+/// by at most one (first `n % p` ranks get the extra row).
+struct BlockRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool contains(std::size_t global) const noexcept {
+    return global >= begin && global < end;
+  }
+};
+
+[[nodiscard]] BlockRange block_range(std::size_t n, int num_ranks, int rank);
+
+/// Inverse map: which rank owns global row `index`.
+[[nodiscard]] int owner_of(std::size_t n, int num_ranks, std::size_t index);
+
+}  // namespace svmdata

@@ -1,0 +1,257 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace svmdata::synthetic {
+
+using svmutil::Rng;
+
+namespace {
+
+/// Appends a dense row, dropping exact zeros so CSR stays minimal.
+void add_dense_row(CsrMatrix& X, std::span<const double> values) {
+  std::vector<Feature> row;
+  row.reserve(values.size());
+  for (std::size_t j = 0; j < values.size(); ++j)
+    if (values[j] != 0.0) row.push_back(Feature{static_cast<std::int32_t>(j), values[j]});
+  X.add_row(row);
+}
+
+/// Sample-stream RNG: distinct per (seed, draw) so a test set (draw=1) is a
+/// fresh draw from the same concept as the training set (draw=0).
+Rng sample_rng(std::uint64_t seed, std::uint64_t draw) {
+  std::uint64_t s = seed;
+  for (std::uint64_t i = 0; i <= draw; ++i) (void)svmutil::splitmix64_next(s);
+  return Rng(s);
+}
+
+}  // namespace
+
+Dataset gaussian_blobs(const BlobsParams& params) {
+  Rng concept_rng(params.seed);
+  Rng rng = sample_rng(params.seed, params.draw);
+  Dataset out;
+  out.X.reserve(params.n, params.n * params.d);
+  out.y.reserve(params.n);
+
+  // Class means at ±separation/2 along a random unit direction.
+  std::vector<double> direction(params.d);
+  double norm = 0.0;
+  for (double& v : direction) {
+    v = concept_rng.normal();
+    norm += v * v;
+  }
+  norm = std::sqrt(norm);
+  for (double& v : direction) v /= norm;
+
+  std::vector<double> row(params.d);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    const bool positive = rng.bernoulli(params.positive_fraction);
+    const double sign = positive ? 1.0 : -1.0;
+    for (std::size_t j = 0; j < params.d; ++j)
+      row[j] = sign * 0.5 * params.separation * direction[j] + rng.normal();
+    double label = sign;
+    if (rng.bernoulli(params.label_noise)) label = -label;
+    add_dense_row(out.X, row);
+    out.y.push_back(label);
+  }
+  return out;
+}
+
+Dataset two_rings(const RingsParams& params) {
+  Rng rng = sample_rng(params.seed, params.draw);
+  Dataset out;
+  out.X.reserve(params.n, params.n * params.d);
+  out.y.reserve(params.n);
+
+  std::vector<double> row(params.d);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    const bool inner = rng.bernoulli(0.5);
+    const double radius =
+        (inner ? params.inner_radius : params.inner_radius + params.gap) +
+        rng.normal(0.0, params.thickness);
+    // Random direction on the d-sphere.
+    double norm = 0.0;
+    for (std::size_t j = 0; j < params.d; ++j) {
+      row[j] = rng.normal();
+      norm += row[j] * row[j];
+    }
+    norm = std::sqrt(norm);
+    for (std::size_t j = 0; j < params.d; ++j) row[j] = row[j] / norm * radius;
+    add_dense_row(out.X, row);
+    out.y.push_back(inner ? 1.0 : -1.0);
+  }
+  return out;
+}
+
+Dataset sparse_binary(const SparseBinaryParams& params) {
+  // The class pools are fixed index ranges (the concept); only sampling uses
+  // randomness, so the stream alone separates train from test draws.
+  Rng rng = sample_rng(params.seed, params.draw);
+  Dataset out;
+  out.X.reserve(params.n, params.n * params.nnz_per_row);
+  out.y.reserve(params.n);
+
+  // Each class has a feature pool occupying half the index space; the pools
+  // share `pool_overlap` of their mass. Feature ids are drawn from the pool
+  // with a skewed (Zipf-ish) distribution to mimic token data.
+  const std::size_t half = params.d / 2;
+  auto draw_feature = [&](bool positive) -> std::int32_t {
+    // Quadratic skew: low ids are much more frequent, like token frequency.
+    const double u = rng.uniform();
+    const auto within = static_cast<std::size_t>(u * u * static_cast<double>(half));
+    const bool use_shared = rng.bernoulli(params.pool_overlap);
+    std::size_t base = 0;
+    if (!use_shared) base = positive ? 0 : half;
+    // Shared features live across the whole space.
+    const std::size_t id = use_shared ? (within * 2) % params.d : base + within;
+    return static_cast<std::int32_t>(std::min(id, params.d - 1));
+  };
+
+  auto draw_ids = [&](bool positive) {
+    std::vector<std::int32_t> ids;
+    while (ids.size() < params.nnz_per_row) {
+      const std::int32_t id = draw_feature(positive);
+      if (std::find(ids.begin(), ids.end(), id) == ids.end()) ids.push_back(id);
+    }
+    return ids;
+  };
+
+  // Optional prototype structure (the concept): rows become perturbed copies
+  // of per-class prototypes, drawn with the concept RNG so train/test share
+  // them. The prototype draws consume the *sample* stream's feature
+  // distribution via a dedicated concept RNG.
+  Rng concept_rng(params.seed);
+  std::vector<std::vector<std::int32_t>> prototypes[2];
+  if (params.prototypes_per_class > 0) {
+    std::swap(rng, concept_rng);  // draw prototypes from the concept stream
+    for (int cls = 0; cls < 2; ++cls)
+      for (std::size_t k = 0; k < params.prototypes_per_class; ++k)
+        prototypes[cls].push_back(draw_ids(cls == 0));
+    std::swap(rng, concept_rng);
+  }
+
+  std::vector<std::int32_t> ids;
+  for (std::size_t i = 0; i < params.n; ++i) {
+    const bool positive = rng.bernoulli(params.positive_fraction);
+    if (params.prototypes_per_class > 0) {
+      const auto& pool = prototypes[positive ? 0 : 1];
+      ids = pool[rng.uniform_index(pool.size())];
+      // Resample a fraction of the prototype's features.
+      const auto replace =
+          static_cast<std::size_t>(params.resample_fraction * static_cast<double>(ids.size()));
+      for (std::size_t k = 0; k < replace; ++k) {
+        const std::size_t at = rng.uniform_index(ids.size());
+        const std::int32_t candidate = draw_feature(positive);
+        if (std::find(ids.begin(), ids.end(), candidate) == ids.end()) ids[at] = candidate;
+      }
+    } else {
+      ids = draw_ids(positive);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    std::vector<Feature> row;
+    row.reserve(ids.size());
+    for (const std::int32_t id : ids) row.push_back(Feature{id, 1.0});
+    out.X.add_row(row);
+    out.y.push_back(positive ? 1.0 : -1.0);
+  }
+  return out;
+}
+
+Dataset dense_tabular(const DenseTabularParams& params) {
+  Rng concept_rng(params.seed);
+  Rng rng = sample_rng(params.seed, params.draw);
+  Dataset out;
+  out.X.reserve(params.n, params.n * params.d);
+  out.y.reserve(params.n);
+
+  // Random teacher: label = sign(w.x + sum q_j x_j^2 + b + noise).
+  std::vector<double> w(params.d);
+  std::vector<double> q(params.d);
+  for (std::size_t j = 0; j < params.d; ++j) {
+    w[j] = concept_rng.normal();
+    q[j] = 0.3 * concept_rng.normal();
+  }
+
+  std::vector<double> row(params.d);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    double score = 0.0;
+    for (std::size_t j = 0; j < params.d; ++j) {
+      row[j] = rng.normal();
+      score += w[j] * row[j] + q[j] * (row[j] * row[j] - 1.0);
+    }
+    score /= std::sqrt(static_cast<double>(params.d));
+    score += rng.normal(0.0, params.overlap * 3.0);
+    add_dense_row(out.X, row);
+    out.y.push_back(score >= 0.0 ? 1.0 : -1.0);
+  }
+  return out;
+}
+
+Dataset digits_like(const DigitsParams& params) {
+  Rng concept_rng(params.seed);
+  Rng rng = sample_rng(params.seed, params.draw);
+  Dataset out;
+  out.X.reserve(params.n, params.n * params.d / 4);
+  out.y.reserve(params.n);
+
+  // Two class templates with ~25% active pixels each, partially overlapping.
+  std::vector<double> template_pos(params.d, 0.0);
+  std::vector<double> template_neg(params.d, 0.0);
+  for (std::size_t j = 0; j < params.d; ++j) {
+    if (concept_rng.bernoulli(0.25)) template_pos[j] = concept_rng.uniform(0.3, 1.0);
+    if (concept_rng.bernoulli(0.25)) template_neg[j] = concept_rng.uniform(0.3, 1.0);
+  }
+
+  std::vector<double> row(params.d);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    const bool positive = rng.bernoulli(0.5);
+    const std::vector<double>& base = positive ? template_pos : template_neg;
+    for (std::size_t j = 0; j < params.d; ++j) {
+      double v = base[j];
+      if (v > 0.0) v = std::max(0.0, v + rng.normal(0.0, params.noise));
+      // Occasional stray activation off-template.
+      if (v == 0.0 && rng.bernoulli(0.02)) v = rng.uniform(0.1, 0.5);
+      row[j] = v;
+    }
+    add_dense_row(out.X, row);
+    out.y.push_back(positive ? 1.0 : -1.0);
+  }
+  return out;
+}
+
+MultiClassData multiclass_blobs(const MultiBlobsParams& params) {
+  Rng concept_rng(params.seed);
+  Rng rng = sample_rng(params.seed, params.draw);
+  MultiClassData out;
+  out.X.reserve(params.n, params.n * params.d);
+  out.labels.reserve(params.n);
+
+  // One random center per class, scaled so centers sit ~separation apart.
+  std::vector<std::vector<double>> centers(params.classes, std::vector<double>(params.d));
+  for (auto& center : centers) {
+    double norm = 0.0;
+    for (double& v : center) {
+      v = concept_rng.normal();
+      norm += v * v;
+    }
+    norm = std::sqrt(norm);
+    for (double& v : center) v = v / norm * params.separation;
+  }
+
+  std::vector<double> row(params.d);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    const std::size_t cls = rng.uniform_index(params.classes);
+    for (std::size_t j = 0; j < params.d; ++j) row[j] = centers[cls][j] + rng.normal();
+    add_dense_row(out.X, row);
+    out.labels.push_back(static_cast<double>(cls));
+  }
+  return out;
+}
+
+}  // namespace svmdata::synthetic

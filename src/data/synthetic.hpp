@@ -1,0 +1,99 @@
+// Synthetic dataset generators. The paper evaluates on ten public datasets
+// (Table III); this container has no network access, so each generator below
+// reproduces the *shape* of one dataset family — sample count, dimensionality,
+// sparsity, class balance and separability — which is what drives the
+// algorithms under study (shrinking rate, reconstruction volume, kernel cost).
+// All generators are deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "data/sparse.hpp"
+
+namespace svmdata::synthetic {
+
+/// Two Gaussian clusters with controllable margin. `separation` is the
+/// distance between class means in units of the cluster standard deviation;
+/// larger values → fewer support vectors. `label_noise` flips that fraction
+/// of labels, creating bound support vectors (alpha = C candidates).
+struct BlobsParams {
+  std::size_t n = 1000;
+  std::size_t d = 16;
+  double separation = 3.0;
+  double label_noise = 0.0;
+  double positive_fraction = 0.5;
+  std::uint64_t seed = 1;   ///< concept seed: fixes the class geometry
+  std::uint64_t draw = 0;   ///< sample-stream id: same concept, new samples
+};
+[[nodiscard]] Dataset gaussian_blobs(const BlobsParams& params);
+
+/// Two concentric spherical shells (non-linearly separable; requires an RBF
+/// kernel). `gap` separates the shell radii; `thickness` is shell noise.
+struct RingsParams {
+  std::size_t n = 1000;
+  std::size_t d = 2;
+  double inner_radius = 1.0;
+  double gap = 1.0;
+  double thickness = 0.15;
+  std::uint64_t seed = 2;
+  std::uint64_t draw = 0;  ///< sample-stream id: same concept, new samples
+};
+[[nodiscard]] Dataset two_rings(const RingsParams& params);
+
+/// High-dimensional sparse binary features (Offending-URL / real-sim / RCV1
+/// shape): each class draws `nnz_per_row` active features from a class-biased
+/// pool; `pool_overlap` in [0,1] controls how confusable the classes are.
+struct SparseBinaryParams {
+  std::size_t n = 1000;
+  std::size_t d = 100000;
+  std::size_t nnz_per_row = 50;
+  double pool_overlap = 0.5;
+  double positive_fraction = 0.5;
+  /// When > 0, rows are perturbed copies of this many per-class prototype
+  /// rows instead of independent draws — the redundancy structure of real
+  /// token data (URL/text corpora contain many near-duplicates), which is
+  /// what makes most samples strongly classified and hence shrinkable.
+  std::size_t prototypes_per_class = 0;
+  /// Fraction of a prototype's features resampled per row (with prototypes).
+  double resample_fraction = 0.25;
+  std::uint64_t seed = 3;
+  std::uint64_t draw = 0;  ///< sample-stream id: same concept, new samples
+};
+[[nodiscard]] Dataset sparse_binary(const SparseBinaryParams& params);
+
+/// Dense low-dimensional tabular data (HIGGS / cod-rna / forest shape): the
+/// class signal is a random linear + quadratic function of the features with
+/// Gaussian margin noise; `overlap` sets the Bayes-error-ish confusion level.
+struct DenseTabularParams {
+  std::size_t n = 1000;
+  std::size_t d = 28;
+  double overlap = 0.1;
+  std::uint64_t seed = 4;
+  std::uint64_t draw = 0;  ///< sample-stream id: same concept, new samples
+};
+[[nodiscard]] Dataset dense_tabular(const DenseTabularParams& params);
+
+/// MNIST-like: `d`-dim non-negative "pixel" rows, ~75% zeros, class signal in
+/// a subset of template pixels with additive noise.
+struct DigitsParams {
+  std::size_t n = 1000;
+  std::size_t d = 784;
+  double noise = 0.3;
+  std::uint64_t seed = 5;
+  std::uint64_t draw = 0;  ///< sample-stream id: same concept, new samples
+};
+[[nodiscard]] Dataset digits_like(const DigitsParams& params);
+
+/// k Gaussian clusters at random well-separated centers; labels 0..k-1.
+/// The multiclass analogue of gaussian_blobs for the one-vs-one wrapper.
+struct MultiBlobsParams {
+  std::size_t n = 1000;
+  std::size_t d = 8;
+  std::size_t classes = 4;
+  double separation = 4.0;
+  std::uint64_t seed = 6;
+  std::uint64_t draw = 0;  ///< sample-stream id: same concept, new samples
+};
+[[nodiscard]] MultiClassData multiclass_blobs(const MultiBlobsParams& params);
+
+}  // namespace svmdata::synthetic

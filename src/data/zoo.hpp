@@ -1,0 +1,42 @@
+// Dataset zoo: one preset per dataset in the paper's Table III (plus the
+// Table IV small datasets), generated synthetically at container scale. Each
+// entry records the paper's characteristics (train/test size, hyper-params
+// C and sigma^2) and a scaled-down default size that trains in seconds here.
+// `scale` multiplies the container default; `--scale 10` gets closer to the
+// paper's sizes at proportionally longer runtimes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/sparse.hpp"
+
+namespace svmdata {
+
+struct ZooEntry {
+  std::string name;                ///< paper's dataset name, lower-case
+  std::size_t paper_train_size;    ///< Table III training set size
+  std::size_t paper_test_size;     ///< Table III testing set size (0 = N/A)
+  std::size_t default_train_size;  ///< container-scale default
+  std::size_t default_test_size;
+  double C;         ///< Table III hyper-parameter
+  double sigma_sq;  ///< Table III Gaussian kernel width sigma^2
+  int paper_processes;  ///< largest process count the paper used for it
+
+  [[nodiscard]] double gamma() const noexcept { return 1.0 / sigma_sq; }
+};
+
+/// All presets, in Table III order then the Table IV extras.
+[[nodiscard]] const std::vector<ZooEntry>& zoo();
+
+/// Lookup by name; throws std::invalid_argument listing valid names.
+[[nodiscard]] const ZooEntry& zoo_entry(const std::string& name);
+
+/// Generates the training set for an entry at `scale` times its container
+/// default size. Deterministic per (entry, scale).
+[[nodiscard]] Dataset make_train(const ZooEntry& entry, double scale = 1.0);
+
+/// Generates the held-out test set (empty Dataset if the paper had none).
+[[nodiscard]] Dataset make_test(const ZooEntry& entry, double scale = 1.0);
+
+}  // namespace svmdata

@@ -1,0 +1,24 @@
+#include "kernel/kernel.hpp"
+
+namespace svmkernel {
+
+std::string to_string(KernelType type) {
+  switch (type) {
+    case KernelType::rbf: return "rbf";
+    case KernelType::linear: return "linear";
+    case KernelType::polynomial: return "polynomial";
+    case KernelType::sigmoid: return "sigmoid";
+  }
+  return "?";
+}
+
+KernelType kernel_type_from_string(const std::string& name) {
+  if (name == "rbf" || name == "gaussian") return KernelType::rbf;
+  if (name == "linear") return KernelType::linear;
+  if (name == "polynomial" || name == "poly") return KernelType::polynomial;
+  if (name == "sigmoid") return KernelType::sigmoid;
+  throw std::invalid_argument("unknown kernel type: " + name +
+                              " (expected rbf|linear|polynomial|sigmoid)");
+}
+
+}  // namespace svmkernel

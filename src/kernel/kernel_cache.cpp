@@ -1,0 +1,41 @@
+#include "kernel/kernel_cache.hpp"
+
+namespace svmkernel {
+
+std::span<const float> KernelRowCache::lookup(std::size_t index) {
+  const auto it = map_.find(index);
+  if (it == map_.end()) {
+    ++misses_;
+    return {};
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
+  return it->second->row;
+}
+
+void KernelRowCache::insert(std::size_t index, std::span<const float> row) {
+  const auto existing = map_.find(index);
+  if (existing != map_.end()) {
+    bytes_used_ -= existing->second->row.size() * sizeof(float);
+    lru_.erase(existing->second);
+    map_.erase(existing);
+  }
+  const std::size_t row_bytes = row.size() * sizeof(float);
+  while (!lru_.empty() && bytes_used_ + row_bytes > budget_bytes_) {
+    const Entry& victim = lru_.back();
+    bytes_used_ -= victim.row.size() * sizeof(float);
+    map_.erase(victim.index);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{index, std::vector<float>(row.begin(), row.end())});
+  map_[index] = lru_.begin();
+  bytes_used_ += row_bytes;
+}
+
+void KernelRowCache::clear() {
+  lru_.clear();
+  map_.clear();
+  bytes_used_ = 0;
+}
+
+}  // namespace svmkernel

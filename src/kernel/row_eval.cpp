@@ -1,0 +1,32 @@
+#include "kernel/row_eval.hpp"
+
+namespace svmkernel {
+
+void eval_rows(const Kernel& kernel, const svmdata::CsrMatrix& X,
+               std::span<const double> sq_norms, std::span<const svmdata::Feature> query,
+               double sq_query, std::size_t begin, std::size_t end, std::span<double> out,
+               bool parallel) {
+  const auto first = static_cast<std::ptrdiff_t>(begin);
+  const auto last = static_cast<std::ptrdiff_t>(end);
+  if (parallel) {
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = first; i < last; ++i)
+      out[i - first] = kernel.eval(X.row(static_cast<std::size_t>(i)), query,
+                                   sq_norms[static_cast<std::size_t>(i)], sq_query);
+  } else {
+    for (std::ptrdiff_t i = first; i < last; ++i)
+      out[i - first] = kernel.eval(X.row(static_cast<std::size_t>(i)), query,
+                                   sq_norms[static_cast<std::size_t>(i)], sq_query);
+  }
+}
+
+std::vector<double> eval_all_rows(const Kernel& kernel, const svmdata::CsrMatrix& X,
+                                  std::span<const double> sq_norms,
+                                  std::span<const svmdata::Feature> query, double sq_query,
+                                  bool parallel) {
+  std::vector<double> out(X.rows());
+  eval_rows(kernel, X, sq_norms, query, sq_query, 0, X.rows(), out, parallel);
+  return out;
+}
+
+}  // namespace svmkernel

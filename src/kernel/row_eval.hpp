@@ -1,0 +1,30 @@
+// Batched kernel-row evaluation: K(q, i) for all rows i of a dataset, with
+// optional OpenMP parallelism. This is the "enhanced libsvm" hot path — the
+// paper parallelizes libsvm's kernel-row computation across cores — and is
+// also used by the distributed solvers' gradient update loop.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/sparse.hpp"
+#include "kernel/kernel.hpp"
+
+namespace svmkernel {
+
+/// Computes out[i] = K(query, X.row(i)) for i in [begin, end).
+/// `sq_norms[i]` must be the squared norm of X.row(i), and `sq_query` that of
+/// the query row. `parallel` enables OpenMP over the rows.
+void eval_rows(const Kernel& kernel, const svmdata::CsrMatrix& X,
+               std::span<const double> sq_norms, std::span<const svmdata::Feature> query,
+               double sq_query, std::size_t begin, std::size_t end, std::span<double> out,
+               bool parallel = false);
+
+/// Convenience allocation form over all rows.
+[[nodiscard]] std::vector<double> eval_all_rows(const Kernel& kernel,
+                                                const svmdata::CsrMatrix& X,
+                                                std::span<const double> sq_norms,
+                                                std::span<const svmdata::Feature> query,
+                                                double sq_query, bool parallel = false);
+
+}  // namespace svmkernel

@@ -1,0 +1,48 @@
+#include "mpisim/collective.hpp"
+
+#include "mpisim/mailbox.hpp"
+
+namespace svmmpi {
+
+CollectiveContext::CollectiveContext(int size) : size_(size), contributions_(size) {}
+
+std::vector<std::byte> CollectiveContext::run(int rank, std::vector<std::byte> contribution,
+                                              const Combine& combine) {
+  std::unique_lock lock(mutex_);
+  // Wait for the previous round to fully drain before contributing.
+  turnstile_.wait(lock, [&] { return aborted_ || phase_ == Phase::collecting; });
+  if (aborted_) throw WorldAborted{};
+
+  contributions_[rank] = std::move(contribution);
+  ++arrived_;
+  if (arrived_ == size_) {
+    result_ = combine(contributions_);
+    phase_ = Phase::distributing;
+    turnstile_.notify_all();
+  } else {
+    turnstile_.wait(lock, [&] { return aborted_ || phase_ == Phase::distributing; });
+    if (aborted_) throw WorldAborted{};
+  }
+
+  std::vector<std::byte> out = result_;
+  ++departed_;
+  if (departed_ == size_) {
+    arrived_ = 0;
+    departed_ = 0;
+    for (auto& c : contributions_) c.clear();
+    result_.clear();
+    phase_ = Phase::collecting;
+    turnstile_.notify_all();
+  }
+  return out;
+}
+
+void CollectiveContext::abort() {
+  {
+    std::lock_guard lock(mutex_);
+    aborted_ = true;
+  }
+  turnstile_.notify_all();
+}
+
+}  // namespace svmmpi

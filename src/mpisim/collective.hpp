@@ -1,0 +1,51 @@
+// Rendezvous engine for collective operations. All ranks of a communicator
+// enter run() with a byte contribution; the last arriver applies `combine`
+// over the contributions *in rank order* (making reductions bitwise
+// deterministic regardless of thread scheduling), then every rank copies the
+// result out. Exit is synchronized so a fast rank cannot race into the next
+// collective round before the slowest rank has read the current result.
+//
+// Executing collectives through shared memory is a property of the simulation
+// substrate; their *modeled* cost is charged separately using the NetModel
+// formulas for the tree/ring algorithms a real MPI would run (see comm.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace svmmpi {
+
+class CollectiveContext {
+ public:
+  using Combine =
+      std::function<std::vector<std::byte>(const std::vector<std::vector<std::byte>>&)>;
+
+  explicit CollectiveContext(int size);
+
+  /// Collective rendezvous; every rank must call with the same combine
+  /// semantics. Returns the combined result. Throws WorldAborted on abort.
+  [[nodiscard]] std::vector<std::byte> run(int rank, std::vector<std::byte> contribution,
+                                           const Combine& combine);
+
+  void abort();
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+ private:
+  enum class Phase { collecting, distributing };
+
+  std::mutex mutex_;
+  std::condition_variable turnstile_;
+  int size_;
+  int arrived_ = 0;
+  int departed_ = 0;
+  Phase phase_ = Phase::collecting;
+  std::vector<std::vector<std::byte>> contributions_;
+  std::vector<std::byte> result_;
+  bool aborted_ = false;
+};
+
+}  // namespace svmmpi

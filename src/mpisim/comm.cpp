@@ -1,0 +1,169 @@
+#include "mpisim/comm.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace svmmpi {
+
+namespace {
+
+// Internal tag space for runtime protocol messages (context distribution
+// during split); user tags must stay below this.
+constexpr int kSplitContextTag = 1 << 28;
+
+}  // namespace
+
+void Comm::send_bytes(std::vector<std::byte> payload, int destination, int tag) {
+  if (destination < 0 || destination >= size())
+    throw std::out_of_range("svmmpi: send destination out of range");
+  const std::size_t bytes = payload.size();
+  world_->mailbox((*group_)[destination])
+      .push(Message{context_id_, rank_, tag, std::move(payload)});
+  TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
+  ++s.sends;
+  s.bytes_sent += bytes;
+  s.modeled_seconds += world_->model().pt2pt(bytes);
+}
+
+std::vector<std::byte> Comm::recv_bytes(int source, int tag, int* actual_source) {
+  if (source != kAnySource && (source < 0 || source >= size()))
+    throw std::out_of_range("svmmpi: recv source out of range");
+  Message m = world_->mailbox((*group_)[rank_]).pop(context_id_, source, tag);
+  if (actual_source != nullptr) *actual_source = m.source;
+  TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
+  ++s.recvs;
+  s.bytes_received += m.payload.size();
+  s.modeled_seconds += world_->model().pt2pt(m.payload.size());
+  return std::move(m.payload);
+}
+
+std::vector<std::byte> Comm::collective(std::vector<std::byte> contribution,
+                                        const CollectiveContext::Combine& combine,
+                                        ModelAs model_as, std::size_t payload_bytes) {
+  auto result = world_->context(context_id_).run(rank_, std::move(contribution), combine);
+  TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
+  ++s.collectives;
+  const int p = size();
+  switch (model_as) {
+    case ModelAs::tree: s.modeled_seconds += world_->model().tree(payload_bytes, p); break;
+    case ModelAs::ring:
+      s.modeled_seconds +=
+          static_cast<double>(p - 1) * world_->model().ring_step(payload_bytes);
+      break;
+    case ModelAs::none: break;
+  }
+  return result;
+}
+
+void Comm::barrier() {
+  (void)collective(
+      {}, [](const std::vector<std::vector<std::byte>>&) { return std::vector<std::byte>{}; },
+      ModelAs::tree, 0);
+}
+
+namespace {
+
+// Rank-ordered loc-reductions: deterministic and index-tie-broken so the
+// distributed solvers select the identical working set as the sequential one.
+std::vector<std::byte> combine_minloc(const std::vector<std::vector<std::byte>>& parts) {
+  DoubleInt best{};
+  bool first = true;
+  for (const auto& p : parts) {
+    const auto cand = detail::from_bytes<DoubleInt>(p)[0];
+    if (first || cand.value < best.value ||
+        (cand.value == best.value && cand.index < best.index)) {
+      best = cand;
+      first = false;
+    }
+  }
+  return detail::to_bytes(std::span<const DoubleInt>(&best, 1));
+}
+
+std::vector<std::byte> combine_maxloc(const std::vector<std::vector<std::byte>>& parts) {
+  DoubleInt best{};
+  bool first = true;
+  for (const auto& p : parts) {
+    const auto cand = detail::from_bytes<DoubleInt>(p)[0];
+    if (first || cand.value > best.value ||
+        (cand.value == best.value && cand.index < best.index)) {
+      best = cand;
+      first = false;
+    }
+  }
+  return detail::to_bytes(std::span<const DoubleInt>(&best, 1));
+}
+
+}  // namespace
+
+DoubleInt Comm::allreduce_minloc(DoubleInt mine) {
+  auto out = collective(detail::to_bytes(std::span<const DoubleInt>(&mine, 1)), combine_minloc,
+                        ModelAs::tree, sizeof(DoubleInt));
+  return detail::from_bytes<DoubleInt>(out)[0];
+}
+
+DoubleInt Comm::allreduce_maxloc(DoubleInt mine) {
+  auto out = collective(detail::to_bytes(std::span<const DoubleInt>(&mine, 1)), combine_maxloc,
+                        ModelAs::tree, sizeof(DoubleInt));
+  return detail::from_bytes<DoubleInt>(out)[0];
+}
+
+std::vector<std::byte> Comm::concat_with_sizes(const std::vector<std::vector<std::byte>>& parts) {
+  const std::uint64_t count = parts.size();
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<std::byte> out(sizeof(std::uint64_t) * (1 + count) + total);
+  std::size_t offset = 0;
+  std::memcpy(out.data() + offset, &count, sizeof(count));
+  offset += sizeof(count);
+  for (const auto& p : parts) {
+    const std::uint64_t sz = p.size();
+    std::memcpy(out.data() + offset, &sz, sizeof(sz));
+    offset += sizeof(sz);
+  }
+  for (const auto& p : parts) {
+    if (!p.empty()) std::memcpy(out.data() + offset, p.data(), p.size());
+    offset += p.size();
+  }
+  return out;
+}
+
+Comm Comm::split(int color, int key) const {
+  struct Entry {
+    int color;
+    int key;
+    int parent_rank;
+  };
+  Comm self = *this;  // allgather is non-const only because of stats; copy is cheap
+  const Entry mine{color, key, rank_};
+  const std::vector<Entry> entries = self.allgather(mine);
+
+  // Deterministically derive my new group: members with my color ordered by
+  // (key, parent rank).
+  std::vector<Entry> members;
+  for (const Entry& e : entries)
+    if (e.color == color) members.push_back(e);
+  std::sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.parent_rank) < std::tie(b.key, b.parent_rank);
+  });
+
+  auto new_group = std::make_shared<std::vector<int>>();
+  int new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    new_group->push_back((*group_)[members[i].parent_rank]);
+    if (members[i].parent_rank == rank_) new_rank = static_cast<int>(i);
+  }
+
+  // The new group's leader allocates the collective context and distributes
+  // its id to the other members over the *parent* communicator.
+  int new_context = -1;
+  if (new_rank == 0) {
+    new_context = world_->create_context(static_cast<int>(members.size()));
+    for (std::size_t i = 1; i < members.size(); ++i)
+      self.send_value(new_context, members[i].parent_rank, kSplitContextTag);
+  } else {
+    new_context = self.recv_value<int>(members[0].parent_rank, kSplitContextTag);
+  }
+  return Comm(world_, std::move(new_group), new_rank, new_context);
+}
+
+}  // namespace svmmpi

@@ -1,0 +1,288 @@
+// Comm: the typed communicator API modelled on MPI. Each SPMD thread holds
+// its own handle (rank, group, collective context). Point-to-point transfers
+// move through per-rank mailboxes; collectives rendezvous through a shared
+// CollectiveContext with rank-ordered (deterministic) reduction. Modeled
+// network time is charged per operation using the NetModel formulas for the
+// algorithms a real MPI would execute (binomial trees, rings).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "mpisim/mailbox.hpp"
+#include "mpisim/netmodel.hpp"
+#include "mpisim/request.hpp"
+#include "mpisim/world.hpp"
+
+namespace svmmpi {
+
+enum class ReduceOp { sum, min, max, prod };
+
+/// Value/index pair for MINLOC/MAXLOC reductions (worst-KKT-violator
+/// selection in the SVM solvers). Ties break toward the smaller index so the
+/// parallel solver selects exactly the sample the sequential solver would.
+struct DoubleInt {
+  double value = 0.0;
+  std::int64_t index = -1;
+};
+
+namespace detail {
+
+template <typename T>
+[[nodiscard]] std::vector<std::byte> to_bytes(std::span<const T> data) {
+  static_assert(std::is_trivially_copyable_v<T>, "mpisim transfers trivially copyable types");
+  std::vector<std::byte> bytes(data.size_bytes());
+  if (!bytes.empty()) std::memcpy(bytes.data(), data.data(), bytes.size());
+  return bytes;
+}
+
+template <typename T>
+[[nodiscard]] std::vector<T> from_bytes(std::span<const std::byte> bytes) {
+  static_assert(std::is_trivially_copyable_v<T>, "mpisim transfers trivially copyable types");
+  if (bytes.size() % sizeof(T) != 0)
+    throw std::runtime_error("svmmpi: payload size is not a multiple of element size");
+  std::vector<T> data(bytes.size() / sizeof(T));
+  if (!bytes.empty()) std::memcpy(data.data(), bytes.data(), bytes.size());
+  return data;
+}
+
+template <typename T>
+void apply_reduce(ReduceOp op, std::span<T> accumulator, std::span<const T> operand) {
+  for (std::size_t i = 0; i < accumulator.size(); ++i) {
+    switch (op) {
+      case ReduceOp::sum: accumulator[i] += operand[i]; break;
+      case ReduceOp::min:
+        accumulator[i] = operand[i] < accumulator[i] ? operand[i] : accumulator[i];
+        break;
+      case ReduceOp::max:
+        accumulator[i] = accumulator[i] < operand[i] ? operand[i] : accumulator[i];
+        break;
+      case ReduceOp::prod: accumulator[i] *= operand[i]; break;
+    }
+  }
+}
+
+}  // namespace detail
+
+class Comm {
+ public:
+  Comm(World* world, std::shared_ptr<const std::vector<int>> group, int rank, int context_id)
+      : world_(world), group_(std::move(group)), rank_(rank), context_id_(context_id) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(group_->size()); }
+  [[nodiscard]] World& world() const noexcept { return *world_; }
+  [[nodiscard]] int world_rank_of(int comm_rank) const { return (*group_)[comm_rank]; }
+
+  // --- point to point ----------------------------------------------------
+
+  template <typename T>
+  void send(std::span<const T> data, int destination, int tag = 0) {
+    send_bytes(detail::to_bytes(data), destination, tag);
+  }
+
+  template <typename T>
+  void send_value(const T& value, int destination, int tag = 0) {
+    send(std::span<const T>(&value, 1), destination, tag);
+  }
+
+  /// Blocking receive; returns the payload. `actual_source` (optional)
+  /// receives the sender's rank, useful with kAnySource.
+  template <typename T>
+  [[nodiscard]] std::vector<T> recv(int source, int tag = 0, int* actual_source = nullptr) {
+    return detail::from_bytes<T>(recv_bytes(source, tag, actual_source));
+  }
+
+  template <typename T>
+  [[nodiscard]] T recv_value(int source, int tag = 0) {
+    auto v = recv<T>(source, tag);
+    if (v.size() != 1) throw std::runtime_error("svmmpi: recv_value expected one element");
+    return v[0];
+  }
+
+  /// Buffered eager send: the Request is complete on return.
+  template <typename T>
+  [[nodiscard]] Request isend(std::span<const T> data, int destination, int tag = 0) {
+    send(data, destination, tag);
+    return Request{};
+  }
+
+  /// Deferred receive: the payload lands in `out` when the Request is waited.
+  template <typename T>
+  [[nodiscard]] Request irecv(std::vector<T>& out, int source, int tag = 0) {
+    return Request([this, &out, source, tag] { out = recv<T>(source, tag); });
+  }
+
+  static void wait_all(std::span<Request> requests) {
+    for (Request& r : requests) r.wait();
+  }
+
+  /// Combined send+receive, the ring-exchange building block (Algorithm 3).
+  template <typename T>
+  [[nodiscard]] std::vector<T> sendrecv(std::span<const T> outgoing, int destination, int source,
+                                        int tag = 0) {
+    Request s = isend(outgoing, destination, tag);
+    std::vector<T> incoming = recv<T>(source, tag);
+    s.wait();
+    return incoming;
+  }
+
+  // --- collectives ---------------------------------------------------------
+
+  void barrier();
+
+  /// Broadcast; non-root contents are replaced (size included).
+  template <typename T>
+  void bcast(std::vector<T>& data, int root) {
+    std::vector<std::byte> mine =
+        rank_ == root ? detail::to_bytes(std::span<const T>(data)) : std::vector<std::byte>{};
+    auto out = collective(
+        std::move(mine),
+        [root](const std::vector<std::vector<std::byte>>& parts) { return parts[root]; },
+        /*modeled=*/ModelAs::tree, data.size() * sizeof(T));
+    data = detail::from_bytes<T>(out);
+  }
+
+  template <typename T>
+  [[nodiscard]] T bcast_value(T value, int root) {
+    std::vector<T> one{value};
+    bcast(one, root);
+    return one[0];
+  }
+
+  /// Element-wise allreduce over equal-length vectors.
+  template <typename T>
+  [[nodiscard]] std::vector<T> allreduce(std::span<const T> data, ReduceOp op) {
+    auto out = collective(
+        detail::to_bytes(data),
+        [op](const std::vector<std::vector<std::byte>>& parts) {
+          std::vector<T> acc = detail::from_bytes<T>(parts[0]);
+          for (std::size_t r = 1; r < parts.size(); ++r) {
+            const std::vector<T> operand = detail::from_bytes<T>(parts[r]);
+            if (operand.size() != acc.size())
+              throw std::runtime_error("svmmpi: allreduce length mismatch across ranks");
+            detail::apply_reduce<T>(op, acc, operand);
+          }
+          return detail::to_bytes(std::span<const T>(acc));
+        },
+        ModelAs::tree, data.size_bytes());
+    return detail::from_bytes<T>(out);
+  }
+
+  template <typename T>
+  [[nodiscard]] T allreduce(T value, ReduceOp op) {
+    return allreduce(std::span<const T>(&value, 1), op)[0];
+  }
+
+  /// MINLOC: smallest value wins; value ties break toward the smaller index.
+  [[nodiscard]] DoubleInt allreduce_minloc(DoubleInt mine);
+  /// MAXLOC: largest value wins; value ties break toward the smaller index.
+  [[nodiscard]] DoubleInt allreduce_maxloc(DoubleInt mine);
+
+  /// Gather one value from every rank; result indexed by rank.
+  template <typename T>
+  [[nodiscard]] std::vector<T> allgather(const T& value) {
+    auto per_rank = allgatherv(std::span<const T>(&value, 1));
+    std::vector<T> flat(per_rank.size());
+    for (std::size_t r = 0; r < per_rank.size(); ++r) {
+      if (per_rank[r].size() != 1)
+        throw std::runtime_error("svmmpi: allgather expected one element per rank");
+      flat[r] = per_rank[r][0];
+    }
+    return flat;
+  }
+
+  /// Variable-length allgather; result[r] is rank r's contribution.
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> allgatherv(std::span<const T> mine) {
+    auto out = collective(detail::to_bytes(mine), concat_with_sizes, ModelAs::ring,
+                          mine.size_bytes());
+    return split_concatenated<T>(out);
+  }
+
+  /// Rooted reduction: every rank contributes; only `root` receives the
+  /// combined vector (others get their input back unchanged, like MPI's
+  /// undefined non-root recvbuf — do not rely on it).
+  template <typename T>
+  [[nodiscard]] std::vector<T> reduce(std::span<const T> data, ReduceOp op, int root) {
+    // Executed as an allreduce on the shared-memory substrate; modeled as
+    // the tree reduction a real MPI would run.
+    std::vector<T> combined = allreduce(data, op);
+    return rank_ == root ? combined : std::vector<T>(data.begin(), data.end());
+  }
+
+  /// Gather to root; result[r] is rank r's contribution (root only; other
+  /// ranks receive an empty vector).
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> gather(std::span<const T> mine, int root) {
+    auto all = allgatherv(mine);
+    if (rank_ != root) all.clear();
+    return all;
+  }
+
+  /// Scatter from root: rank r receives parts[r]. Non-root ranks pass any
+  /// (ignored) `parts`; the root's vector must have one entry per rank.
+  template <typename T>
+  [[nodiscard]] std::vector<T> scatter(const std::vector<std::vector<T>>& parts, int root) {
+    if (rank_ == root && parts.size() != static_cast<std::size_t>(size()))
+      throw std::invalid_argument("svmmpi: scatter needs one part per rank");
+    std::vector<std::byte> packed;
+    if (rank_ == root) {
+      std::vector<std::vector<std::byte>> byte_parts(parts.size());
+      for (std::size_t r = 0; r < parts.size(); ++r)
+        byte_parts[r] = detail::to_bytes(std::span<const T>(parts[r]));
+      packed = concat_with_sizes(byte_parts);
+    }
+    bcast(packed, root);  // modeled as a tree distribution
+    return split_concatenated<T>(packed)[rank_];
+  }
+
+  /// Splits the communicator; ranks passing the same color form a new comm,
+  /// ordered by (key, parent rank). Collective over this comm.
+  [[nodiscard]] Comm split(int color, int key) const;
+
+ private:
+  enum class ModelAs { tree, ring, none };
+
+  void send_bytes(std::vector<std::byte> payload, int destination, int tag);
+  [[nodiscard]] std::vector<std::byte> recv_bytes(int source, int tag, int* actual_source);
+  [[nodiscard]] std::vector<std::byte> collective(std::vector<std::byte> contribution,
+                                                  const CollectiveContext::Combine& combine,
+                                                  ModelAs model_as, std::size_t payload_bytes);
+
+  /// Packs parts as [uint64 count][uint64 sizes...][concatenated payloads];
+  /// also the combine step of allgatherv.
+  static std::vector<std::byte> concat_with_sizes(
+      const std::vector<std::vector<std::byte>>& parts);
+
+  template <typename T>
+  [[nodiscard]] static std::vector<std::vector<T>> split_concatenated(
+      std::span<const std::byte> bytes) {
+    if (bytes.size() < sizeof(std::uint64_t))
+      throw std::runtime_error("svmmpi: malformed allgatherv payload");
+    std::uint64_t count = 0;
+    std::memcpy(&count, bytes.data(), sizeof(count));
+    std::size_t offset = sizeof(std::uint64_t);
+    std::vector<std::uint64_t> sizes(count);
+    std::memcpy(sizes.data(), bytes.data() + offset, count * sizeof(std::uint64_t));
+    offset += count * sizeof(std::uint64_t);
+    std::vector<std::vector<T>> result(count);
+    for (std::size_t r = 0; r < count; ++r) {
+      result[r] = detail::from_bytes<T>(bytes.subspan(offset, sizes[r]));
+      offset += sizes[r];
+    }
+    return result;
+  }
+
+  World* world_;
+  std::shared_ptr<const std::vector<int>> group_;
+  int rank_;
+  int context_id_;
+};
+
+}  // namespace svmmpi

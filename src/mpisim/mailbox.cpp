@@ -1,0 +1,61 @@
+#include "mpisim/mailbox.hpp"
+
+namespace svmmpi {
+
+void Mailbox::push(Message message) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  available_.notify_all();
+}
+
+bool Mailbox::find_match_locked(int context, int source, int tag, std::size_t& index) const {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Message& m = queue_[i];
+    const bool context_ok = m.context == context;
+    const bool source_ok = source == kAnySource || m.source == source;
+    const bool tag_ok = tag == kAnyTag || m.tag == tag;
+    if (context_ok && source_ok && tag_ok) {
+      index = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+Message Mailbox::pop(int context, int source, int tag) {
+  std::unique_lock lock(mutex_);
+  std::size_t index = 0;
+  available_.wait(lock,
+                  [&] { return aborted_ || find_match_locked(context, source, tag, index); });
+  if (aborted_) throw WorldAborted{};
+  Message result = std::move(queue_[index]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  return result;
+}
+
+bool Mailbox::try_pop(int context, int source, int tag, Message& out) {
+  std::lock_guard lock(mutex_);
+  if (aborted_) throw WorldAborted{};
+  std::size_t index = 0;
+  if (!find_match_locked(context, source, tag, index)) return false;
+  out = std::move(queue_[index]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  return true;
+}
+
+void Mailbox::abort() {
+  {
+    std::lock_guard lock(mutex_);
+    aborted_ = true;
+  }
+  available_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace svmmpi

@@ -1,0 +1,60 @@
+// Point-to-point message transport: one Mailbox per destination rank.
+// Messages are tagged byte payloads; receives match on (source, tag) with
+// MPI-style wildcards and preserve per-(source,tag) FIFO order, mirroring
+// MPI's non-overtaking guarantee.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace svmmpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int context = 0;  ///< communicator context id; exact match, no wildcard
+  int source = 0;   ///< sender's rank within that communicator
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Thrown from blocking operations when the World is torn down after a rank
+/// failed; prevents deadlock when a sibling rank throws mid-protocol.
+struct WorldAborted : std::exception {
+  [[nodiscard]] const char* what() const noexcept override {
+    return "svmmpi: world aborted (another rank raised an error)";
+  }
+};
+
+class Mailbox {
+ public:
+  void push(Message message);
+
+  /// Blocks until a message matching (context, source, tag) is available and
+  /// removes it. Wildcards kAnySource/kAnyTag match anything; context always
+  /// matches exactly. Throws WorldAborted if abort() is called while waiting.
+  [[nodiscard]] Message pop(int context, int source, int tag);
+
+  /// Non-blocking variant; returns false if no matching message is queued.
+  [[nodiscard]] bool try_pop(int context, int source, int tag, Message& out);
+
+  /// Wakes all waiters; subsequent/pending blocking pops throw WorldAborted.
+  void abort();
+
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  [[nodiscard]] bool find_match_locked(int context, int source, int tag,
+                                       std::size_t& index) const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::deque<Message> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace svmmpi

@@ -1,0 +1,42 @@
+#include "mpisim/spmd.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace svmmpi {
+
+TrafficStats run_spmd(int num_ranks, const std::function<void(Comm&)>& body, NetModel model,
+                      const std::function<void(const World&)>& inspect) {
+  World world(num_ranks, model);
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto rank_main = [&](int rank) {
+    try {
+      Comm comm = world.world_comm(rank);
+      body(comm);
+    } catch (const WorldAborted&) {
+      // Secondary failure caused by another rank's abort; ignore.
+    } catch (...) {
+      {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      world.abort();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_ranks);
+  for (int r = 0; r < num_ranks; ++r) threads.emplace_back(rank_main, r);
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  if (inspect) inspect(world);
+  return world.total_stats();
+}
+
+}  // namespace svmmpi

@@ -1,0 +1,20 @@
+// SPMD launcher: runs `body(comm)` on p rank-threads over a fresh World and
+// joins. If any rank throws, the world is aborted (unblocking siblings) and
+// the first exception is rethrown to the caller.
+#pragma once
+
+#include <functional>
+
+#include "mpisim/comm.hpp"
+#include "mpisim/world.hpp"
+
+namespace svmmpi {
+
+/// Runs the SPMD region and returns the world's aggregate traffic stats.
+/// `world_out`, if non-null, receives per-rank stats access via the World
+/// kept alive for the duration of the call only — copy what you need.
+TrafficStats run_spmd(int num_ranks, const std::function<void(Comm&)>& body,
+                      NetModel model = {},
+                      const std::function<void(const World&)>& inspect = nullptr);
+
+}  // namespace svmmpi

@@ -1,0 +1,52 @@
+#include "mpisim/world.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "mpisim/comm.hpp"
+
+namespace svmmpi {
+
+World::World(int size, NetModel model) : size_(size), model_(model), stats_(size) {
+  if (size <= 0) throw std::invalid_argument("svmmpi: world size must be positive");
+  mailboxes_.reserve(size);
+  for (int r = 0; r < size; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+  // Context 0 is the world communicator's.
+  (void)create_context(size);
+}
+
+Comm World::world_comm(int rank) {
+  if (rank < 0 || rank >= size_) throw std::out_of_range("svmmpi: rank out of range");
+  auto group = std::make_shared<std::vector<int>>(size_);
+  std::iota(group->begin(), group->end(), 0);
+  return Comm(this, std::move(group), rank, /*context_id=*/0);
+}
+
+void World::abort() {
+  if (aborted_.exchange(true)) return;
+  for (auto& box : mailboxes_) box->abort();
+  std::lock_guard lock(registry_mutex_);
+  for (auto& [id, ctx] : contexts_) ctx->abort();
+}
+
+TrafficStats World::total_stats() const {
+  TrafficStats total;
+  for (const TrafficStats& s : stats_) total += s;
+  return total;
+}
+
+CollectiveContext& World::context(int id) {
+  std::lock_guard lock(registry_mutex_);
+  const auto it = contexts_.find(id);
+  if (it == contexts_.end()) throw std::out_of_range("svmmpi: unknown collective context");
+  return *it->second;
+}
+
+int World::create_context(int size) {
+  std::lock_guard lock(registry_mutex_);
+  const int id = next_context_id_++;
+  contexts_.emplace(id, std::make_unique<CollectiveContext>(size));
+  return id;
+}
+
+}  // namespace svmmpi

@@ -1,0 +1,64 @@
+// World: owns the shared state for one SPMD execution — a mailbox per rank,
+// the registry of collective contexts (one per communicator), the network
+// cost model and per-rank traffic statistics.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mpisim/collective.hpp"
+#include "mpisim/mailbox.hpp"
+#include "mpisim/netmodel.hpp"
+
+namespace svmmpi {
+
+class Comm;
+
+class World {
+ public:
+  explicit World(int size, NetModel model = {});
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] const NetModel& model() const noexcept { return model_; }
+
+  /// Communicator handle spanning all ranks, bound to `rank`. Each rank's
+  /// thread obtains its own handle.
+  [[nodiscard]] Comm world_comm(int rank);
+
+  /// Tears down all blocking operations; used when a rank throws so siblings
+  /// do not deadlock. Idempotent.
+  void abort();
+  [[nodiscard]] bool aborted() const noexcept { return aborted_.load(); }
+
+  /// Per-rank statistics. Only rank `r`'s thread writes stats(r), so reads
+  /// are race-free after the SPMD region joins.
+  [[nodiscard]] const TrafficStats& stats(int rank) const { return stats_[rank]; }
+  [[nodiscard]] TrafficStats& mutable_stats(int rank) { return stats_[rank]; }
+  [[nodiscard]] TrafficStats total_stats() const;
+
+  // --- internals used by Comm -------------------------------------------
+  [[nodiscard]] Mailbox& mailbox(int world_rank) { return *mailboxes_[world_rank]; }
+  [[nodiscard]] CollectiveContext& context(int id);
+  /// Allocates a new collective context for a sub-communicator of `size`
+  /// ranks and returns its id. Thread-safe; called once per new group.
+  [[nodiscard]] int create_context(int size);
+
+ private:
+  int size_;
+  NetModel model_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<TrafficStats> stats_;
+  std::atomic<bool> aborted_{false};
+
+  std::mutex registry_mutex_;
+  std::map<int, std::unique_ptr<CollectiveContext>> contexts_;
+  int next_context_id_ = 0;
+};
+
+}  // namespace svmmpi

@@ -1,0 +1,37 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace svmutil {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::warn)};
+std::mutex g_write_mutex;
+
+[[nodiscard]] const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::debug: return "debug";
+    case LogLevel::info: return "info";
+    case LogLevel::warn: return "warn";
+    case LogLevel::error: return "error";
+    case LogLevel::off: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
+
+void log_line(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < g_level.load()) return;
+  std::lock_guard lock(g_write_mutex);
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(level), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace svmutil

@@ -1,0 +1,54 @@
+// Minimal thread-safe leveled logging. Solvers log at debug level; benches
+// and examples raise the level for progress reporting. No global state other
+// than the level and a mutex serializing writes.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace svmutil {
+
+enum class LogLevel : int { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Writes one formatted line ("[level] message\n") to stderr under a mutex.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) noexcept : level_(level) {}
+  ~LogStream() { log_line(level_, buffer_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    buffer_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream buffer_;
+};
+
+}  // namespace detail
+
+#define SVM_LOG(level)                                       \
+  if (static_cast<int>(level) < static_cast<int>(::svmutil::log_level())) { \
+  } else                                                     \
+    ::svmutil::detail::LogStream(level)
+
+#define SVM_LOG_DEBUG SVM_LOG(::svmutil::LogLevel::debug)
+#define SVM_LOG_INFO SVM_LOG(::svmutil::LogLevel::info)
+#define SVM_LOG_WARN SVM_LOG(::svmutil::LogLevel::warn)
+#define SVM_LOG_ERROR SVM_LOG(::svmutil::LogLevel::error)
+
+}  // namespace svmutil

@@ -1,0 +1,51 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace svmutil {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0;
+  for (const double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (const double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+
+  std::vector<double> copy(values.begin(), values.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + mid, copy.end());
+  if (copy.size() % 2 == 1) {
+    s.median = copy[mid];
+  } else {
+    const double upper = copy[mid];
+    std::nth_element(copy.begin(), copy.begin() + mid - 1, copy.end());
+    s.median = 0.5 * (upper + copy[mid - 1]);
+  }
+  return s;
+}
+
+double geometric_mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double relative_error(double a, double b, double eps_floor) {
+  const double scale = std::max({std::abs(a), std::abs(b), eps_floor});
+  return std::abs(a - b) / scale;
+}
+
+}  // namespace svmutil

@@ -1,0 +1,27 @@
+// Small descriptive-statistics helpers for bench reporting and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace svmutil {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double median = 0.0;
+};
+
+/// One-pass summary (median requires a copy + nth_element).
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Geometric mean; values must be positive. Returns 0 for empty input.
+[[nodiscard]] double geometric_mean(std::span<const double> values);
+
+/// Relative error |a-b| / max(|a|,|b|,eps_floor).
+[[nodiscard]] double relative_error(double a, double b, double eps_floor = 1e-12);
+
+}  // namespace svmutil

@@ -1,0 +1,37 @@
+// Plain-text table rendering for bench harness output. Every bench binary
+// regenerating a paper table/figure prints its rows through this so output
+// is uniform and machine-greppable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace svmutil {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision. Rendered with a header rule and column padding.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; pads or truncates to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles at the given precision alongside strings.
+  [[nodiscard]] static std::string num(double value, int precision = 3);
+  [[nodiscard]] static std::string integer(long long value);
+
+  /// Renders the table with aligned columns.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace svmutil

@@ -1,0 +1,3 @@
+#include "util/timer.hpp"
+
+// Header-only in practice; this TU anchors the library target.

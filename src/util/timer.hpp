@@ -1,0 +1,67 @@
+// Wall-clock timing helpers used across solvers and bench harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace svmutil {
+
+/// Monotonic wall-clock stopwatch with microsecond resolution.
+class Timer {
+ public:
+  Timer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals; used for per-phase
+/// breakdowns (e.g. fraction of time in gradient reconstruction, Fig. 8).
+class PhaseTimer {
+ public:
+  void start() noexcept {
+    running_ = true;
+    stopwatch_.reset();
+  }
+
+  void stop() noexcept {
+    if (running_) {
+      total_ += stopwatch_.seconds();
+      ++intervals_;
+      running_ = false;
+    }
+  }
+
+  [[nodiscard]] double total_seconds() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t intervals() const noexcept { return intervals_; }
+
+ private:
+  Timer stopwatch_;
+  double total_ = 0.0;
+  std::uint64_t intervals_ = 0;
+  bool running_ = false;
+};
+
+/// RAII guard that stops a PhaseTimer on scope exit.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(PhaseTimer& timer) noexcept : timer_(timer) { timer_.start(); }
+  ~ScopedPhase() { timer_.stop(); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer& timer_;
+};
+
+}  // namespace svmutil

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "baseline/libsvm_like.hpp"
+#include "core/objective.hpp"
+#include "core/sequential_smo.hpp"
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using svmbaseline::BaselineOptions;
+using svmbaseline::BaselineResult;
+using svmbaseline::solve_libsvm_like;
+using svmdata::Dataset;
+using svmdata::Feature;
+using svmkernel::KernelParams;
+using svmkernel::KernelType;
+
+Dataset training_data() {
+  return svmdata::synthetic::gaussian_blobs(
+      {.n = 200, .d = 6, .separation = 1.8, .label_noise = 0.05, .seed = 71});
+}
+
+BaselineOptions default_options() {
+  BaselineOptions o;
+  o.C = 8.0;
+  o.eps = 1e-3;
+  o.kernel = KernelParams::rbf_with_sigma_sq(4.0);
+  o.cache_mb = 16;
+  return o;
+}
+
+TEST(Baseline, TwoPointAnalyticSolution) {
+  Dataset d;
+  d.X.add_row(std::vector<Feature>{{0, 1.0}});
+  d.X.add_row(std::vector<Feature>{{0, -1.0}});
+  d.y = {1.0, -1.0};
+  BaselineOptions o = default_options();
+  o.kernel = KernelParams{KernelType::linear, 1.0, 0.0, 3};
+  o.C = 10.0;
+  o.eps = 1e-5;
+  const BaselineResult r = solve_libsvm_like(d, o);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.alpha[0], 0.5, 1e-3);  // dual optimum: 2a - 2a^2 -> a = 1/2
+  EXPECT_NEAR(r.alpha[1], 0.5, 1e-3);
+  EXPECT_NEAR(r.rho, 0.0, 1e-3);
+}
+
+TEST(Baseline, MatchesSequentialObjective) {
+  // Different algorithms (WSS2 vs worst-violator), same optimization problem:
+  // the dual objective values must agree to tolerance-level slack.
+  const Dataset d = training_data();
+  const BaselineOptions o = default_options();
+  svmcore::SolverParams p;
+  p.C = o.C;
+  p.eps = o.eps;
+  p.kernel = o.kernel;
+  const auto baseline = solve_libsvm_like(d, o);
+  const auto reference = svmcore::solve_sequential(d, p);
+  const double obj_baseline = svmcore::dual_objective(d, baseline.alpha, o.kernel);
+  const double obj_reference = svmcore::dual_objective(d, reference.alpha, p.kernel);
+  EXPECT_NEAR(obj_baseline, obj_reference, 0.02 * std::abs(obj_reference) + 0.05);
+  EXPECT_NEAR(baseline.rho, reference.beta, 0.05);
+}
+
+TEST(Baseline, KktConditionsHold) {
+  const Dataset d = training_data();
+  const BaselineOptions o = default_options();
+  const BaselineResult r = solve_libsvm_like(d, o);
+  ASSERT_TRUE(r.converged);
+  svmcore::SolverParams p;
+  p.C = o.C;
+  p.eps = o.eps;
+  p.kernel = o.kernel;
+  const auto report = svmcore::kkt_report(d, r.alpha, p);
+  EXPECT_LE(report.gap, 2.0 * o.eps + 1e-6);
+  EXPECT_LE(report.max_alpha_bound_violation, 1e-9);
+}
+
+TEST(Baseline, ShrinkingOnOffSameAnswer) {
+  const Dataset d = training_data();
+  BaselineOptions with = default_options();
+  BaselineOptions without = default_options();
+  without.use_shrinking = false;
+  const auto a = solve_libsvm_like(d, with);
+  const auto b = solve_libsvm_like(d, without);
+  const double obj_a = svmcore::dual_objective(d, a.alpha, with.kernel);
+  const double obj_b = svmcore::dual_objective(d, b.alpha, without.kernel);
+  EXPECT_NEAR(obj_a, obj_b, 0.01 * std::abs(obj_b) + 0.05);
+  EXPECT_NEAR(a.rho, b.rho, 0.05);
+}
+
+TEST(Baseline, OpenMpOnOffIdenticalResult) {
+  const Dataset d = training_data();
+  BaselineOptions serial = default_options();
+  serial.use_openmp = false;
+  BaselineOptions parallel = default_options();
+  parallel.use_openmp = true;
+  const auto a = solve_libsvm_like(d, serial);
+  const auto b = solve_libsvm_like(d, parallel);
+  ASSERT_EQ(a.alpha.size(), b.alpha.size());
+  for (std::size_t i = 0; i < a.alpha.size(); ++i) EXPECT_EQ(a.alpha[i], b.alpha[i]);
+  EXPECT_EQ(a.rho, b.rho);
+}
+
+TEST(Baseline, CacheImprovesHitRateWithBudget) {
+  const Dataset d = training_data();
+  BaselineOptions tiny = default_options();
+  tiny.cache_mb = 0;  // cache admits single rows only, evicting constantly
+  BaselineOptions roomy = default_options();
+  roomy.cache_mb = 64;
+  const auto cold = solve_libsvm_like(d, tiny);
+  const auto warm = solve_libsvm_like(d, roomy);
+  EXPECT_GT(warm.cache_hit_rate, cold.cache_hit_rate);
+  // Identical math regardless of caching (float rows in both paths).
+  for (std::size_t i = 0; i < cold.alpha.size(); ++i) EXPECT_EQ(cold.alpha[i], warm.alpha[i]);
+}
+
+TEST(Baseline, FewerKernelEvaluationsWithCache) {
+  const Dataset d = training_data();
+  BaselineOptions tiny = default_options();
+  tiny.cache_mb = 0;
+  BaselineOptions roomy = default_options();
+  roomy.cache_mb = 64;
+  EXPECT_LT(solve_libsvm_like(d, roomy).kernel_evaluations,
+            solve_libsvm_like(d, tiny).kernel_evaluations);
+}
+
+TEST(Baseline, ModelAccuracyOnHeldOut) {
+  const Dataset train = training_data();
+  const Dataset test = svmdata::synthetic::gaussian_blobs(
+      {.n = 300, .d = 6, .separation = 1.8, .label_noise = 0.0, .seed = 71, .draw = 1});
+  const BaselineOptions o = default_options();
+  const BaselineResult r = solve_libsvm_like(train, o);
+  const auto model = svmcore::build_model(train, r.alpha, r.rho, o.kernel);
+  // Separation 1.8 bounds the Bayes accuracy near Phi(0.9) ~ 0.82.
+  EXPECT_GT(model.accuracy(test), 0.68);
+}
+
+TEST(Baseline, MaxIterationsCap) {
+  BaselineOptions o = default_options();
+  o.max_iterations = 5;
+  const BaselineResult r = solve_libsvm_like(training_data(), o);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 5u);
+}
+
+TEST(Baseline, RejectsDegenerateInput) {
+  Dataset d;
+  d.X.add_row(std::vector<Feature>{{0, 1.0}});
+  d.y = {1.0};
+  EXPECT_THROW((void)solve_libsvm_like(d, default_options()), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "cascade/cascade_svm.hpp"
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using svmcascade::CascadeOptions;
+using svmcascade::CascadeResult;
+using svmcascade::train_cascade;
+using svmdata::Dataset;
+using svmkernel::KernelParams;
+
+Dataset training_data() {
+  return svmdata::synthetic::gaussian_blobs(
+      {.n = 400, .d = 6, .separation = 2.2, .label_noise = 0.03, .seed = 111});
+}
+
+CascadeOptions options_with(int levels) {
+  CascadeOptions o;
+  o.levels = levels;
+  o.params.C = 8.0;
+  o.params.eps = 1e-3;
+  o.params.kernel = KernelParams::rbf_with_sigma_sq(4.0);
+  return o;
+}
+
+TEST(Cascade, MatchesDirectSolveAccuracy) {
+  const Dataset train = training_data();
+  const Dataset test = svmdata::synthetic::gaussian_blobs(
+      {.n = 400, .d = 6, .separation = 2.2, .seed = 111, .draw = 1});
+
+  const CascadeResult cascade = train_cascade(train, options_with(2));
+  ASSERT_TRUE(cascade.converged);
+
+  svmcore::SolverParams params = options_with(2).params;
+  const auto direct = svmcore::train(train, params, {});
+
+  EXPECT_NEAR(cascade.model.accuracy(test), direct.model.accuracy(test), 0.03);
+}
+
+TEST(Cascade, ZeroLevelsIsDirectSolve) {
+  const Dataset train = training_data();
+  const CascadeResult r = train_cascade(train, options_with(0));
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.leaf_seconds.size(), 1u);
+  EXPECT_GT(r.model.accuracy(train), 0.9);
+}
+
+TEST(Cascade, RecordsPerLeafStatistics) {
+  const CascadeResult r = train_cascade(training_data(), options_with(3));
+  EXPECT_EQ(r.leaf_seconds.size(), 8u);
+  EXPECT_EQ(r.leaf_support_vectors.size(), 8u);
+  for (const std::size_t svs : r.leaf_support_vectors) EXPECT_GT(svs, 0u);
+  EXPECT_GE(r.imbalance(), 1.0);
+}
+
+TEST(Cascade, FeedbackConvergesWithinPassLimit) {
+  CascadeOptions options = options_with(2);
+  options.max_passes = 5;
+  const CascadeResult r = train_cascade(training_data(), options);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.passes, 2u);  // at least one feedback round to confirm stability
+  EXPECT_LE(r.passes, 5u);
+}
+
+TEST(Cascade, SupportVectorsAreSubsetOfData) {
+  const Dataset train = training_data();
+  const CascadeResult r = train_cascade(train, options_with(2));
+  EXPECT_GT(r.model.num_support_vectors(), 0u);
+  EXPECT_LT(r.model.num_support_vectors(), train.size());
+}
+
+TEST(Cascade, RejectsDegenerateInput) {
+  const Dataset train = training_data();
+  EXPECT_THROW((void)train_cascade(train, options_with(-1)), std::invalid_argument);
+  CascadeOptions too_many = options_with(12);
+  EXPECT_THROW((void)train_cascade(train, too_many), std::invalid_argument);
+
+  Dataset one_class;
+  for (int i = 0; i < 16; ++i) {
+    one_class.X.add_row(std::vector<svmdata::Feature>{{0, static_cast<double>(i)}});
+    one_class.y.push_back(1.0);
+  }
+  EXPECT_THROW((void)train_cascade(one_class, options_with(1)), std::invalid_argument);
+}
+
+TEST(Cascade, EveryLeafSeesBothClasses) {
+  // 90/10 imbalance with 8 leaves: class-striped partitioning must still put
+  // positives in every leaf (otherwise leaf solves would throw).
+  const Dataset train = svmdata::synthetic::gaussian_blobs(
+      {.n = 320, .d = 4, .separation = 2.5, .positive_fraction = 0.1, .seed = 113});
+  EXPECT_NO_THROW((void)train_cascade(train, options_with(3)));
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Extension features: class-weighted C (cost-sensitive training) and the
+// cross-validation grid search behind the paper's Table III hyper-parameter
+// selection (§V-C).
+#include <gtest/gtest.h>
+
+#include "baseline/libsvm_like.hpp"
+#include "core/grid_search.hpp"
+#include "core/metrics.hpp"
+#include "core/objective.hpp"
+#include "core/sequential_smo.hpp"
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using svmcore::SolverParams;
+using svmdata::Dataset;
+using svmkernel::KernelParams;
+
+Dataset imbalanced_dataset(std::uint64_t draw = 0) {
+  // 85% negative, 15% positive, moderate overlap: the setting where class
+  // weights matter.
+  return svmdata::synthetic::gaussian_blobs({.n = 400,
+                                             .d = 6,
+                                             .separation = 1.5,
+                                             .label_noise = 0.02,
+                                             .positive_fraction = 0.15,
+                                             .seed = 91,
+                                             .draw = draw});
+}
+
+SolverParams weighted_params(double w_pos) {
+  SolverParams p;
+  p.C = 4.0;
+  p.eps = 1e-3;
+  p.kernel = KernelParams::rbf_with_sigma_sq(4.0);
+  p.weight_positive = w_pos;
+  return p;
+}
+
+TEST(WeightedC, CofRespectsLabels) {
+  SolverParams p = weighted_params(5.0);
+  p.weight_negative = 0.5;
+  EXPECT_DOUBLE_EQ(p.C_of(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(p.C_of(-1.0), 2.0);
+}
+
+TEST(WeightedC, UnitWeightsMatchUnweightedBitwise) {
+  const Dataset d = imbalanced_dataset();
+  SolverParams unweighted = weighted_params(1.0);
+  SolverParams weighted = weighted_params(1.0);
+  weighted.weight_negative = 1.0;
+  const auto a = svmcore::solve_sequential(d, unweighted);
+  const auto b = svmcore::solve_sequential(d, weighted);
+  EXPECT_EQ(a.stats.iterations, b.stats.iterations);
+  for (std::size_t i = 0; i < a.alpha.size(); ++i) EXPECT_EQ(a.alpha[i], b.alpha[i]);
+}
+
+TEST(WeightedC, AlphasRespectPerClassBounds) {
+  const Dataset d = imbalanced_dataset();
+  const SolverParams p = weighted_params(6.0);  // C+ = 24, C- = 4
+  const auto r = svmcore::solve_sequential(d, p);
+  ASSERT_TRUE(r.stats.converged);
+  bool positive_exceeds_base_c = false;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double bound = p.C_of(d.y[i]);
+    EXPECT_GE(r.alpha[i], 0.0);
+    EXPECT_LE(r.alpha[i], bound);
+    if (d.y[i] > 0 && r.alpha[i] > p.C) positive_exceeds_base_c = true;
+  }
+  // The weight must actually be used: some positive alpha exceeds plain C.
+  EXPECT_TRUE(positive_exceeds_base_c);
+}
+
+TEST(WeightedC, KktHoldsWithWeights) {
+  const Dataset d = imbalanced_dataset();
+  const SolverParams p = weighted_params(4.0);
+  const auto r = svmcore::solve_sequential(d, p);
+  const auto report = svmcore::kkt_report(d, r.alpha, p);
+  EXPECT_LE(report.gap, 2.0 * p.eps + 1e-9);
+  EXPECT_LE(report.max_alpha_bound_violation, 1e-12);
+}
+
+TEST(WeightedC, UpweightingPositivesImprovesRecall) {
+  const Dataset train = imbalanced_dataset(0);
+  const Dataset test = imbalanced_dataset(1);
+
+  auto recall_with = [&](double w_pos) {
+    const auto r = svmcore::train(train, weighted_params(w_pos), {});
+    return svmcore::confusion(r.model.predict_all(test.X), test.y).recall();
+  };
+  const double recall_plain = recall_with(1.0);
+  const double recall_weighted = recall_with(8.0);
+  EXPECT_GT(recall_weighted, recall_plain);
+}
+
+TEST(WeightedC, DistributedMatchesSequentialWithWeights) {
+  const Dataset d = imbalanced_dataset();
+  const SolverParams p = weighted_params(3.0);
+  const auto sequential = svmcore::solve_sequential(d, p);
+  svmcore::TrainOptions options;
+  options.num_ranks = 4;
+  const auto parallel = svmcore::train(d, p, options);
+  EXPECT_EQ(parallel.iterations, sequential.stats.iterations);
+  EXPECT_NEAR(parallel.beta, sequential.beta, 1e-12);
+}
+
+TEST(WeightedC, ShrinkingSolverHonoursWeights) {
+  const Dataset d = imbalanced_dataset();
+  const SolverParams p = weighted_params(4.0);
+  svmcore::TrainOptions options;
+  options.num_ranks = 2;
+  options.heuristic = svmcore::Heuristic::best();
+  const auto result = svmcore::train(d, p, options);
+  ASSERT_TRUE(result.converged);
+  // Coefficients are alpha*y: positives may reach C*w+, negatives only C.
+  for (std::size_t j = 0; j < result.model.num_support_vectors(); ++j) {
+    const double coef = result.model.coefficients()[j];
+    if (coef > 0)
+      EXPECT_LE(coef, p.C * p.weight_positive + 1e-9);
+    else
+      EXPECT_GE(coef, -p.C * p.weight_negative - 1e-9);
+  }
+}
+
+TEST(WeightedC, BaselineAgreesWithCoreUnderWeights) {
+  const Dataset d = imbalanced_dataset();
+  const SolverParams p = weighted_params(4.0);
+  const auto core = svmcore::solve_sequential(d, p);
+
+  svmbaseline::BaselineOptions options;
+  options.C = p.C;
+  options.weight_positive = p.weight_positive;
+  options.eps = p.eps;
+  options.kernel = p.kernel;
+  const auto baseline = svmbaseline::solve_libsvm_like(d, options);
+
+  const double obj_core = svmcore::dual_objective(d, core.alpha, p.kernel);
+  const double obj_baseline = svmcore::dual_objective(d, baseline.alpha, p.kernel);
+  EXPECT_NEAR(obj_core, obj_baseline, 0.02 * std::abs(obj_core) + 0.1);
+}
+
+TEST(GridSearch, FindsReasonableCell) {
+  const Dataset d = svmdata::synthetic::two_rings(
+      {.n = 300, .d = 3, .inner_radius = 1.0, .gap = 1.5, .thickness = 0.2, .seed = 93});
+  svmcore::GridSearchOptions options;
+  options.c_values = {1.0, 10.0};
+  options.gamma_values = {0.01, 1.0};
+  options.folds = 3;
+  const auto result = svmcore::grid_search(d, options);
+  EXPECT_EQ(result.cells.size(), 4u);
+  EXPECT_GT(result.best.mean_accuracy, 0.9);
+  // Rings need a narrow kernel: gamma=1.0 should beat gamma=0.01.
+  EXPECT_DOUBLE_EQ(result.best.gamma, 1.0);
+  EXPECT_DOUBLE_EQ(result.best_sigma_sq(), 1.0);
+}
+
+TEST(GridSearch, BestIsMaxOverCells) {
+  const Dataset d = svmdata::synthetic::gaussian_blobs(
+      {.n = 200, .d = 4, .separation = 2.0, .seed = 95});
+  svmcore::GridSearchOptions options;
+  options.c_values = {0.1, 1.0, 10.0};
+  options.gamma_values = {0.1, 1.0};
+  options.folds = 3;
+  const auto result = svmcore::grid_search(d, options);
+  for (const auto& cell : result.cells)
+    EXPECT_LE(cell.mean_accuracy, result.best.mean_accuracy + 1e-12);
+}
+
+TEST(GridSearch, RejectsEmptyGridAndBadFolds) {
+  const Dataset d = svmdata::synthetic::gaussian_blobs(
+      {.n = 50, .d = 3, .separation = 2.0, .seed = 97});
+  svmcore::GridSearchOptions empty;
+  empty.c_values.clear();
+  EXPECT_THROW((void)svmcore::grid_search(d, empty), std::invalid_argument);
+  svmcore::GridSearchOptions bad_folds;
+  bad_folds.folds = 0;
+  EXPECT_THROW((void)svmcore::grid_search(d, bad_folds), std::invalid_argument);
+}
+
+TEST(GridSearch, CellCountIsGridProduct) {
+  const Dataset d = svmdata::synthetic::gaussian_blobs(
+      {.n = 60, .d = 3, .separation = 3.0, .seed = 99});
+  svmcore::GridSearchOptions options;
+  options.c_values = {1.0, 2.0, 4.0};
+  options.gamma_values = {0.5, 1.0};
+  options.folds = 2;
+  EXPECT_EQ(svmcore::grid_search(d, options).cells.size(), 6u);
+}
+
+}  // namespace

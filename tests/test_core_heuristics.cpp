@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/heuristics.hpp"
+
+namespace {
+
+using svmcore::Heuristic;
+using svmcore::ShrinkClass;
+
+TEST(Heuristics, Table2HasThirteenRows) {
+  const auto& rows = Heuristic::table2();
+  ASSERT_EQ(rows.size(), 13u);
+  EXPECT_EQ(rows[0].name(), "Original");
+  // Table II order: Single random 2/500/1000, Single numsamples 5/10/50%,
+  // then the Multi variants in the same order.
+  EXPECT_EQ(rows[1].name(), "Single2");
+  EXPECT_EQ(rows[2].name(), "Single500");
+  EXPECT_EQ(rows[3].name(), "Single1000");
+  EXPECT_EQ(rows[4].name(), "Single5pc");
+  EXPECT_EQ(rows[5].name(), "Single10pc");
+  EXPECT_EQ(rows[6].name(), "Single50pc");
+  EXPECT_EQ(rows[7].name(), "Multi2");
+  EXPECT_EQ(rows[12].name(), "Multi50pc");
+}
+
+TEST(Heuristics, ParseRoundTripsEveryTable2Name) {
+  for (const Heuristic& h : Heuristic::table2()) EXPECT_EQ(Heuristic::parse(h.name()), h);
+}
+
+TEST(Heuristics, ParseIsCaseInsensitive) {
+  EXPECT_EQ(Heuristic::parse("multi5PC"), Heuristic::best());
+  EXPECT_EQ(Heuristic::parse("ORIGINAL"), Heuristic{});
+  EXPECT_EQ(Heuristic::parse("default"), Heuristic{});
+}
+
+TEST(Heuristics, ParseRejectsGarbage) {
+  EXPECT_THROW((void)Heuristic::parse("turbo"), std::invalid_argument);
+  EXPECT_THROW((void)Heuristic::parse("Single"), std::invalid_argument);
+  EXPECT_THROW((void)Heuristic::parse("Multi0pc"), std::invalid_argument);
+  EXPECT_THROW((void)Heuristic::parse("Single200pc"), std::invalid_argument);
+  EXPECT_THROW((void)Heuristic::parse("Multi0"), std::invalid_argument);
+}
+
+TEST(Heuristics, InitialThresholds) {
+  EXPECT_EQ(Heuristic{}.initial_threshold(10000), ~0ULL);  // Original: never
+  EXPECT_EQ(Heuristic::parse("Single2").initial_threshold(10000), 2u);
+  EXPECT_EQ(Heuristic::parse("Multi500").initial_threshold(10000), 500u);
+  EXPECT_EQ(Heuristic::parse("Single5pc").initial_threshold(10000), 500u);
+  EXPECT_EQ(Heuristic::parse("Multi50pc").initial_threshold(60000), 30000u);
+  // Never zero, even for tiny datasets.
+  EXPECT_GE(Heuristic::parse("Single5pc").initial_threshold(3), 1u);
+}
+
+TEST(Heuristics, BestAndWorstMatchPaper) {
+  // §V-D: best = Multi5pc, worst = Single50pc across the large datasets.
+  EXPECT_EQ(Heuristic::best().name(), "Multi5pc");
+  EXPECT_TRUE(Heuristic::best().multi_reconstruction);
+  EXPECT_EQ(Heuristic::worst().name(), "Single50pc");
+  EXPECT_FALSE(Heuristic::worst().multi_reconstruction);
+}
+
+TEST(Heuristics, ShrinkClassesMatchTable2Annotations) {
+  // Table II: * aggressive, diamond average, dot conservative.
+  EXPECT_EQ(Heuristic{}.shrink_class(), ShrinkClass::none);
+  EXPECT_EQ(Heuristic::parse("Single2").shrink_class(), ShrinkClass::aggressive);
+  EXPECT_EQ(Heuristic::parse("Single500").shrink_class(), ShrinkClass::aggressive);
+  EXPECT_EQ(Heuristic::parse("Single1000").shrink_class(), ShrinkClass::average);
+  EXPECT_EQ(Heuristic::parse("Single5pc").shrink_class(), ShrinkClass::aggressive);
+  EXPECT_EQ(Heuristic::parse("Multi10pc").shrink_class(), ShrinkClass::average);
+  EXPECT_EQ(Heuristic::parse("Multi50pc").shrink_class(), ShrinkClass::conservative);
+}
+
+TEST(Heuristics, ShrinkingEnabledFlag) {
+  EXPECT_FALSE(Heuristic{}.shrinking_enabled());
+  for (std::size_t i = 1; i < Heuristic::table2().size(); ++i)
+    EXPECT_TRUE(Heuristic::table2()[i].shrinking_enabled());
+}
+
+TEST(Heuristics, ToStringOfClasses) {
+  EXPECT_EQ(to_string(ShrinkClass::aggressive), "aggressive");
+  EXPECT_EQ(to_string(ShrinkClass::average), "average");
+  EXPECT_EQ(to_string(ShrinkClass::conservative), "conservative");
+  EXPECT_EQ(to_string(ShrinkClass::none), "n/a");
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/model.hpp"
+#include "core/sequential_smo.hpp"
+#include "core/trainer.hpp"
+#include "data/split.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using svmcore::SvmModel;
+using svmdata::Dataset;
+using svmdata::Feature;
+using svmkernel::KernelParams;
+using svmkernel::KernelType;
+
+SvmModel trained_model() {
+  const Dataset d = svmdata::synthetic::gaussian_blobs(
+      {.n = 120, .d = 5, .separation = 2.5, .seed = 31});
+  svmcore::SolverParams p;
+  p.C = 10.0;
+  p.eps = 1e-3;
+  p.kernel = KernelParams::rbf_with_sigma_sq(4.0);
+  const auto r = svmcore::solve_sequential(d, p);
+  return svmcore::build_model(d, r.alpha, r.beta, p.kernel);
+}
+
+TEST(Model, TrainsAndClassifiesItsOwnData) {
+  const Dataset d = svmdata::synthetic::gaussian_blobs(
+      {.n = 120, .d = 5, .separation = 2.5, .seed = 31});
+  const SvmModel model = trained_model();
+  EXPECT_GT(model.num_support_vectors(), 0u);
+  EXPECT_LT(model.num_support_vectors(), d.size());  // not everything is a SV
+  EXPECT_GT(model.accuracy(d), 0.97);
+}
+
+TEST(Model, GeneralizesToHeldOutDraw) {
+  const Dataset test = svmdata::synthetic::gaussian_blobs(
+      {.n = 200, .d = 5, .separation = 2.5, .seed = 31, .draw = 1});  // same concept, new draw
+  // Separation 2.5 puts the Bayes accuracy near Phi(1.25) ~ 0.89; a model
+  // fit on 120 samples should land well above chance but below that.
+  EXPECT_GT(trained_model().accuracy(test), 0.78);
+}
+
+TEST(Model, DecisionValueSignMatchesPredict) {
+  const Dataset d = svmdata::synthetic::gaussian_blobs(
+      {.n = 50, .d = 5, .separation = 2.5, .seed = 33});
+  const SvmModel model = trained_model();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double f = model.decision_value(d.X.row(i));
+    EXPECT_EQ(model.predict(d.X.row(i)), f >= 0 ? 1.0 : -1.0);
+  }
+}
+
+TEST(Model, PredictAllParallelMatchesSerial) {
+  const Dataset d = svmdata::synthetic::gaussian_blobs(
+      {.n = 64, .d = 5, .separation = 2.5, .seed = 34});
+  const SvmModel model = trained_model();
+  const auto serial = model.predict_all(d.X, false);
+  const auto parallel = model.predict_all(d.X, true);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Model, SaveLoadRoundTripExact) {
+  const SvmModel model = trained_model();
+  std::ostringstream out;
+  model.save(out);
+  std::istringstream in(out.str());
+  const SvmModel loaded = SvmModel::load(in);
+
+  EXPECT_EQ(loaded.num_support_vectors(), model.num_support_vectors());
+  EXPECT_EQ(loaded.beta(), model.beta());
+  EXPECT_EQ(loaded.kernel_params().type, model.kernel_params().type);
+  EXPECT_EQ(loaded.kernel_params().gamma, model.kernel_params().gamma);
+  for (std::size_t j = 0; j < model.num_support_vectors(); ++j)
+    EXPECT_EQ(loaded.coefficients()[j], model.coefficients()[j]);
+
+  // Decision values must be bitwise identical after the round trip.
+  const Dataset probe = svmdata::synthetic::gaussian_blobs(
+      {.n = 20, .d = 5, .separation = 2.5, .seed = 35});
+  for (std::size_t i = 0; i < probe.size(); ++i)
+    EXPECT_EQ(loaded.decision_value(probe.X.row(i)), model.decision_value(probe.X.row(i)));
+}
+
+TEST(Model, SaveLoadFileRoundTrip) {
+  const SvmModel model = trained_model();
+  const std::string path = ::testing::TempDir() + "/model.shrinksvm";
+  model.save_file(path);
+  const SvmModel loaded = SvmModel::load_file(path);
+  EXPECT_EQ(loaded.num_support_vectors(), model.num_support_vectors());
+}
+
+TEST(Model, LoadRejectsWrongMagic) {
+  std::istringstream in("not-a-model\n");
+  EXPECT_THROW((void)SvmModel::load(in), std::runtime_error);
+}
+
+TEST(Model, LoadRejectsTruncatedBody) {
+  const SvmModel model = trained_model();
+  std::ostringstream out;
+  model.save(out);
+  std::string text = out.str();
+  text.resize(text.size() / 2);
+  std::istringstream in(text);
+  EXPECT_THROW((void)SvmModel::load(in), std::runtime_error);
+}
+
+TEST(Model, CoefficientCountMismatchThrows) {
+  svmdata::CsrMatrix sv;
+  sv.add_row(std::vector<Feature>{{0, 1.0}});
+  EXPECT_THROW(SvmModel(KernelParams{}, std::move(sv), {0.5, 0.5}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Model, EmptyModelPredictsFromBetaAlone) {
+  const SvmModel model(KernelParams{}, svmdata::CsrMatrix{}, {}, -1.0);
+  svmdata::CsrMatrix probe;
+  probe.add_row(std::vector<Feature>{{0, 1.0}});
+  EXPECT_DOUBLE_EQ(model.decision_value(probe.row(0)), 1.0);  // 0 - (-1)
+}
+
+}  // namespace

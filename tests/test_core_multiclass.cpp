@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/multiclass.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using svmcore::MulticlassDataset;
+using svmcore::MulticlassModel;
+using svmcore::train_one_vs_one;
+using svmdata::synthetic::multiclass_blobs;
+
+svmcore::SolverParams rbf_params() {
+  svmcore::SolverParams p;
+  p.C = 10.0;
+  p.eps = 1e-3;
+  p.kernel = svmkernel::KernelParams::rbf_with_sigma_sq(8.0);
+  return p;
+}
+
+TEST(Multiclass, GeneratorProducesRequestedClasses) {
+  const MulticlassDataset d =
+      multiclass_blobs({.n = 400, .d = 6, .classes = 5, .separation = 4.0, .seed = 3});
+  EXPECT_EQ(d.size(), 400u);
+  std::set<double> labels(d.labels.begin(), d.labels.end());
+  EXPECT_EQ(labels.size(), 5u);
+  for (const double c : labels) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LT(c, 5.0);
+  }
+}
+
+TEST(Multiclass, TrainsAndClassifiesSeparableClasses) {
+  const MulticlassDataset train =
+      multiclass_blobs({.n = 300, .d = 6, .classes = 4, .separation = 6.0, .seed = 5});
+  const MulticlassModel model = train_one_vs_one(train, rbf_params());
+  EXPECT_EQ(model.num_classes(), 4u);
+  EXPECT_EQ(model.machines().size(), 6u);  // 4*3/2
+  EXPECT_GT(model.accuracy(train), 0.98);
+}
+
+TEST(Multiclass, GeneralizesToHeldOutDraw) {
+  const MulticlassDataset train =
+      multiclass_blobs({.n = 300, .d = 6, .classes = 3, .separation = 5.0, .seed = 7});
+  const MulticlassDataset test =
+      multiclass_blobs({.n = 200, .d = 6, .classes = 3, .separation = 5.0, .seed = 7, .draw = 1});
+  const MulticlassModel model = train_one_vs_one(train, rbf_params());
+  EXPECT_GT(model.accuracy(test), 0.95);
+}
+
+TEST(Multiclass, TwoClassesDegenerateToBinary) {
+  const MulticlassDataset train =
+      multiclass_blobs({.n = 150, .d = 4, .classes = 2, .separation = 5.0, .seed = 9});
+  const MulticlassModel model = train_one_vs_one(train, rbf_params());
+  EXPECT_EQ(model.machines().size(), 1u);
+  EXPECT_GT(model.accuracy(train), 0.98);
+}
+
+TEST(Multiclass, ShrinkingHeuristicMatchesOriginalAccuracy) {
+  const MulticlassDataset train =
+      multiclass_blobs({.n = 240, .d = 5, .classes = 3, .separation = 3.0, .seed = 11});
+  const MulticlassModel plain = train_one_vs_one(train, rbf_params());
+  svmcore::MulticlassTrainOptions options;
+  options.heuristic = svmcore::Heuristic::best();
+  options.num_ranks = 2;
+  const MulticlassModel shrunk = train_one_vs_one(train, rbf_params(), options);
+  EXPECT_NEAR(shrunk.accuracy(train), plain.accuracy(train), 0.02);
+}
+
+TEST(Multiclass, RejectsSingleClass) {
+  MulticlassDataset d;
+  d.X.add_row(std::vector<svmdata::Feature>{{0, 1.0}});
+  d.X.add_row(std::vector<svmdata::Feature>{{0, 2.0}});
+  d.labels = {3.0, 3.0};
+  EXPECT_THROW((void)train_one_vs_one(d, rbf_params()), std::invalid_argument);
+}
+
+TEST(Multiclass, RejectsCountMismatch) {
+  MulticlassDataset d;
+  d.X.add_row(std::vector<svmdata::Feature>{{0, 1.0}});
+  d.labels = {1.0, 2.0};
+  EXPECT_THROW((void)train_one_vs_one(d, rbf_params()), std::invalid_argument);
+}
+
+TEST(Multiclass, NonContiguousLabelsPreserved) {
+  // Labels need not be 0..k-1; e.g. {-7, 2.5, 40}.
+  // Random centers can land near each other by chance; high separation and
+  // a modest accuracy bar keep this robust to the draw.
+  MulticlassDataset base =
+      multiclass_blobs({.n = 200, .d = 4, .classes = 3, .separation = 8.0, .seed = 13});
+  for (double& label : base.labels) label = label == 0.0 ? -7.0 : (label == 1.0 ? 2.5 : 40.0);
+  const MulticlassModel model = train_one_vs_one(base, rbf_params());
+  const auto predicted = model.predict_all(base.X);
+  for (const double p : predicted) EXPECT_TRUE(p == -7.0 || p == 2.5 || p == 40.0);
+  EXPECT_GT(model.accuracy(base), 0.92);
+}
+
+TEST(Multiclass, SaveLoadRoundTrip) {
+  const MulticlassDataset train =
+      multiclass_blobs({.n = 150, .d = 4, .classes = 3, .separation = 5.0, .seed = 15});
+  const MulticlassModel model = train_one_vs_one(train, rbf_params());
+
+  std::ostringstream out;
+  model.save(out);
+  std::istringstream in(out.str());
+  const MulticlassModel loaded = MulticlassModel::load(in);
+
+  EXPECT_EQ(loaded.num_classes(), model.num_classes());
+  EXPECT_EQ(loaded.classes(), model.classes());
+  const auto a = model.predict_all(train.X);
+  const auto b = loaded.predict_all(train.X);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Multiclass, LoadRejectsBadMagic) {
+  std::istringstream in("garbage\n");
+  EXPECT_THROW((void)MulticlassModel::load(in), std::runtime_error);
+}
+
+TEST(Multiclass, ConstructorValidatesMachineCount) {
+  EXPECT_THROW(MulticlassModel({0.0, 1.0, 2.0}, {}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/pair_update.hpp"
+#include "core/types.hpp"
+
+namespace {
+
+using svmcore::classify;
+using svmcore::in_low_set;
+using svmcore::in_up_set;
+using svmcore::IndexSet;
+using svmcore::PairResult;
+using svmcore::PairState;
+using svmcore::solve_pair;
+
+TEST(Classify, AllFiveSets) {
+  const double C = 2.0;
+  EXPECT_EQ(classify(+1.0, 1.0, C), IndexSet::I0);
+  EXPECT_EQ(classify(-1.0, 0.5, C), IndexSet::I0);
+  EXPECT_EQ(classify(+1.0, 0.0, C), IndexSet::I1);
+  EXPECT_EQ(classify(-1.0, C, C), IndexSet::I2);
+  EXPECT_EQ(classify(+1.0, C, C), IndexSet::I3);
+  EXPECT_EQ(classify(-1.0, 0.0, C), IndexSet::I4);
+}
+
+TEST(Classify, UpAndLowMembership) {
+  // I_up = I0 u I1 u I2; I_low = I0 u I3 u I4 (Eq. 3).
+  EXPECT_TRUE(in_up_set(IndexSet::I0));
+  EXPECT_TRUE(in_up_set(IndexSet::I1));
+  EXPECT_TRUE(in_up_set(IndexSet::I2));
+  EXPECT_FALSE(in_up_set(IndexSet::I3));
+  EXPECT_FALSE(in_up_set(IndexSet::I4));
+  EXPECT_TRUE(in_low_set(IndexSet::I0));
+  EXPECT_TRUE(in_low_set(IndexSet::I3));
+  EXPECT_TRUE(in_low_set(IndexSet::I4));
+  EXPECT_FALSE(in_low_set(IndexSet::I1));
+  EXPECT_FALSE(in_low_set(IndexSet::I2));
+}
+
+TEST(PairUpdate, OppositeLabelsUnconstrainedStep) {
+  // Two fresh samples, y_up=+1 (gamma=-1), y_low=-1 (gamma=+1), K_uu=K_ll=1,
+  // K_ul=k. eta = 2(1-k). Step on alpha_low: y_low*(g_up-g_low)/eta =
+  // -(-2)/eta = 2/eta = 1/(1-k).
+  const double k = 0.5;
+  const PairState s{+1.0, -1.0, 0.0, 0.0, -1.0, 1.0, 1.0, 1.0, k, /*C_up=*/10.0, /*C_low=*/10.0};
+  const PairResult r = solve_pair(s);
+  EXPECT_TRUE(r.progress);
+  EXPECT_NEAR(r.alpha_low, 1.0 / (1.0 - k), 1e-12);
+  // Equality constraint: delta_up = s * delta_low with s = y_up*y_low = -1,
+  // starting from 0/0 both must move together for opposite labels.
+  EXPECT_NEAR(r.alpha_up, r.alpha_low, 1e-12);
+}
+
+TEST(PairUpdate, ClipsAtUpperBound) {
+  // Same geometry but tiny C: the step is clipped to C on both.
+  const PairState s{+1.0, -1.0, 0.0, 0.0, -1.0, 1.0, 1.0, 1.0, 0.5, /*C_up=*/0.25, /*C_low=*/0.25};
+  const PairResult r = solve_pair(s);
+  EXPECT_DOUBLE_EQ(r.alpha_low, 0.25);
+  EXPECT_DOUBLE_EQ(r.alpha_up, 0.25);
+}
+
+TEST(PairUpdate, ClipsAtZero) {
+  // Pair that wants to move alpha_low negative: gamma_up > gamma_low would
+  // never be selected, but the clip must still be sound.
+  const PairState s{+1.0, +1.0, 0.5, 0.3, -1.0, 1.0, 1.0, 1.0, 0.0, /*C_up=*/1.0, /*C_low=*/1.0};
+  const PairResult r = solve_pair(s);
+  EXPECT_GE(r.alpha_low, 0.0);
+  EXPECT_LE(r.alpha_low, 1.0);
+  EXPECT_GE(r.alpha_up, 0.0);
+  EXPECT_LE(r.alpha_up, 1.0);
+  // Same labels: the sum is conserved.
+  EXPECT_NEAR(r.alpha_up + r.alpha_low, 0.8, 1e-12);
+}
+
+TEST(PairUpdate, SameLabelsConserveSum) {
+  const PairState s{+1.0, +1.0, 0.2, 0.6, -0.5, 0.7, 1.0, 1.0, 0.3, /*C_up=*/1.0, /*C_low=*/1.0};
+  const PairResult r = solve_pair(s);
+  EXPECT_NEAR(r.alpha_up + r.alpha_low, 0.8, 1e-12);
+}
+
+TEST(PairUpdate, OppositeLabelsConserveDifference) {
+  const PairState s{+1.0, -1.0, 0.2, 0.6, -0.5, 0.7, 1.0, 1.0, 0.3, /*C_up=*/1.0, /*C_low=*/1.0};
+  const PairResult r = solve_pair(s);
+  EXPECT_NEAR(r.alpha_up - r.alpha_low, 0.2 - 0.6, 1e-12);
+}
+
+TEST(PairUpdate, DegenerateCurvatureRegularized) {
+  // K_uu + K_ll - 2K_ul = 0 (duplicate points). The TAU regularization gives
+  // a huge step which the clip bounds; no NaN, no crash.
+  const PairState s{+1.0, -1.0, 0.0, 0.0, -1.0, 1.0, 1.0, 1.0, 1.0, /*C_up=*/1.0, /*C_low=*/1.0};
+  const PairResult r = solve_pair(s);
+  EXPECT_TRUE(std::isfinite(r.alpha_up));
+  EXPECT_TRUE(std::isfinite(r.alpha_low));
+  EXPECT_DOUBLE_EQ(r.alpha_low, 1.0);  // clipped to C
+}
+
+TEST(PairUpdate, NoMovementReportsNoProgress) {
+  // gamma_up == gamma_low: zero step.
+  const PairState s{+1.0, -1.0, 0.5, 0.5, 0.2, 0.2, 1.0, 1.0, 0.0, /*C_up=*/1.0, /*C_low=*/1.0};
+  const PairResult r = solve_pair(s);
+  EXPECT_FALSE(r.progress);
+}
+
+TEST(PairUpdate, SnapsToExactBounds) {
+  // Values landing within 1e-12*C of a bound are snapped exactly so that
+  // classify()'s exact comparisons work.
+  const PairState s{+1.0, -1.0, 0.0, 1.0 - 1e-14, -3.0, 3.0, 1.0, 1.0, 0.0, /*C_up=*/1.0, /*C_low=*/1.0};
+  const PairResult r = solve_pair(s);
+  EXPECT_EQ(r.alpha_low, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+#include "core/probability.hpp"
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using svmcore::fit_platt;
+using svmcore::PlattScaling;
+
+TEST(Platt, SigmoidShape) {
+  const PlattScaling s{-2.0, 0.0};  // A < 0: larger margin => higher P(+1)
+  EXPECT_NEAR(s.probability(0.0), 0.5, 1e-12);
+  EXPECT_GT(s.probability(1.0), 0.8);
+  EXPECT_LT(s.probability(-1.0), 0.2);
+  EXPECT_NEAR(s.probability(100.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.probability(-100.0), 0.0, 1e-9);
+}
+
+TEST(Platt, ProbabilitiesAreComplementaryUnderSignFlip) {
+  // P_{A,B}(f) + P_{-A,-B}(f) = 1 for every f (sigmoid point symmetry).
+  const PlattScaling negative_slope{-1.5, 0.3};
+  const PlattScaling positive_slope{1.5, -0.3};
+  for (const double f : {-3.0, -0.5, 0.0, 0.7, 4.0}) {
+    const double sum = negative_slope.probability(f) + positive_slope.probability(f);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Platt, FitRecoversKnownSigmoid) {
+  // Labels drawn deterministically from a known sigmoid; the fit should
+  // recover (A, B) closely.
+  const double true_A = -1.7;
+  const double true_B = 0.4;
+  svmutil::Rng rng(7);
+  std::vector<double> decisions(4000);
+  std::vector<double> labels(4000);
+  const PlattScaling truth{true_A, true_B};
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    decisions[i] = rng.uniform(-4.0, 4.0);
+    labels[i] = rng.bernoulli(truth.probability(decisions[i])) ? 1.0 : -1.0;
+  }
+  const PlattScaling fitted = fit_platt(decisions, labels);
+  EXPECT_NEAR(fitted.A, true_A, 0.15);
+  EXPECT_NEAR(fitted.B, true_B, 0.15);
+}
+
+TEST(Platt, SeparableDataGivesSteepSigmoid) {
+  std::vector<double> decisions;
+  std::vector<double> labels;
+  for (int i = 1; i <= 50; ++i) {
+    decisions.push_back(0.5 + i * 0.05);
+    labels.push_back(1.0);
+    decisions.push_back(-0.5 - i * 0.05);
+    labels.push_back(-1.0);
+  }
+  const PlattScaling s = fit_platt(decisions, labels);
+  EXPECT_LT(s.A, -1.0);  // steep
+  EXPECT_GT(s.probability(2.0), 0.95);
+  EXPECT_LT(s.probability(-2.0), 0.05);
+}
+
+TEST(Platt, FitValidatesInput) {
+  EXPECT_THROW((void)fit_platt(std::vector<double>{1.0}, std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_platt(std::vector<double>{1.0}, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Platt, EndToEndCalibrationIsMonotoneAndDiscriminative) {
+  const auto train = svmdata::synthetic::gaussian_blobs(
+      {.n = 300, .d = 5, .separation = 1.8, .label_noise = 0.05, .seed = 55});
+  const auto calibration = svmdata::synthetic::gaussian_blobs(
+      {.n = 200, .d = 5, .separation = 1.8, .label_noise = 0.05, .seed = 55, .draw = 1});
+  svmcore::SolverParams params;
+  params.C = 4.0;
+  params.eps = 1e-3;
+  params.kernel = svmkernel::KernelParams::rbf_with_sigma_sq(4.0);
+  const auto result = svmcore::train(train, params, {});
+  const PlattScaling platt = fit_platt(result.model, calibration);
+
+  // Probability must increase with the decision value...
+  const auto probe = svmdata::synthetic::gaussian_blobs(
+      {.n = 100, .d = 5, .separation = 1.8, .seed = 55, .draw = 2});
+  double previous = -1.0;
+  std::vector<std::pair<double, double>> pairs;
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    const double f = result.model.decision_value(probe.X.row(i));
+    pairs.emplace_back(f, platt.probability(f));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  for (const auto& [f, p] : pairs) {
+    EXPECT_GE(p, previous - 1e-12);
+    previous = p;
+  }
+  // ...and separate the classes in expectation.
+  double mean_p_positive = 0.0;
+  double mean_p_negative = 0.0;
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    const double p = platt.probability(result.model.decision_value(probe.X.row(i)));
+    if (probe.y[i] > 0) {
+      mean_p_positive += p;
+      ++positives;
+    } else {
+      mean_p_negative += p;
+    }
+  }
+  mean_p_positive /= static_cast<double>(positives);
+  mean_p_negative /= static_cast<double>(probe.size() - positives);
+  EXPECT_GT(mean_p_positive, mean_p_negative + 0.25);
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Accuracy-preservation tests for the shrinking solvers (Algorithms 4/5):
+// every Table II heuristic must reach the same optimum as the Original
+// algorithm — same dual objective (within tolerance-induced slack), same
+// test accuracy — while the permanent-shrink ablation is allowed to lose it.
+#include <gtest/gtest.h>
+
+#include "core/objective.hpp"
+#include "core/sequential_smo.hpp"
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using svmcore::Heuristic;
+using svmcore::SolverParams;
+using svmcore::TrainOptions;
+using svmcore::TrainResult;
+using svmdata::Dataset;
+using svmkernel::KernelParams;
+
+Dataset noisy_dataset() {
+  // Label noise creates bound (alpha = C) support vectors, exercising the
+  // I2/I3 shrink conditions, not just the easy I1/I4 ones.
+  return svmdata::synthetic::gaussian_blobs(
+      {.n = 220, .d = 6, .separation = 1.6, .label_noise = 0.08, .seed = 51});
+}
+
+Dataset eval_dataset() {
+  // Same concept seed as noisy_dataset(), fresh sample stream, no noise.
+  return svmdata::synthetic::gaussian_blobs(
+      {.n = 300, .d = 6, .separation = 1.6, .label_noise = 0.0, .seed = 51, .draw = 1});
+}
+
+SolverParams solver_params() {
+  SolverParams p;
+  p.C = 8.0;
+  p.eps = 1e-3;
+  p.kernel = KernelParams::rbf_with_sigma_sq(4.0);
+  return p;
+}
+
+class HeuristicP : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HeuristicP, ReachesOriginalObjectiveAndAccuracy) {
+  const Dataset train = noisy_dataset();
+  const Dataset eval = eval_dataset();
+  const SolverParams params = solver_params();
+
+  TrainOptions original_options;
+  original_options.num_ranks = 4;
+  const TrainResult original = svmcore::train(train, params, original_options);
+
+  TrainOptions options;
+  options.num_ranks = 4;
+  options.heuristic = Heuristic::parse(GetParam());
+  const TrainResult shrunk = svmcore::train(train, params, options);
+
+  ASSERT_TRUE(shrunk.converged);
+
+  // Test accuracy parity (Table V's property).
+  const double acc_original = original.model.accuracy(eval);
+  const double acc_shrunk = shrunk.model.accuracy(eval);
+  EXPECT_NEAR(acc_shrunk, acc_original, 0.02) << GetParam();
+
+  // The solver's terminal bounds must satisfy the Eq. (5) optimality gap over
+  // the FULL dataset (post-reconstruction), not just the shrunk subset.
+  EXPECT_LE(shrunk.rank_stats[0].final_beta_up + 2 * params.eps,
+            shrunk.rank_stats[0].final_beta_low + 4 * params.eps + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTable2, HeuristicP,
+                         ::testing::Values("Single2", "Single500", "Single1000", "Single5pc",
+                                           "Single10pc", "Single50pc", "Multi2", "Multi500",
+                                           "Multi1000", "Multi5pc", "Multi10pc", "Multi50pc"));
+
+TEST(Shrinking, ShrinkingActuallyHappensForAggressiveHeuristics) {
+  const Dataset train = noisy_dataset();
+  TrainOptions options;
+  options.num_ranks = 2;
+  options.heuristic = Heuristic::parse("Multi2");
+  const TrainResult r = svmcore::train(train, solver_params(), options);
+  EXPECT_GT(r.samples_shrunk, 0u);
+  EXPECT_GT(r.reconstructions, 0u);
+}
+
+TEST(Shrinking, ConservativeHeuristicMayNeverShrink) {
+  // A threshold of 50% of N iterations can exceed the total iteration count,
+  // making the run equivalent to Original (the paper's MNIST observation).
+  const Dataset train = svmdata::synthetic::gaussian_blobs(
+      {.n = 200, .d = 4, .separation = 3.0, .seed = 53});  // easy, few iters
+  const SolverParams params = solver_params();
+
+  TrainOptions original;
+  original.num_ranks = 2;
+  const TrainResult base = svmcore::train(train, params, original);
+
+  TrainOptions worst;
+  worst.num_ranks = 2;
+  worst.heuristic = Heuristic::parse("Single50pc");
+  const TrainResult r = svmcore::train(train, params, worst);
+
+  if (base.iterations < train.size() / 2) {
+    EXPECT_EQ(r.samples_shrunk, 0u);
+    EXPECT_EQ(r.iterations, base.iterations);
+    EXPECT_EQ(r.beta, base.beta);
+  }
+}
+
+TEST(Shrinking, ShrinkingReducesWork) {
+  // On a dataset with few support vectors, shrinking must reduce the total
+  // kernel evaluations versus Original at equal rank count.
+  const Dataset train = svmdata::synthetic::gaussian_blobs(
+      {.n = 400, .d = 6, .separation = 2.0, .label_noise = 0.02, .seed = 54});
+  const SolverParams params = solver_params();
+  TrainOptions original;
+  original.num_ranks = 2;
+  TrainOptions best;
+  best.num_ranks = 2;
+  best.heuristic = Heuristic::best();
+  const auto work_original = svmcore::train(train, params, original).total_kernel_evaluations;
+  const auto work_best = svmcore::train(train, params, best).total_kernel_evaluations;
+  EXPECT_LT(work_best, work_original);
+}
+
+TEST(Shrinking, SingleReconstructionRunsExactlyOnce) {
+  const Dataset train = noisy_dataset();
+  TrainOptions options;
+  options.num_ranks = 2;
+  options.heuristic = Heuristic::parse("Single5pc");
+  const TrainResult r = svmcore::train(train, solver_params(), options);
+  EXPECT_EQ(r.reconstructions, 1u);
+}
+
+TEST(Shrinking, MultiReconstructionMayRunRepeatedly) {
+  const Dataset train = noisy_dataset();
+  TrainOptions options;
+  options.num_ranks = 2;
+  options.heuristic = Heuristic::parse("Multi5pc");
+  const TrainResult r = svmcore::train(train, solver_params(), options);
+  EXPECT_GE(r.reconstructions, 1u);
+}
+
+TEST(Shrinking, PermanentShrinkSkipsReconstruction) {
+  const Dataset train = noisy_dataset();
+  TrainOptions options;
+  options.num_ranks = 2;
+  options.heuristic = Heuristic::parse("Multi2");
+  options.permanent_shrink = true;
+  const TrainResult r = svmcore::train(train, solver_params(), options);
+  EXPECT_EQ(r.reconstructions, 0u);
+}
+
+TEST(Shrinking, FixedSubsequentThresholdAblationConverges) {
+  const Dataset train = noisy_dataset();
+  TrainOptions options;
+  options.num_ranks = 2;
+  options.heuristic = Heuristic::parse("Multi5pc");
+  options.heuristic.fixed_subsequent_threshold = true;
+  const TrainResult r = svmcore::train(train, solver_params(), options);
+  EXPECT_TRUE(r.converged);
+  // Separation 1.6 bounds the Bayes accuracy near Phi(0.8) ~ 0.79.
+  const double acc = r.model.accuracy(eval_dataset());
+  EXPECT_GT(acc, 0.68);
+}
+
+TEST(Shrinking, HeuristicResultsIdenticalAcrossRankCounts) {
+  // The shrink schedule is driven by global counters, so the same heuristic
+  // must produce the same iterations/shrink counts for any p.
+  const Dataset train = noisy_dataset();
+  const SolverParams params = solver_params();
+  TrainOptions a;
+  a.num_ranks = 1;
+  a.heuristic = Heuristic::parse("Multi5pc");
+  TrainOptions b = a;
+  b.num_ranks = 4;
+  const TrainResult ra = svmcore::train(train, params, a);
+  const TrainResult rb = svmcore::train(train, params, b);
+  EXPECT_EQ(ra.iterations, rb.iterations);
+  EXPECT_EQ(ra.samples_shrunk, rb.samples_shrunk);
+  EXPECT_NEAR(ra.beta, rb.beta, 1e-12);  // I0 average sums in different groupings
+}
+
+}  // namespace

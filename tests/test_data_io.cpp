@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "data/libsvm_io.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using svmdata::Dataset;
+using svmdata::read_libsvm;
+using svmdata::write_libsvm;
+
+TEST(LibsvmIo, ParsesBasicFile) {
+  std::istringstream in("+1 1:0.5 3:2\n-1 2:1\n");
+  const Dataset d = read_libsvm(in);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.y[0], 1.0);
+  EXPECT_DOUBLE_EQ(d.y[1], -1.0);
+  ASSERT_EQ(d.X.row(0).size(), 2u);
+  EXPECT_EQ(d.X.row(0)[0].index, 0);  // 1-based in file, 0-based in memory
+  EXPECT_EQ(d.X.row(0)[1].index, 2);
+  EXPECT_DOUBLE_EQ(d.X.row(0)[1].value, 2.0);
+}
+
+TEST(LibsvmIo, SkipsBlankAndCommentLines) {
+  std::istringstream in("\n# a comment\n+1 1:1\n   \n-1 1:2\n");
+  EXPECT_EQ(read_libsvm(in).size(), 2u);
+}
+
+TEST(LibsvmIo, MapsZeroOneLabels) {
+  std::istringstream in("1 1:1\n0 1:2\n1 1:3\n");
+  const Dataset d = read_libsvm(in);
+  EXPECT_DOUBLE_EQ(d.y[0], 1.0);   // first-seen raw label -> +1
+  EXPECT_DOUBLE_EQ(d.y[1], -1.0);
+  EXPECT_DOUBLE_EQ(d.y[2], 1.0);
+}
+
+TEST(LibsvmIo, KeepsPlusMinusOneLabels) {
+  std::istringstream in("-1 1:1\n+1 1:2\n");
+  const Dataset d = read_libsvm(in);
+  EXPECT_DOUBLE_EQ(d.y[0], -1.0);
+  EXPECT_DOUBLE_EQ(d.y[1], 1.0);
+}
+
+TEST(LibsvmIo, RejectsThreeLabels) {
+  std::istringstream in("1 1:1\n2 1:1\n3 1:1\n");
+  EXPECT_THROW(read_libsvm(in), std::runtime_error);
+}
+
+TEST(LibsvmIo, RejectsMalformedPair) {
+  std::istringstream in("+1 1:1 2\n");
+  EXPECT_THROW(read_libsvm(in), std::runtime_error);
+}
+
+TEST(LibsvmIo, RejectsZeroIndex) {
+  std::istringstream in("+1 0:1\n");
+  EXPECT_THROW(read_libsvm(in), std::runtime_error);
+}
+
+TEST(LibsvmIo, RejectsDecreasingIndices) {
+  std::istringstream in("+1 3:1 2:1\n");
+  EXPECT_THROW(read_libsvm(in), std::runtime_error);
+}
+
+TEST(LibsvmIo, ErrorMessageCarriesLineNumber) {
+  std::istringstream in("+1 1:1\n+1 bad\n");
+  try {
+    (void)read_libsvm(in);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(LibsvmIo, DropsExplicitZeroValues) {
+  std::istringstream in("+1 1:0 2:5\n-1 1:1\n");
+  const Dataset d = read_libsvm(in);
+  EXPECT_EQ(d.X.row(0).size(), 1u);
+  EXPECT_EQ(d.X.row(0)[0].index, 1);
+}
+
+TEST(LibsvmIo, MaxRowsCap) {
+  std::istringstream in("+1 1:1\n-1 1:2\n+1 1:3\n");
+  EXPECT_EQ(read_libsvm(in, {.max_rows = 2}).size(), 2u);
+}
+
+TEST(LibsvmIo, RoundTripExact) {
+  const Dataset original =
+      svmdata::synthetic::gaussian_blobs({.n = 50, .d = 7, .separation = 2.0, .seed = 3});
+  std::ostringstream out;
+  write_libsvm(out, original);
+  std::istringstream in(out.str());
+  const Dataset loaded = read_libsvm(in);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.X.nonzeros(), original.X.nonzeros());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.y[i], original.y[i]);
+    const auto a = original.X.row(i);
+    const auto b = loaded.X.row(i);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].index, b[k].index);
+      EXPECT_EQ(a[k].value, b[k].value);  // %.17g round-trips exactly
+    }
+  }
+}
+
+class SliceP : public ::testing::TestWithParam<int> {};
+
+TEST_P(SliceP, SlicesConcatenateToWholeFile) {
+  const Dataset original =
+      svmdata::synthetic::gaussian_blobs({.n = 97, .d = 5, .separation = 2.0, .seed = 7});
+  const std::string path = ::testing::TempDir() + "/slices.libsvm";
+  svmdata::write_libsvm_file(path, original);
+
+  const int p = GetParam();
+  Dataset reassembled;
+  for (int r = 0; r < p; ++r) {
+    const Dataset slice = svmdata::read_libsvm_slice(path, r, p);
+    for (std::size_t i = 0; i < slice.size(); ++i) {
+      reassembled.X.add_row(slice.X.row(i));
+      reassembled.y.push_back(slice.y[i]);
+    }
+  }
+  ASSERT_EQ(reassembled.size(), original.size());
+  EXPECT_EQ(reassembled.X.nonzeros(), original.X.nonzeros());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reassembled.y[i], original.y[i]);
+    ASSERT_EQ(reassembled.X.row(i).size(), original.X.row(i).size());
+    for (std::size_t k = 0; k < original.X.row(i).size(); ++k)
+      EXPECT_EQ(reassembled.X.row(i)[k].value, original.X.row(i)[k].value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, SliceP, ::testing::Values(1, 2, 3, 7, 16));
+
+TEST(LibsvmSlice, MorePartsThanLinesLeavesSomeEmpty) {
+  std::ostringstream data;
+  data << "+1 1:1\n-1 1:2\n";
+  const std::string path = ::testing::TempDir() + "/two_lines.libsvm";
+  {
+    std::ofstream out(path);
+    out << data.str();
+  }
+  std::size_t total = 0;
+  for (int r = 0; r < 8; ++r) total += svmdata::read_libsvm_slice(path, r, 8).size();
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(LibsvmSlice, FileWithoutTrailingNewline) {
+  const std::string path = ::testing::TempDir() + "/no_newline.libsvm";
+  {
+    std::ofstream out(path);
+    out << "+1 1:1\n-1 1:2\n+1 2:3";  // last line unterminated
+  }
+  std::size_t total = 0;
+  for (int r = 0; r < 3; ++r) total += svmdata::read_libsvm_slice(path, r, 3).size();
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(LibsvmSlice, InvalidRankThrows) {
+  EXPECT_THROW((void)svmdata::read_libsvm_slice("/nonexistent", 0, 0), std::runtime_error);
+  EXPECT_THROW((void)svmdata::read_libsvm_slice("/nonexistent", 2, 2), std::runtime_error);
+}
+
+TEST(LibsvmIo, MissingFileThrows) {
+  EXPECT_THROW((void)svmdata::read_libsvm_file("/nonexistent/path.svm"), std::runtime_error);
+}
+
+}  // namespace

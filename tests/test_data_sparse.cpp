@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/sparse.hpp"
+
+namespace {
+
+using svmdata::CsrMatrix;
+using svmdata::Dataset;
+using svmdata::Feature;
+
+CsrMatrix small_matrix() {
+  CsrMatrix m;
+  m.add_row(std::vector<Feature>{{0, 1.0}, {2, 2.0}});
+  m.add_row(std::vector<Feature>{{1, 3.0}});
+  m.add_row(std::vector<Feature>{});  // empty row
+  m.add_row(std::vector<Feature>{{0, -1.0}, {1, 1.0}, {3, 0.5}});
+  return m;
+}
+
+TEST(Csr, ShapeAndNnz) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nonzeros(), 6u);
+}
+
+TEST(Csr, RowAccess) {
+  const CsrMatrix m = small_matrix();
+  const auto r0 = m.row(0);
+  ASSERT_EQ(r0.size(), 2u);
+  EXPECT_EQ(r0[0].index, 0);
+  EXPECT_DOUBLE_EQ(r0[1].value, 2.0);
+  EXPECT_TRUE(m.row(2).empty());
+}
+
+TEST(Csr, RejectsNonIncreasingIndices) {
+  CsrMatrix m;
+  EXPECT_THROW(m.add_row(std::vector<Feature>{{2, 1.0}, {1, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(m.add_row(std::vector<Feature>{{1, 1.0}, {1, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(m.add_row(std::vector<Feature>{{-1, 1.0}}), std::invalid_argument);
+}
+
+TEST(Csr, DotProductMergeJoin) {
+  const CsrMatrix m = small_matrix();
+  // row0 = (1,0,2,0), row3 = (-1,1,0,0.5): dot = -1.
+  EXPECT_DOUBLE_EQ(CsrMatrix::dot(m.row(0), m.row(3)), -1.0);
+  // Disjoint supports.
+  EXPECT_DOUBLE_EQ(CsrMatrix::dot(m.row(0), m.row(1)), 0.0);
+  // With the empty row.
+  EXPECT_DOUBLE_EQ(CsrMatrix::dot(m.row(0), m.row(2)), 0.0);
+  // Self dot.
+  EXPECT_DOUBLE_EQ(CsrMatrix::dot(m.row(0), m.row(0)), 5.0);
+}
+
+TEST(Csr, SquaredNormAndDistance) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_DOUBLE_EQ(CsrMatrix::squared_norm(m.row(0)), 5.0);
+  EXPECT_DOUBLE_EQ(CsrMatrix::squared_norm(m.row(2)), 0.0);
+  const double sq0 = CsrMatrix::squared_norm(m.row(0));
+  const double sq3 = CsrMatrix::squared_norm(m.row(3));
+  // ||a-b||^2 = 5 + 2.25 - 2*(-1) = 9.25
+  EXPECT_DOUBLE_EQ(CsrMatrix::squared_distance(m.row(0), m.row(3), sq0, sq3), 9.25);
+  // Identical rows give exactly zero (clamped).
+  EXPECT_DOUBLE_EQ(CsrMatrix::squared_distance(m.row(0), m.row(0), sq0, sq0), 0.0);
+}
+
+TEST(Csr, RowSquaredNorms) {
+  const CsrMatrix m = small_matrix();
+  const auto norms = m.row_squared_norms();
+  ASSERT_EQ(norms.size(), 4u);
+  EXPECT_DOUBLE_EQ(norms[0], 5.0);
+  EXPECT_DOUBLE_EQ(norms[1], 9.0);
+  EXPECT_DOUBLE_EQ(norms[2], 0.0);
+  EXPECT_DOUBLE_EQ(norms[3], 2.25);
+}
+
+TEST(Csr, Density) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_DOUBLE_EQ(m.density(), 6.0 / 16.0);
+  EXPECT_DOUBLE_EQ(CsrMatrix{}.density(), 0.0);
+}
+
+TEST(Csr, PayloadBytes) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_EQ(m.payload_bytes(), 6u * sizeof(Feature));
+}
+
+TEST(DatasetT, ValidateAcceptsGoodLabels) {
+  Dataset d;
+  d.X.add_row(std::vector<Feature>{{0, 1.0}});
+  d.X.add_row(std::vector<Feature>{{0, -1.0}});
+  d.y = {1.0, -1.0};
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST(DatasetT, ValidateRejectsBadLabel) {
+  Dataset d;
+  d.X.add_row(std::vector<Feature>{{0, 1.0}});
+  d.y = {0.5};
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(DatasetT, ValidateRejectsCountMismatch) {
+  Dataset d;
+  d.X.add_row(std::vector<Feature>{{0, 1.0}});
+  d.y = {1.0, -1.0};
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(DatasetT, SubsetPreservesRowsAndLabels) {
+  Dataset d;
+  d.X = small_matrix();
+  d.y = {1.0, -1.0, 1.0, -1.0};
+  const std::vector<std::size_t> pick{3, 0};
+  const Dataset s = d.subset(pick);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.y[0], -1.0);
+  EXPECT_DOUBLE_EQ(s.y[1], 1.0);
+  ASSERT_EQ(s.X.row(0).size(), 3u);
+  EXPECT_EQ(s.X.row(0)[2].index, 3);
+  EXPECT_EQ(s.X.row(1)[1].index, 2);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/split.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using namespace svmdata;
+
+TEST(Split, FractionsAddUp) {
+  const Dataset d = synthetic::gaussian_blobs({.n = 100, .d = 4, .separation = 2.0, .seed = 1});
+  const TrainTestSplit s = train_test_split(d, 0.25, 7);
+  EXPECT_EQ(s.test.size(), 25u);
+  EXPECT_EQ(s.train.size(), 75u);
+}
+
+TEST(Split, ZeroFractionKeepsEverything) {
+  const Dataset d = synthetic::gaussian_blobs({.n = 40, .d = 4, .separation = 2.0, .seed = 1});
+  const TrainTestSplit s = train_test_split(d, 0.0, 7);
+  EXPECT_EQ(s.train.size(), 40u);
+  EXPECT_EQ(s.test.size(), 0u);
+}
+
+TEST(Split, InvalidFractionThrows) {
+  const Dataset d = synthetic::gaussian_blobs({.n = 10, .d = 2, .separation = 2.0, .seed = 1});
+  EXPECT_THROW((void)train_test_split(d, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)train_test_split(d, -0.1, 1), std::invalid_argument);
+}
+
+TEST(Split, DeterministicInSeed) {
+  const Dataset d = synthetic::gaussian_blobs({.n = 60, .d = 3, .separation = 2.0, .seed = 2});
+  const TrainTestSplit a = train_test_split(d, 0.5, 11);
+  const TrainTestSplit b = train_test_split(d, 0.5, 11);
+  for (std::size_t i = 0; i < a.test.size(); ++i) EXPECT_EQ(a.test.y[i], b.test.y[i]);
+}
+
+TEST(Kfold, FoldsPartitionTheRange) {
+  const auto folds = kfold_indices(103, 5, 3);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::size_t> all;
+  for (const auto& fold : folds) {
+    // Sizes differ by at most one: 103 = 5*20 + 3.
+    EXPECT_GE(fold.size(), 20u);
+    EXPECT_LE(fold.size(), 21u);
+    for (const std::size_t i : fold) {
+      EXPECT_TRUE(all.insert(i).second) << "duplicate index " << i;
+      EXPECT_LT(i, 103u);
+    }
+  }
+  EXPECT_EQ(all.size(), 103u);
+}
+
+TEST(Kfold, RejectsBadFoldCounts) {
+  EXPECT_THROW((void)kfold_indices(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)kfold_indices(10, 11, 1), std::invalid_argument);
+}
+
+TEST(Blocks, CoverRangeWithoutOverlap) {
+  for (const std::size_t n : {1u, 7u, 16u, 1000u, 1001u}) {
+    for (const int p : {1, 2, 3, 7, 16}) {
+      if (static_cast<std::size_t>(p) > n) continue;
+      std::size_t covered = 0;
+      std::size_t previous_end = 0;
+      for (int r = 0; r < p; ++r) {
+        const BlockRange range = block_range(n, p, r);
+        EXPECT_EQ(range.begin, previous_end);
+        previous_end = range.end;
+        covered += range.size();
+      }
+      EXPECT_EQ(previous_end, n);
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(Blocks, SizesDifferByAtMostOne) {
+  for (const int p : {2, 3, 5, 8}) {
+    std::size_t smallest = ~0u;
+    std::size_t largest = 0;
+    for (int r = 0; r < p; ++r) {
+      const std::size_t size = block_range(100, p, r).size();
+      smallest = std::min(smallest, size);
+      largest = std::max(largest, size);
+    }
+    EXPECT_LE(largest - smallest, 1u);
+  }
+}
+
+TEST(Blocks, OwnerOfIsInverseOfBlockRange) {
+  for (const std::size_t n : {5u, 64u, 999u}) {
+    for (const int p : {1, 2, 4, 5}) {
+      if (static_cast<std::size_t>(p) > n) continue;
+      for (std::size_t i = 0; i < n; ++i) {
+        const int owner = owner_of(n, p, i);
+        EXPECT_TRUE(block_range(n, p, owner).contains(i))
+            << "n=" << n << " p=" << p << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Blocks, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)block_range(10, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)block_range(10, 2, 2), std::invalid_argument);
+  EXPECT_THROW((void)owner_of(10, 2, 10), std::out_of_range);
+}
+
+}  // namespace

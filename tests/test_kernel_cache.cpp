@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernel/kernel_cache.hpp"
+
+namespace {
+
+using svmkernel::KernelRowCache;
+
+std::vector<float> row_of(float value, std::size_t length = 10) {
+  return std::vector<float>(length, value);
+}
+
+TEST(Cache, MissThenHit) {
+  KernelRowCache cache(1 << 20);
+  EXPECT_TRUE(cache.lookup(3).empty());
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.insert(3, row_of(3.0f));
+  const auto hit = cache.lookup(3);
+  ASSERT_EQ(hit.size(), 10u);
+  EXPECT_FLOAT_EQ(hit[0], 3.0f);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(Cache, HitRate) {
+  KernelRowCache cache(1 << 20);
+  (void)cache.lookup(1);          // miss
+  cache.insert(1, row_of(1.0f));
+  (void)cache.lookup(1);          // hit
+  (void)cache.lookup(1);          // hit
+  (void)cache.lookup(2);          // miss
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(Cache, EvictsLeastRecentlyUsed) {
+  // Budget for exactly two 10-float rows.
+  KernelRowCache cache(2 * 10 * sizeof(float));
+  cache.insert(1, row_of(1.0f));
+  cache.insert(2, row_of(2.0f));
+  (void)cache.lookup(1);  // bump row 1 to most-recent
+  cache.insert(3, row_of(3.0f));  // must evict row 2
+  EXPECT_FALSE(cache.lookup(1).empty());
+  EXPECT_TRUE(cache.lookup(2).empty());
+  EXPECT_FALSE(cache.lookup(3).empty());
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(Cache, OversizedRowStillAdmitted) {
+  KernelRowCache cache(4);  // smaller than any row
+  cache.insert(1, row_of(1.0f));
+  EXPECT_FALSE(cache.lookup(1).empty());
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(Cache, ReinsertReplacesContent) {
+  KernelRowCache cache(1 << 20);
+  cache.insert(5, row_of(1.0f));
+  cache.insert(5, row_of(2.0f, 4));
+  const auto row = cache.lookup(5);
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_FLOAT_EQ(row[0], 2.0f);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes_used(), 4 * sizeof(float));
+}
+
+TEST(Cache, BytesUsedTracksInsertAndEvict) {
+  KernelRowCache cache(3 * 10 * sizeof(float));
+  cache.insert(1, row_of(1.0f));
+  cache.insert(2, row_of(2.0f));
+  EXPECT_EQ(cache.bytes_used(), 2 * 10 * sizeof(float));
+  cache.insert(3, row_of(3.0f));
+  cache.insert(4, row_of(4.0f));  // evicts one
+  EXPECT_EQ(cache.bytes_used(), 3 * 10 * sizeof(float));
+}
+
+TEST(Cache, ClearResetsContentButNotCounters) {
+  KernelRowCache cache(1 << 20);
+  cache.insert(1, row_of(1.0f));
+  (void)cache.lookup(1);
+  cache.clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes_used(), 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_TRUE(cache.lookup(1).empty());
+}
+
+TEST(Cache, ManyInsertionsStayWithinBudget) {
+  const std::size_t budget = 16 * 10 * sizeof(float);
+  KernelRowCache cache(budget);
+  for (std::size_t i = 0; i < 1000; ++i) cache.insert(i, row_of(static_cast<float>(i)));
+  EXPECT_LE(cache.bytes_used(), budget);
+  EXPECT_LE(cache.entries(), 16u);
+  // The most recent entries survive.
+  EXPECT_FALSE(cache.lookup(999).empty());
+  EXPECT_TRUE(cache.lookup(0).empty());
+}
+
+}  // namespace

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "mpisim/spmd.hpp"
+
+namespace {
+
+using svmmpi::Comm;
+using svmmpi::DoubleInt;
+using svmmpi::ReduceOp;
+using svmmpi::run_spmd;
+
+class CollectivesP : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesP, BarrierCompletes) {
+  run_spmd(GetParam(), [](Comm& comm) {
+    for (int i = 0; i < 10; ++i) comm.barrier();
+  });
+}
+
+TEST_P(CollectivesP, BcastFromEveryRoot) {
+  const int p = GetParam();
+  run_spmd(p, [p](Comm& comm) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<int> data;
+      if (comm.rank() == root) data = {root * 10, root * 10 + 1};
+      comm.bcast(data, root);
+      EXPECT_EQ(data, (std::vector<int>{root * 10, root * 10 + 1}));
+    }
+  });
+}
+
+TEST_P(CollectivesP, BcastValue) {
+  run_spmd(GetParam(), [](Comm& comm) {
+    const double v = comm.bcast_value(comm.rank() == 0 ? 2.5 : -1.0, 0);
+    EXPECT_DOUBLE_EQ(v, 2.5);
+  });
+}
+
+TEST_P(CollectivesP, AllreduceSumMatchesFormula) {
+  const int p = GetParam();
+  run_spmd(p, [p](Comm& comm) {
+    const auto sum = comm.allreduce(static_cast<std::int64_t>(comm.rank() + 1), ReduceOp::sum);
+    EXPECT_EQ(sum, static_cast<std::int64_t>(p) * (p + 1) / 2);
+  });
+}
+
+TEST_P(CollectivesP, AllreduceMinMax) {
+  const int p = GetParam();
+  run_spmd(p, [p](Comm& comm) {
+    EXPECT_DOUBLE_EQ(comm.allreduce(static_cast<double>(comm.rank()), ReduceOp::min), 0.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(static_cast<double>(comm.rank()), ReduceOp::max),
+                     static_cast<double>(p - 1));
+  });
+}
+
+TEST_P(CollectivesP, AllreduceVectorElementwise) {
+  const int p = GetParam();
+  run_spmd(p, [p](Comm& comm) {
+    const std::vector<double> mine{static_cast<double>(comm.rank()), 1.0,
+                                   static_cast<double>(-comm.rank())};
+    const auto out = comm.allreduce(std::span<const double>(mine), ReduceOp::sum);
+    ASSERT_EQ(out.size(), 3u);
+    const double ranks_sum = static_cast<double>(p) * (p - 1) / 2.0;
+    EXPECT_DOUBLE_EQ(out[0], ranks_sum);
+    EXPECT_DOUBLE_EQ(out[1], static_cast<double>(p));
+    EXPECT_DOUBLE_EQ(out[2], -ranks_sum);
+  });
+}
+
+TEST_P(CollectivesP, MinlocPicksSmallestValue) {
+  const int p = GetParam();
+  run_spmd(p, [p](Comm& comm) {
+    // Rank r contributes value p - r, so the last rank has the minimum.
+    const DoubleInt mine{static_cast<double>(p - comm.rank()), comm.rank()};
+    const DoubleInt best = comm.allreduce_minloc(mine);
+    EXPECT_DOUBLE_EQ(best.value, 1.0);
+    EXPECT_EQ(best.index, p - 1);
+  });
+}
+
+TEST_P(CollectivesP, MinlocTieBreaksTowardSmallerIndex) {
+  run_spmd(GetParam(), [](Comm& comm) {
+    const DoubleInt mine{5.0, comm.rank() + 100};
+    const DoubleInt best = comm.allreduce_minloc(mine);
+    EXPECT_EQ(best.index, 100);
+  });
+}
+
+TEST_P(CollectivesP, MaxlocPicksLargestValue) {
+  const int p = GetParam();
+  run_spmd(p, [p](Comm& comm) {
+    const DoubleInt mine{static_cast<double>(comm.rank()), comm.rank() * 2};
+    const DoubleInt best = comm.allreduce_maxloc(mine);
+    EXPECT_DOUBLE_EQ(best.value, static_cast<double>(p - 1));
+    EXPECT_EQ(best.index, (p - 1) * 2);
+  });
+}
+
+TEST_P(CollectivesP, MaxlocTieBreaksTowardSmallerIndex) {
+  run_spmd(GetParam(), [](Comm& comm) {
+    const DoubleInt mine{5.0, comm.rank() + 100};
+    EXPECT_EQ(comm.allreduce_maxloc(mine).index, 100);
+  });
+}
+
+TEST_P(CollectivesP, AllgatherOrderedByRank) {
+  const int p = GetParam();
+  run_spmd(p, [p](Comm& comm) {
+    const auto all = comm.allgather(comm.rank() * 3);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) EXPECT_EQ(all[r], r * 3);
+  });
+}
+
+TEST_P(CollectivesP, AllgathervVariableLengths) {
+  const int p = GetParam();
+  run_spmd(p, [p](Comm& comm) {
+    // Rank r contributes r elements (rank 0 contributes none).
+    std::vector<double> mine(comm.rank(), static_cast<double>(comm.rank()));
+    const auto parts = comm.allgatherv(std::span<const double>(mine));
+    ASSERT_EQ(parts.size(), static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      ASSERT_EQ(parts[r].size(), static_cast<std::size_t>(r));
+      for (const double v : parts[r]) EXPECT_DOUBLE_EQ(v, static_cast<double>(r));
+    }
+  });
+}
+
+TEST_P(CollectivesP, RepeatedCollectivesDoNotCrossRounds) {
+  const int p = GetParam();
+  run_spmd(p, [](Comm& comm) {
+    for (int round = 0; round < 100; ++round) {
+      const auto v = comm.allreduce(static_cast<std::int64_t>(round), ReduceOp::max);
+      EXPECT_EQ(v, round);
+    }
+  });
+}
+
+TEST_P(CollectivesP, ReduceDeliversToRootOnly) {
+  const int p = GetParam();
+  run_spmd(p, [p](Comm& comm) {
+    const std::vector<std::int64_t> mine{static_cast<std::int64_t>(comm.rank()), 1};
+    const auto out = comm.reduce(std::span<const std::int64_t>(mine), ReduceOp::sum, 0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(out[0], static_cast<std::int64_t>(p) * (p - 1) / 2);
+      EXPECT_EQ(out[1], p);
+    } else {
+      EXPECT_EQ(out, mine);  // non-root keeps its input
+    }
+  });
+}
+
+TEST_P(CollectivesP, GatherOrderedAtRoot) {
+  const int p = GetParam();
+  const int root = p - 1;
+  run_spmd(p, [p, root](Comm& comm) {
+    const std::vector<int> mine(comm.rank() + 1, comm.rank());
+    const auto parts = comm.gather(std::span<const int>(mine), root);
+    if (comm.rank() == root) {
+      ASSERT_EQ(parts.size(), static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        ASSERT_EQ(parts[r].size(), static_cast<std::size_t>(r + 1));
+        for (const int v : parts[r]) EXPECT_EQ(v, r);
+      }
+    } else {
+      EXPECT_TRUE(parts.empty());
+    }
+  });
+}
+
+TEST_P(CollectivesP, ScatterDistributesParts) {
+  const int p = GetParam();
+  run_spmd(p, [p](Comm& comm) {
+    std::vector<std::vector<double>> parts;
+    if (comm.rank() == 0) {
+      parts.resize(p);
+      for (int r = 0; r < p; ++r) parts[r].assign(r + 2, static_cast<double>(r * 10));
+    }
+    const auto mine = comm.scatter(parts, 0);
+    ASSERT_EQ(mine.size(), static_cast<std::size_t>(comm.rank() + 2));
+    for (const double v : mine) EXPECT_DOUBLE_EQ(v, comm.rank() * 10.0);
+  });
+}
+
+TEST(CollectivesScatter, RootValidatesPartCount) {
+  EXPECT_THROW(run_spmd(2,
+                        [](Comm& comm) {
+                          std::vector<std::vector<int>> parts(1);  // wrong: need 2
+                          (void)comm.scatter(parts, 0);
+                        }),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectivesP, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(CollectivesSplit, SplitByParity) {
+  run_spmd(6, [](Comm& comm) {
+    const int color = comm.rank() % 2;
+    Comm sub = comm.split(color, comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // Collectives on the sub-communicator see only the subgroup.
+    const auto sum = sub.allreduce(static_cast<std::int64_t>(comm.rank()), ReduceOp::sum);
+    EXPECT_EQ(sum, color == 0 ? 0 + 2 + 4 : 1 + 3 + 5);
+    // Point-to-point within the subgroup uses sub-ranks.
+    if (sub.rank() == 0) sub.send_value(color * 10, 1);
+    if (sub.rank() == 1) EXPECT_EQ(sub.recv_value<int>(0), color * 10);
+  });
+}
+
+TEST(CollectivesSplit, SplitKeyReordersRanks) {
+  run_spmd(4, [](Comm& comm) {
+    // Reverse order: higher parent rank gets lower key.
+    Comm sub = comm.split(0, -comm.rank());
+    EXPECT_EQ(sub.rank(), comm.size() - 1 - comm.rank());
+  });
+}
+
+TEST(CollectivesSplit, ParentStillUsableAfterSplit) {
+  run_spmd(4, [](Comm& comm) {
+    Comm sub = comm.split(comm.rank() / 2, 0);
+    const auto total = comm.allreduce(1, ReduceOp::sum);
+    EXPECT_EQ(total, 4);
+    const auto sub_total = sub.allreduce(1, ReduceOp::sum);
+    EXPECT_EQ(sub_total, 2);
+  });
+}
+
+TEST(CollectivesModel, TreeCostGrowsWithRanks) {
+  svmmpi::NetModel model;
+  EXPECT_GT(model.tree(1000, 8), model.tree(1000, 2));
+  EXPECT_EQ(svmmpi::NetModel::ceil_log2(1), 0);
+  EXPECT_EQ(svmmpi::NetModel::ceil_log2(2), 1);
+  EXPECT_EQ(svmmpi::NetModel::ceil_log2(5), 3);
+  EXPECT_EQ(svmmpi::NetModel::ceil_log2(4096), 12);
+}
+
+TEST(CollectivesModel, CollectiveChargesModeledTime) {
+  const auto stats = run_spmd(4, [](Comm& comm) { comm.barrier(); });
+  EXPECT_EQ(stats.collectives, 4u);  // one per rank
+  EXPECT_GT(stats.modeled_seconds, 0.0);
+}
+
+}  // namespace

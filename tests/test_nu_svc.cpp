@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "baseline/libsvm_like.hpp"
+#include "baseline/nu_svc.hpp"
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using svmbaseline::NuSvcOptions;
+using svmbaseline::NuSvcResult;
+using svmbaseline::solve_nu_svc;
+using svmdata::Dataset;
+using svmkernel::KernelParams;
+
+Dataset training_data(double noise = 0.05) {
+  return svmdata::synthetic::gaussian_blobs(
+      {.n = 240, .d = 6, .separation = 2.0, .label_noise = noise, .seed = 101});
+}
+
+NuSvcOptions options_with(double nu) {
+  NuSvcOptions o;
+  o.nu = nu;
+  o.kernel = KernelParams::rbf_with_sigma_sq(4.0);
+  return o;
+}
+
+TEST(NuSvc, TrainsAndClassifies) {
+  const Dataset train = training_data();
+  const NuSvcResult r = solve_nu_svc(train, options_with(0.2));
+  ASSERT_TRUE(r.converged);
+  const auto model = r.to_model(train.X, options_with(0.2).kernel);
+  EXPECT_GT(model.accuracy(train), 0.9);
+}
+
+TEST(NuSvc, NuPropertyBoundsSvAndErrorFractions) {
+  const Dataset train = training_data(0.08);
+  const double nu = 0.3;
+  const NuSvcResult r = solve_nu_svc(train, options_with(nu));
+  const auto model = r.to_model(train.X, options_with(nu).kernel);
+
+  std::size_t support_vectors = 0;
+  std::size_t margin_errors = 0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    if (r.coef[i] != 0.0) ++support_vectors;
+    // Margin error: y*f(x) strictly inside the (rescaled) unit margin. Free
+    // SVs sit at y*f = 1 only up to the solver tolerance, so test well below
+    // it; the nu-property bounds the strict violators.
+    if (train.y[i] * model.decision_value(train.X.row(i)) < 0.99) ++margin_errors;
+  }
+  const auto frac = [&](std::size_t k) {
+    return static_cast<double>(k) / static_cast<double>(train.size());
+  };
+  EXPECT_LE(frac(margin_errors), nu + 0.05);      // nu upper-bounds margin errors
+  EXPECT_GE(frac(support_vectors), nu - 0.05);    // nu lower-bounds SV fraction
+}
+
+TEST(NuSvc, LargerNuGivesMoreSupportVectors) {
+  const Dataset train = training_data(0.1);
+  auto sv_count = [&](double nu) {
+    const NuSvcResult r = solve_nu_svc(train, options_with(nu));
+    std::size_t svs = 0;
+    for (const double c : r.coef)
+      if (c != 0.0) ++svs;
+    return svs;
+  };
+  EXPECT_GT(sv_count(0.5), sv_count(0.1));
+}
+
+TEST(NuSvc, AgreesWithCSvcAccuracy) {
+  // nu-SVC and C-SVC trace the same regularization path; at comparable
+  // operating points their accuracies should match closely.
+  const Dataset train = training_data();
+  const Dataset test = svmdata::synthetic::gaussian_blobs(
+      {.n = 300, .d = 6, .separation = 2.0, .seed = 101, .draw = 1});
+
+  const NuSvcResult nu_result = solve_nu_svc(train, options_with(0.25));
+  const auto nu_model = nu_result.to_model(train.X, options_with(0.25).kernel);
+
+  svmbaseline::BaselineOptions c_options;
+  c_options.C = 4.0;
+  c_options.kernel = KernelParams::rbf_with_sigma_sq(4.0);
+  const auto c_result = svmbaseline::solve_libsvm_like(train, c_options);
+  const auto c_model =
+      svmcore::build_model(train, c_result.alpha, c_result.rho, c_options.kernel);
+
+  EXPECT_NEAR(nu_model.accuracy(test), c_model.accuracy(test), 0.05);
+}
+
+TEST(NuSvc, EqualityConstraintsHold) {
+  const Dataset train = training_data();
+  const NuSvcResult r = solve_nu_svc(train, options_with(0.3));
+  // After rescaling, coef_i = alpha_i y_i / r: sum coef = 0 (both per-class
+  // sums were nu*l/2 before scaling).
+  double sum = 0.0;
+  for (const double c : r.coef) sum += c;
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+}
+
+TEST(NuSvc, ShrinkingOnOffSameAnswer) {
+  const Dataset train = training_data();
+  NuSvcOptions with = options_with(0.25);
+  NuSvcOptions without = options_with(0.25);
+  without.use_shrinking = false;
+  const auto a = solve_nu_svc(train, with);
+  const auto b = solve_nu_svc(train, without);
+  EXPECT_NEAR(a.rho, b.rho, 1e-2);
+  const auto model_a = a.to_model(train.X, with.kernel);
+  const auto model_b = b.to_model(train.X, without.kernel);
+  EXPECT_NEAR(model_a.accuracy(train), model_b.accuracy(train), 0.01);
+}
+
+TEST(NuSvc, RejectsInfeasibleNu) {
+  // 90/10 imbalance: nu_max = 0.2.
+  const Dataset train = svmdata::synthetic::gaussian_blobs(
+      {.n = 200, .d = 4, .separation = 2.0, .positive_fraction = 0.1, .seed = 103});
+  EXPECT_THROW((void)solve_nu_svc(train, options_with(0.5)), std::invalid_argument);
+  EXPECT_NO_THROW((void)solve_nu_svc(train, options_with(0.1)));
+}
+
+TEST(NuSvc, RejectsBadArguments) {
+  const Dataset train = training_data();
+  EXPECT_THROW((void)solve_nu_svc(train, options_with(0.0)), std::invalid_argument);
+  EXPECT_THROW((void)solve_nu_svc(train, options_with(1.5)), std::invalid_argument);
+  Dataset one_class;
+  one_class.X.add_row(std::vector<svmdata::Feature>{{0, 1.0}});
+  one_class.X.add_row(std::vector<svmdata::Feature>{{0, 2.0}});
+  one_class.y = {1.0, 1.0};
+  EXPECT_THROW((void)solve_nu_svc(one_class, options_with(0.5)), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/nu_svr.hpp"
+#include "baseline/svr.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using svmbaseline::NuSvrOptions;
+using svmbaseline::NuSvrResult;
+using svmbaseline::solve_nu_svr;
+using svmdata::CsrMatrix;
+using svmdata::Feature;
+using svmkernel::KernelParams;
+using svmkernel::KernelType;
+
+struct Regression1D {
+  CsrMatrix X;
+  std::vector<double> y;
+};
+
+template <typename Fn>
+Regression1D make_1d(std::size_t n, double lo, double hi, Fn fn, double noise = 0.0,
+                     std::uint64_t seed = 1) {
+  svmutil::Rng rng(seed);
+  Regression1D out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+    out.X.add_row(std::vector<Feature>{{0, x}});
+    out.y.push_back(fn(x) + (noise > 0 ? rng.normal(0.0, noise) : 0.0));
+  }
+  return out;
+}
+
+NuSvrOptions options_with(double nu, double C = 10.0) {
+  NuSvrOptions o;
+  o.nu = nu;
+  o.C = C;
+  o.eps = 1e-4;
+  o.kernel = KernelParams{KernelType::linear, 1.0, 0.0, 3};
+  return o;
+}
+
+TEST(NuSvr, FitsLinearFunction) {
+  const auto data = make_1d(50, -2.0, 2.0, [](double x) { return 1.5 * x - 0.5; });
+  const NuSvrResult r = solve_nu_svr(data.X, data.y, options_with(0.5, 100.0));
+  ASSERT_TRUE(r.converged);
+  const auto model = r.to_model(data.X, options_with(0.5).kernel);
+  for (std::size_t i = 0; i < data.y.size(); i += 5)
+    EXPECT_NEAR(model.decision_value(data.X.row(i)), data.y[i], 0.1);
+}
+
+TEST(NuSvr, NuControlsTubeWidth) {
+  // Larger nu => narrower adaptive tube (more samples allowed outside a
+  // tighter tube... precisely: the tube shrinks as nu grows).
+  const auto data = make_1d(80, 0.0, 6.283, [](double x) { return std::sin(x); }, 0.1, 3);
+  NuSvrOptions small_nu = options_with(0.1);
+  small_nu.kernel = KernelParams::rbf_with_sigma_sq(1.0);
+  NuSvrOptions large_nu = options_with(0.7);
+  large_nu.kernel = KernelParams::rbf_with_sigma_sq(1.0);
+  const double tube_small = solve_nu_svr(data.X, data.y, small_nu).epsilon_tube;
+  const double tube_large = solve_nu_svr(data.X, data.y, large_nu).epsilon_tube;
+  EXPECT_GT(tube_small, 0.0);
+  EXPECT_GT(tube_large, 0.0);
+  EXPECT_LT(tube_large, tube_small);
+}
+
+TEST(NuSvr, NuLowerBoundsSupportVectorFraction) {
+  const auto data = make_1d(100, 0.0, 6.283, [](double x) { return std::sin(x); }, 0.05, 5);
+  const double nu = 0.4;
+  NuSvrOptions options = options_with(nu);
+  options.kernel = KernelParams::rbf_with_sigma_sq(1.0);
+  const NuSvrResult r = solve_nu_svr(data.X, data.y, options);
+  std::size_t svs = 0;
+  for (const double c : r.coef)
+    if (c != 0.0) ++svs;
+  EXPECT_GE(static_cast<double>(svs) / static_cast<double>(data.y.size()), nu - 0.05);
+}
+
+TEST(NuSvr, EqualityAndBoxConstraints) {
+  const auto data = make_1d(60, -1.0, 3.0, [](double x) { return x * x / 3.0; }, 0.05, 7);
+  NuSvrOptions options = options_with(0.3, 2.0);
+  options.kernel = KernelParams::rbf_with_sigma_sq(2.0);
+  const NuSvrResult r = solve_nu_svr(data.X, data.y, options);
+  double sum = 0.0;
+  for (const double c : r.coef) {
+    EXPECT_GE(c, -options.C - 1e-9);
+    EXPECT_LE(c, options.C + 1e-9);
+    sum += c;
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+}
+
+TEST(NuSvr, ValidatesInput) {
+  CsrMatrix X;
+  X.add_row(std::vector<Feature>{{0, 1.0}});
+  X.add_row(std::vector<Feature>{{0, 2.0}});
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW((void)solve_nu_svr(X, y, options_with(0.0)), std::invalid_argument);
+  EXPECT_THROW((void)solve_nu_svr(X, y, options_with(1.5)), std::invalid_argument);
+  EXPECT_THROW((void)solve_nu_svr(X, std::vector<double>{1.0}, options_with(0.5)),
+               std::invalid_argument);
+}
+
+TEST(NuSvr, MatchesEpsilonSvrAtInducedTube) {
+  // Train nu-SVR, read off its induced tube, then train epsilon-SVR with
+  // that tube: the two fits should coincide (the classic equivalence).
+  const auto data = make_1d(60, 0.0, 5.0, [](double x) { return std::cos(x); }, 0.05, 9);
+  NuSvrOptions nu_options = options_with(0.4, 5.0);
+  nu_options.kernel = KernelParams::rbf_with_sigma_sq(1.0);
+  const NuSvrResult nu_result = solve_nu_svr(data.X, data.y, nu_options);
+  ASSERT_GT(nu_result.epsilon_tube, 0.0);
+
+  svmbaseline::SvrOptions eps_options;
+  eps_options.C = 5.0;
+  eps_options.epsilon_tube = nu_result.epsilon_tube;
+  eps_options.eps = 1e-4;
+  eps_options.kernel = nu_options.kernel;
+  const auto eps_result = svmbaseline::solve_svr(data.X, data.y, eps_options);
+
+  const auto nu_model = nu_result.to_model(data.X, nu_options.kernel);
+  const auto eps_model = eps_result.to_model(data.X, eps_options.kernel);
+  for (std::size_t i = 0; i < data.y.size(); i += 6)
+    EXPECT_NEAR(nu_model.decision_value(data.X.row(i)),
+                eps_model.decision_value(data.X.row(i)), 0.02);
+}
+
+}  // namespace

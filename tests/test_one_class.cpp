@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/one_class.hpp"
+#include "data/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using svmbaseline::OneClassOptions;
+using svmbaseline::OneClassResult;
+using svmbaseline::solve_one_class;
+using svmdata::CsrMatrix;
+using svmdata::Feature;
+
+/// Dense cluster around the origin plus `outliers` far-away points appended.
+CsrMatrix cluster_with_outliers(std::size_t n, std::size_t outliers, std::uint64_t seed) {
+  svmutil::Rng rng(seed);
+  CsrMatrix X;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Feature> row;
+    for (int j = 0; j < 4; ++j) row.push_back(Feature{j, rng.normal(0.0, 0.5)});
+    X.add_row(row);
+  }
+  // Outliers are scattered in random far-away directions (a tight outlier
+  // cluster would legitimately be learned as a second mode).
+  for (std::size_t i = 0; i < outliers; ++i) {
+    std::vector<Feature> row;
+    for (int j = 0; j < 4; ++j)
+      row.push_back(Feature{j, (rng.bernoulli(0.5) ? 8.0 : -8.0) + rng.normal(0.0, 2.0)});
+    X.add_row(row);
+  }
+  return X;
+}
+
+OneClassOptions rbf_options(double nu) {
+  OneClassOptions o;
+  o.nu = nu;
+  o.kernel = svmkernel::KernelParams::rbf_with_sigma_sq(2.0);
+  return o;
+}
+
+TEST(OneClass, ConstraintsHold) {
+  const CsrMatrix X = cluster_with_outliers(150, 0, 1);
+  const OneClassResult r = solve_one_class(X, rbf_options(0.2));
+  ASSERT_TRUE(r.converged);
+  double sum = 0.0;
+  const double box = 1.0 / (0.2 * 150.0);
+  for (const double a : r.alpha) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, box + 1e-9);
+    sum += a;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(OneClass, NuBoundsOutlierAndSvFractions) {
+  const CsrMatrix X = cluster_with_outliers(200, 0, 3);
+  const double nu = 0.15;
+  const OneClassResult r = solve_one_class(X, rbf_options(nu));
+  const auto model = r.to_model(X, rbf_options(nu).kernel);
+
+  std::size_t rejected = 0;
+  std::size_t support_vectors = 0;
+  for (std::size_t i = 0; i < X.rows(); ++i) {
+    if (model.decision_value(X.row(i)) < 0) ++rejected;
+    if (r.alpha[i] > 0) ++support_vectors;
+  }
+  // nu-property: rejected fraction <= nu (+ slack), SV fraction >= nu.
+  EXPECT_LE(static_cast<double>(rejected) / X.rows(), nu + 0.05);
+  EXPECT_GE(static_cast<double>(support_vectors) / X.rows(), nu - 0.02);
+}
+
+TEST(OneClass, DetectsInjectedOutliers) {
+  constexpr std::size_t kInliers = 200;
+  constexpr std::size_t kOutliers = 10;
+  const CsrMatrix X = cluster_with_outliers(kInliers, kOutliers, 5);
+  const OneClassResult r = solve_one_class(X, rbf_options(0.1));
+  const auto model = r.to_model(X, rbf_options(0.1).kernel);
+  // All far-away points must be rejected; most inliers accepted.
+  for (std::size_t i = kInliers; i < kInliers + kOutliers; ++i)
+    EXPECT_LT(model.decision_value(X.row(i)), 0.0) << "outlier " << i << " accepted";
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < kInliers; ++i)
+    if (model.decision_value(X.row(i)) >= 0) ++accepted;
+  EXPECT_GT(static_cast<double>(accepted) / kInliers, 0.8);
+}
+
+TEST(OneClass, RejectsNovelDrawFromDifferentRegion) {
+  const CsrMatrix X = cluster_with_outliers(150, 0, 7);
+  const OneClassResult r = solve_one_class(X, rbf_options(0.1));
+  const auto model = r.to_model(X, rbf_options(0.1).kernel);
+  CsrMatrix novel;
+  novel.add_row(std::vector<Feature>{{0, 20.0}, {1, -20.0}});
+  EXPECT_LT(model.decision_value(novel.row(0)), 0.0);
+}
+
+TEST(OneClass, ShrinkingOnOffSameAnswer) {
+  const CsrMatrix X = cluster_with_outliers(120, 5, 9);
+  OneClassOptions with = rbf_options(0.2);
+  OneClassOptions without = rbf_options(0.2);
+  without.use_shrinking = false;
+  const auto a = solve_one_class(X, with);
+  const auto b = solve_one_class(X, without);
+  EXPECT_NEAR(a.rho, b.rho, 1e-3);
+}
+
+TEST(OneClass, ValidatesArguments) {
+  const CsrMatrix X = cluster_with_outliers(10, 0, 11);
+  EXPECT_THROW((void)solve_one_class(X, rbf_options(0.0)), std::invalid_argument);
+  EXPECT_THROW((void)solve_one_class(X, rbf_options(1.5)), std::invalid_argument);
+  CsrMatrix tiny;
+  tiny.add_row(std::vector<Feature>{{0, 1.0}});
+  EXPECT_THROW((void)solve_one_class(tiny, rbf_options(0.5)), std::invalid_argument);
+}
+
+TEST(OneClass, NuOneUsesEverySample) {
+  const CsrMatrix X = cluster_with_outliers(60, 0, 13);
+  const OneClassResult r = solve_one_class(X, rbf_options(1.0));
+  // With nu = 1 the box forces alpha_i = 1/l for all i: every sample is a SV.
+  for (const double a : r.alpha) EXPECT_NEAR(a, 1.0 / 60.0, 1e-9);
+}
+
+}  // namespace

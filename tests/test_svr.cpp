@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/svr.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using svmbaseline::solve_svr;
+using svmbaseline::SvrOptions;
+using svmbaseline::SvrResult;
+using svmdata::CsrMatrix;
+using svmdata::Feature;
+using svmkernel::KernelParams;
+using svmkernel::KernelType;
+
+/// 1-D inputs x in [lo, hi] with targets from `fn`, plus optional noise.
+struct Regression1D {
+  CsrMatrix X;
+  std::vector<double> y;
+};
+
+template <typename Fn>
+Regression1D make_1d(std::size_t n, double lo, double hi, Fn fn, double noise = 0.0,
+                     std::uint64_t seed = 1) {
+  svmutil::Rng rng(seed);
+  Regression1D out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+    out.X.add_row(std::vector<Feature>{{0, x}});
+    out.y.push_back(fn(x) + (noise > 0 ? rng.normal(0.0, noise) : 0.0));
+  }
+  return out;
+}
+
+SvrOptions linear_options(double C = 100.0, double tube = 0.05) {
+  SvrOptions o;
+  o.C = C;
+  o.epsilon_tube = tube;
+  o.eps = 1e-4;
+  o.kernel = KernelParams{KernelType::linear, 1.0, 0.0, 3};
+  return o;
+}
+
+TEST(Svr, FitsLinearFunctionWithinTube) {
+  const auto data = make_1d(40, -2.0, 2.0, [](double x) { return 2.0 * x + 1.0; });
+  const SvrOptions options = linear_options();
+  const SvrResult r = solve_svr(data.X, data.y, options);
+  ASSERT_TRUE(r.converged);
+  const auto model = r.to_model(data.X, options.kernel);
+  for (std::size_t i = 0; i < data.y.size(); ++i) {
+    const double predicted = model.decision_value(data.X.row(i));
+    EXPECT_NEAR(predicted, data.y[i], options.epsilon_tube + 10 * options.eps) << "i=" << i;
+  }
+}
+
+TEST(Svr, RecoversSlopeAndIntercept) {
+  const auto data = make_1d(60, -3.0, 3.0, [](double x) { return -1.5 * x + 0.7; });
+  const SvrOptions options = linear_options();
+  const SvrResult r = solve_svr(data.X, data.y, options);
+  const auto model = r.to_model(data.X, options.kernel);
+  // Slope from two probe points, intercept at 0.
+  CsrMatrix probes;
+  probes.add_row(std::vector<Feature>{{0, 0.0}});
+  probes.add_row(std::vector<Feature>{{0, 1.0}});
+  const double f0 = model.decision_value(probes.row(0));
+  const double f1 = model.decision_value(probes.row(1));
+  EXPECT_NEAR(f1 - f0, -1.5, 0.1);
+  EXPECT_NEAR(f0, 0.7, 0.1);
+}
+
+TEST(Svr, EqualityConstraintHolds) {
+  const auto data = make_1d(50, 0.0, 5.0, [](double x) { return std::sin(x); }, 0.02, 3);
+  SvrOptions options;
+  options.C = 10.0;
+  options.epsilon_tube = 0.05;
+  options.kernel = KernelParams::rbf_with_sigma_sq(1.0);
+  const SvrResult r = solve_svr(data.X, data.y, options);
+  double sum = 0.0;
+  for (const double c : r.coef) sum += c;
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(Svr, CoefficientsRespectBoxConstraint) {
+  const auto data = make_1d(50, 0.0, 5.0, [](double x) { return std::sin(x); }, 0.1, 5);
+  SvrOptions options;
+  options.C = 2.0;
+  options.epsilon_tube = 0.02;
+  options.kernel = KernelParams::rbf_with_sigma_sq(1.0);
+  const SvrResult r = solve_svr(data.X, data.y, options);
+  for (const double c : r.coef) {
+    EXPECT_GE(c, -options.C - 1e-12);
+    EXPECT_LE(c, options.C + 1e-12);
+  }
+}
+
+TEST(Svr, FitsSineWithRbf) {
+  const auto data = make_1d(80, 0.0, 6.283, [](double x) { return std::sin(x); });
+  SvrOptions options;
+  options.C = 50.0;
+  options.epsilon_tube = 0.02;
+  options.eps = 1e-4;
+  options.kernel = KernelParams::rbf_with_sigma_sq(1.0);
+  const SvrResult r = solve_svr(data.X, data.y, options);
+  ASSERT_TRUE(r.converged);
+  const auto model = r.to_model(data.X, options.kernel);
+  double max_error = 0.0;
+  for (std::size_t i = 0; i < data.y.size(); ++i)
+    max_error = std::max(max_error,
+                         std::abs(model.decision_value(data.X.row(i)) - data.y[i]));
+  EXPECT_LT(max_error, 0.05);
+}
+
+TEST(Svr, InsideTubeSamplesAreNotSupportVectors) {
+  // Fit noisy data with a wide tube: most samples sit strictly inside the
+  // tube and must have zero coefficients (the sparsity property of the
+  // epsilon-insensitive loss).
+  const auto data = make_1d(100, -2.0, 2.0, [](double x) { return 0.5 * x; }, 0.01, 7);
+  SvrOptions options = linear_options(10.0, /*tube=*/0.5);
+  const SvrResult r = solve_svr(data.X, data.y, options);
+  std::size_t support_vectors = 0;
+  for (const double c : r.coef)
+    if (c != 0.0) ++support_vectors;
+  EXPECT_LT(support_vectors, data.y.size() / 4);
+  EXPECT_GT(support_vectors, 0u);
+}
+
+TEST(Svr, WiderTubeGivesFewerSupportVectors) {
+  const auto data = make_1d(100, 0.0, 6.283, [](double x) { return std::sin(x); }, 0.05, 9);
+  auto count_svs = [&](double tube) {
+    SvrOptions options;
+    options.C = 10.0;
+    options.epsilon_tube = tube;
+    options.kernel = KernelParams::rbf_with_sigma_sq(1.0);
+    const SvrResult r = solve_svr(data.X, data.y, options);
+    std::size_t svs = 0;
+    for (const double c : r.coef)
+      if (c != 0.0) ++svs;
+    return svs;
+  };
+  EXPECT_LT(count_svs(0.3), count_svs(0.01));
+}
+
+TEST(Svr, ShrinkingOnOffSameFit) {
+  const auto data = make_1d(60, 0.0, 5.0, [](double x) { return std::cos(x); }, 0.02, 11);
+  SvrOptions with;
+  with.C = 10.0;
+  with.epsilon_tube = 0.05;
+  with.kernel = KernelParams::rbf_with_sigma_sq(1.0);
+  SvrOptions without = with;
+  without.use_shrinking = false;
+  const auto a = solve_svr(data.X, data.y, with);
+  const auto b = solve_svr(data.X, data.y, without);
+  const auto model_a = a.to_model(data.X, with.kernel);
+  const auto model_b = b.to_model(data.X, without.kernel);
+  for (std::size_t i = 0; i < data.y.size(); i += 7)
+    EXPECT_NEAR(model_a.decision_value(data.X.row(i)),
+                model_b.decision_value(data.X.row(i)), 0.02);
+}
+
+TEST(Svr, OpenMpOnOffIdentical) {
+  const auto data = make_1d(50, 0.0, 4.0, [](double x) { return x * x / 4.0; }, 0.02, 13);
+  SvrOptions serial;
+  serial.C = 10.0;
+  serial.epsilon_tube = 0.05;
+  serial.kernel = KernelParams::rbf_with_sigma_sq(2.0);
+  serial.use_openmp = false;
+  SvrOptions parallel = serial;
+  parallel.use_openmp = true;
+  const auto a = solve_svr(data.X, data.y, serial);
+  const auto b = solve_svr(data.X, data.y, parallel);
+  ASSERT_EQ(a.coef.size(), b.coef.size());
+  for (std::size_t i = 0; i < a.coef.size(); ++i) EXPECT_EQ(a.coef[i], b.coef[i]);
+  EXPECT_EQ(a.rho, b.rho);
+}
+
+TEST(Svr, ValidatesInput) {
+  CsrMatrix X;
+  X.add_row(std::vector<Feature>{{0, 1.0}});
+  EXPECT_THROW((void)solve_svr(X, std::vector<double>{1.0, 2.0}, SvrOptions{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)solve_svr(X, std::vector<double>{1.0}, SvrOptions{}),
+               std::invalid_argument);
+  CsrMatrix X2;
+  X2.add_row(std::vector<Feature>{{0, 1.0}});
+  X2.add_row(std::vector<Feature>{{0, 2.0}});
+  SvrOptions bad;
+  bad.epsilon_tube = -0.1;
+  EXPECT_THROW((void)solve_svr(X2, std::vector<double>{1.0, 2.0}, bad), std::invalid_argument);
+}
+
+TEST(Svr, ConstantTargetsGiveFlatModel) {
+  const auto data = make_1d(30, -1.0, 1.0, [](double) { return 3.0; });
+  SvrOptions options = linear_options(10.0, 0.1);
+  const SvrResult r = solve_svr(data.X, data.y, options);
+  const auto model = r.to_model(data.X, options.kernel);
+  CsrMatrix probe;
+  probe.add_row(std::vector<Feature>{{0, 0.37}});
+  EXPECT_NEAR(model.decision_value(probe.row(0)), 3.0, 0.2);
+  // All targets inside the tube around the constant: no support vectors at
+  // all is legitimate (model is pure bias).
+}
+
+}  // namespace

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using svmutil::CliFlags;
+using svmutil::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_index(10)];
+  for (const int c : counts) {
+    EXPECT_GT(c, kDraws / 10 - 1000);
+    EXPECT_LT(c, kDraws / 10 + 1000);
+  }
+}
+
+TEST(Rng, UniformIndexZeroIsZero) {
+  Rng rng(10);
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+  EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(12);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i)
+    if (rng.bernoulli(0.3)) ++heads;
+  EXPECT_NEAR(heads / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  rng.shuffle(v);
+  std::set<int> unique(v.begin(), v.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(14);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const std::size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(Rng, SampleClampedToPopulation) {
+  Rng rng(15);
+  EXPECT_EQ(rng.sample_without_replacement(5, 10).size(), 5u);
+}
+
+TEST(Stats, SummaryBasics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto s = svmutil::summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, MedianEvenCount) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(svmutil::summarize(v).median, 2.5);
+}
+
+TEST(Stats, EmptySummary) {
+  const auto s = svmutil::summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> v{1.0, 4.0, 16.0};
+  EXPECT_NEAR(svmutil::geometric_mean(v), 4.0, 1e-12);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_NEAR(svmutil::relative_error(100.0, 101.0), 1.0 / 101.0, 1e-12);
+  EXPECT_DOUBLE_EQ(svmutil::relative_error(0.0, 0.0), 0.0);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  svmutil::Timer t;
+  // Busy-wait ~2ms; steady_clock must register it.
+  const double start = t.seconds();
+  while (t.seconds() - start < 0.002) {
+  }
+  EXPECT_GE(t.seconds(), 0.002);
+  EXPECT_GE(t.milliseconds(), 2.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.002);
+}
+
+TEST(PhaseTimer, AccumulatesIntervals) {
+  svmutil::PhaseTimer phase;
+  EXPECT_EQ(phase.intervals(), 0u);
+  phase.start();
+  phase.stop();
+  phase.start();
+  phase.stop();
+  EXPECT_EQ(phase.intervals(), 2u);
+  EXPECT_GE(phase.total_seconds(), 0.0);
+  // stop() without a start is a no-op.
+  phase.stop();
+  EXPECT_EQ(phase.intervals(), 2u);
+}
+
+TEST(PhaseTimer, ScopedPhaseStopsOnExit) {
+  svmutil::PhaseTimer phase;
+  {
+    svmutil::ScopedPhase guard(phase);
+  }
+  EXPECT_EQ(phase.intervals(), 1u);
+}
+
+TEST(Logging, LevelFiltering) {
+  const auto saved = svmutil::log_level();
+  svmutil::set_log_level(svmutil::LogLevel::error);
+  EXPECT_EQ(svmutil::log_level(), svmutil::LogLevel::error);
+  // Below-threshold logging must be a no-op (no crash, no output assertion
+  // possible here, but the macro's short-circuit path is exercised).
+  SVM_LOG_DEBUG << "invisible";
+  SVM_LOG_WARN << "also invisible";
+  svmutil::set_log_level(svmutil::LogLevel::off);
+  SVM_LOG_ERROR << "dropped too";
+  svmutil::set_log_level(saved);
+}
+
+TEST(Table, AlignsAndCounts) {
+  svmutil::TextTable t({"a", "long-header"});
+  t.add_row({"1", "2"});
+  t.add_row({svmutil::TextTable::num(3.14159, 2), svmutil::TextTable::integer(42)});
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string rendered = t.str();
+  EXPECT_NE(rendered.find("long-header"), std::string::npos);
+  EXPECT_NE(rendered.find("3.14"), std::string::npos);
+}
+
+TEST(Cli, ParsesFlagsAndPositional) {
+  const char* argv[] = {"prog", "--alpha", "3", "--beta=x", "--flag", "pos1"};
+  CliFlags flags(6, argv, {"alpha", "beta", "flag!"});
+  EXPECT_EQ(flags.get_int("alpha", 0), 3);
+  EXPECT_EQ(flags.get("beta", ""), "x");
+  EXPECT_TRUE(flags.get_bool("flag"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(CliFlags(3, argv, {"alpha"}), std::invalid_argument);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  CliFlags flags(1, argv, {"alpha"});
+  EXPECT_EQ(flags.get_int("alpha", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha", 2.5), 2.5);
+  EXPECT_FALSE(flags.has("alpha"));
+}
+
+}  // namespace
