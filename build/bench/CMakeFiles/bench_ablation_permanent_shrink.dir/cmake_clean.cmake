@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_permanent_shrink.dir/bench_ablation_permanent_shrink.cpp.o"
+  "CMakeFiles/bench_ablation_permanent_shrink.dir/bench_ablation_permanent_shrink.cpp.o.d"
+  "bench_ablation_permanent_shrink"
+  "bench_ablation_permanent_shrink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_permanent_shrink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_higgs.dir/bench_fig3_higgs.cpp.o"
+  "CMakeFiles/bench_fig3_higgs.dir/bench_fig3_higgs.cpp.o.d"
+  "bench_fig3_higgs"
+  "bench_fig3_higgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_higgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_url.dir/bench_fig4_url.cpp.o"
+  "CMakeFiles/bench_fig4_url.dir/bench_fig4_url.cpp.o.d"
+  "bench_fig4_url"
+  "bench_fig4_url.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_url.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

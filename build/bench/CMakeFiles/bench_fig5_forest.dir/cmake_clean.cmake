@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_forest.dir/bench_fig5_forest.cpp.o"
+  "CMakeFiles/bench_fig5_forest.dir/bench_fig5_forest.cpp.o.d"
+  "bench_fig5_forest"
+  "bench_fig5_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_realsim.dir/bench_fig7_realsim.cpp.o"
+  "CMakeFiles/bench_fig7_realsim.dir/bench_fig7_realsim.cpp.o.d"
+  "bench_fig7_realsim"
+  "bench_fig7_realsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_realsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_gradrecon.dir/bench_fig8_gradrecon.cpp.o"
+  "CMakeFiles/bench_fig8_gradrecon.dir/bench_fig8_gradrecon.cpp.o.d"
+  "bench_fig8_gradrecon"
+  "bench_fig8_gradrecon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_gradrecon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

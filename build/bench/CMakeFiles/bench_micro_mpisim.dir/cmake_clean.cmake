@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_mpisim.dir/bench_micro_mpisim.cpp.o"
+  "CMakeFiles/bench_micro_mpisim.dir/bench_micro_mpisim.cpp.o.d"
+  "bench_micro_mpisim"
+  "bench_micro_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

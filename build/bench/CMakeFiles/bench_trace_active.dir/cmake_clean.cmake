@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_active.dir/bench_trace_active.cpp.o"
+  "CMakeFiles/bench_trace_active.dir/bench_trace_active.cpp.o.d"
+  "bench_trace_active"
+  "bench_trace_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_validation.dir/cross_validation.cpp.o"
+  "CMakeFiles/cross_validation.dir/cross_validation.cpp.o.d"
+  "cross_validation"
+  "cross_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

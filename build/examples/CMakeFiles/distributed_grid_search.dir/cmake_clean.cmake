@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_grid_search.dir/distributed_grid_search.cpp.o"
+  "CMakeFiles/distributed_grid_search.dir/distributed_grid_search.cpp.o.d"
+  "distributed_grid_search"
+  "distributed_grid_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_grid_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_support_vectors.dir/figure1_support_vectors.cpp.o"
+  "CMakeFiles/figure1_support_vectors.dir/figure1_support_vectors.cpp.o.d"
+  "figure1_support_vectors"
+  "figure1_support_vectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_support_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_io.dir/model_io.cpp.o"
+  "CMakeFiles/model_io.dir/model_io.cpp.o.d"
+  "model_io"
+  "model_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiclass.dir/multiclass.cpp.o"
+  "CMakeFiles/multiclass.dir/multiclass.cpp.o.d"
+  "multiclass"
+  "multiclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probability_calibration.dir/probability_calibration.cpp.o"
+  "CMakeFiles/probability_calibration.dir/probability_calibration.cpp.o.d"
+  "probability_calibration"
+  "probability_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probability_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression.dir/regression.cpp.o"
+  "CMakeFiles/regression.dir/regression.cpp.o.d"
+  "regression"
+  "regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

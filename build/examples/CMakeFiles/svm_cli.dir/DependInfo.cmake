@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/svm_cli.cpp" "examples/CMakeFiles/svm_cli.dir/svm_cli.cpp.o" "gcc" "examples/CMakeFiles/svm_cli.dir/svm_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/svmcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/svmbaseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svmutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/svmmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/svmkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/svmdata.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

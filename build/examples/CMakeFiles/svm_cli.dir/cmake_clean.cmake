@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svm_cli.dir/svm_cli.cpp.o"
+  "CMakeFiles/svm_cli.dir/svm_cli.cpp.o.d"
+  "svm_cli"
+  "svm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svm_scale.dir/svm_scale.cpp.o"
+  "CMakeFiles/svm_scale.dir/svm_scale.cpp.o.d"
+  "svm_scale"
+  "svm_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svm_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart" "--n" "300" "--ranks" "2")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_parallel_training]=] "/root/repo/build/examples/parallel_training" "--n" "400" "--ranks" "4")
+set_tests_properties([=[example_parallel_training]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_model_io]=] "/root/repo/build/examples/model_io" "--dir" "/root/repo/build/examples")
+set_tests_properties([=[example_model_io]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_cross_validation]=] "/root/repo/build/examples/cross_validation" "--n" "240" "--folds" "3")
+set_tests_properties([=[example_cross_validation]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_multiclass]=] "/root/repo/build/examples/multiclass" "--n" "300")
+set_tests_properties([=[example_multiclass]=] PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_probability]=] "/root/repo/build/examples/probability_calibration" "--n" "400")
+set_tests_properties([=[example_probability]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_regression]=] "/root/repo/build/examples/regression" "--n" "80")
+set_tests_properties([=[example_regression]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_figure1]=] "/root/repo/build/examples/figure1_support_vectors" "--n" "150")
+set_tests_properties([=[example_figure1]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_anomaly]=] "/root/repo/build/examples/anomaly_detection" "--n" "200")
+set_tests_properties([=[example_anomaly]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_distributed_grid]=] "/root/repo/build/examples/distributed_grid_search" "--ranks" "8" "--n" "300")
+set_tests_properties([=[example_distributed_grid]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_cli_chain]=] "/usr/bin/cmake" "-DSVM_CLI=/root/repo/build/examples/svm_cli" "-DMODEL_IO=/root/repo/build/examples/model_io" "-DWORK_DIR=/root/repo/build/examples/cli_chain" "-P" "/root/repo/examples/cli_chain_test.cmake")
+set_tests_properties([=[example_cli_chain]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;35;add_test;/root/repo/examples/CMakeLists.txt;0;")

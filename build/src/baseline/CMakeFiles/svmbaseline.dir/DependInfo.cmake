@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/generic_smo.cpp" "src/baseline/CMakeFiles/svmbaseline.dir/generic_smo.cpp.o" "gcc" "src/baseline/CMakeFiles/svmbaseline.dir/generic_smo.cpp.o.d"
+  "/root/repo/src/baseline/libsvm_like.cpp" "src/baseline/CMakeFiles/svmbaseline.dir/libsvm_like.cpp.o" "gcc" "src/baseline/CMakeFiles/svmbaseline.dir/libsvm_like.cpp.o.d"
+  "/root/repo/src/baseline/nu_svc.cpp" "src/baseline/CMakeFiles/svmbaseline.dir/nu_svc.cpp.o" "gcc" "src/baseline/CMakeFiles/svmbaseline.dir/nu_svc.cpp.o.d"
+  "/root/repo/src/baseline/nu_svr.cpp" "src/baseline/CMakeFiles/svmbaseline.dir/nu_svr.cpp.o" "gcc" "src/baseline/CMakeFiles/svmbaseline.dir/nu_svr.cpp.o.d"
+  "/root/repo/src/baseline/one_class.cpp" "src/baseline/CMakeFiles/svmbaseline.dir/one_class.cpp.o" "gcc" "src/baseline/CMakeFiles/svmbaseline.dir/one_class.cpp.o.d"
+  "/root/repo/src/baseline/svr.cpp" "src/baseline/CMakeFiles/svmbaseline.dir/svr.cpp.o" "gcc" "src/baseline/CMakeFiles/svmbaseline.dir/svr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/svmcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/svmkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/svmdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/svmmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svmutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svmbaseline.dir/generic_smo.cpp.o"
+  "CMakeFiles/svmbaseline.dir/generic_smo.cpp.o.d"
+  "CMakeFiles/svmbaseline.dir/libsvm_like.cpp.o"
+  "CMakeFiles/svmbaseline.dir/libsvm_like.cpp.o.d"
+  "CMakeFiles/svmbaseline.dir/nu_svc.cpp.o"
+  "CMakeFiles/svmbaseline.dir/nu_svc.cpp.o.d"
+  "CMakeFiles/svmbaseline.dir/nu_svr.cpp.o"
+  "CMakeFiles/svmbaseline.dir/nu_svr.cpp.o.d"
+  "CMakeFiles/svmbaseline.dir/one_class.cpp.o"
+  "CMakeFiles/svmbaseline.dir/one_class.cpp.o.d"
+  "CMakeFiles/svmbaseline.dir/svr.cpp.o"
+  "CMakeFiles/svmbaseline.dir/svr.cpp.o.d"
+  "libsvmbaseline.a"
+  "libsvmbaseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svmbaseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

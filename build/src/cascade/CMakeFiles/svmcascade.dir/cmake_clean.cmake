@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svmcascade.dir/cascade_svm.cpp.o"
+  "CMakeFiles/svmcascade.dir/cascade_svm.cpp.o.d"
+  "libsvmcascade.a"
+  "libsvmcascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svmcascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distributed_predict.cpp" "src/core/CMakeFiles/svmcore.dir/distributed_predict.cpp.o" "gcc" "src/core/CMakeFiles/svmcore.dir/distributed_predict.cpp.o.d"
+  "/root/repo/src/core/distributed_solver.cpp" "src/core/CMakeFiles/svmcore.dir/distributed_solver.cpp.o" "gcc" "src/core/CMakeFiles/svmcore.dir/distributed_solver.cpp.o.d"
+  "/root/repo/src/core/gradient_reconstruction.cpp" "src/core/CMakeFiles/svmcore.dir/gradient_reconstruction.cpp.o" "gcc" "src/core/CMakeFiles/svmcore.dir/gradient_reconstruction.cpp.o.d"
+  "/root/repo/src/core/grid_search.cpp" "src/core/CMakeFiles/svmcore.dir/grid_search.cpp.o" "gcc" "src/core/CMakeFiles/svmcore.dir/grid_search.cpp.o.d"
+  "/root/repo/src/core/heuristics.cpp" "src/core/CMakeFiles/svmcore.dir/heuristics.cpp.o" "gcc" "src/core/CMakeFiles/svmcore.dir/heuristics.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/svmcore.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/svmcore.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/svmcore.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/svmcore.dir/model.cpp.o.d"
+  "/root/repo/src/core/multiclass.cpp" "src/core/CMakeFiles/svmcore.dir/multiclass.cpp.o" "gcc" "src/core/CMakeFiles/svmcore.dir/multiclass.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/core/CMakeFiles/svmcore.dir/objective.cpp.o" "gcc" "src/core/CMakeFiles/svmcore.dir/objective.cpp.o.d"
+  "/root/repo/src/core/probability.cpp" "src/core/CMakeFiles/svmcore.dir/probability.cpp.o" "gcc" "src/core/CMakeFiles/svmcore.dir/probability.cpp.o.d"
+  "/root/repo/src/core/sample_block.cpp" "src/core/CMakeFiles/svmcore.dir/sample_block.cpp.o" "gcc" "src/core/CMakeFiles/svmcore.dir/sample_block.cpp.o.d"
+  "/root/repo/src/core/sequential_smo.cpp" "src/core/CMakeFiles/svmcore.dir/sequential_smo.cpp.o" "gcc" "src/core/CMakeFiles/svmcore.dir/sequential_smo.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/svmcore.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/svmcore.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/svmdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/svmkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/svmmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svmutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svmcore.dir/distributed_predict.cpp.o"
+  "CMakeFiles/svmcore.dir/distributed_predict.cpp.o.d"
+  "CMakeFiles/svmcore.dir/distributed_solver.cpp.o"
+  "CMakeFiles/svmcore.dir/distributed_solver.cpp.o.d"
+  "CMakeFiles/svmcore.dir/gradient_reconstruction.cpp.o"
+  "CMakeFiles/svmcore.dir/gradient_reconstruction.cpp.o.d"
+  "CMakeFiles/svmcore.dir/grid_search.cpp.o"
+  "CMakeFiles/svmcore.dir/grid_search.cpp.o.d"
+  "CMakeFiles/svmcore.dir/heuristics.cpp.o"
+  "CMakeFiles/svmcore.dir/heuristics.cpp.o.d"
+  "CMakeFiles/svmcore.dir/metrics.cpp.o"
+  "CMakeFiles/svmcore.dir/metrics.cpp.o.d"
+  "CMakeFiles/svmcore.dir/model.cpp.o"
+  "CMakeFiles/svmcore.dir/model.cpp.o.d"
+  "CMakeFiles/svmcore.dir/multiclass.cpp.o"
+  "CMakeFiles/svmcore.dir/multiclass.cpp.o.d"
+  "CMakeFiles/svmcore.dir/objective.cpp.o"
+  "CMakeFiles/svmcore.dir/objective.cpp.o.d"
+  "CMakeFiles/svmcore.dir/probability.cpp.o"
+  "CMakeFiles/svmcore.dir/probability.cpp.o.d"
+  "CMakeFiles/svmcore.dir/sample_block.cpp.o"
+  "CMakeFiles/svmcore.dir/sample_block.cpp.o.d"
+  "CMakeFiles/svmcore.dir/sequential_smo.cpp.o"
+  "CMakeFiles/svmcore.dir/sequential_smo.cpp.o.d"
+  "CMakeFiles/svmcore.dir/trainer.cpp.o"
+  "CMakeFiles/svmcore.dir/trainer.cpp.o.d"
+  "libsvmcore.a"
+  "libsvmcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svmcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

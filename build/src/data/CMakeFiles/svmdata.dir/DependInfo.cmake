@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/libsvm_io.cpp" "src/data/CMakeFiles/svmdata.dir/libsvm_io.cpp.o" "gcc" "src/data/CMakeFiles/svmdata.dir/libsvm_io.cpp.o.d"
+  "/root/repo/src/data/scale.cpp" "src/data/CMakeFiles/svmdata.dir/scale.cpp.o" "gcc" "src/data/CMakeFiles/svmdata.dir/scale.cpp.o.d"
+  "/root/repo/src/data/sparse.cpp" "src/data/CMakeFiles/svmdata.dir/sparse.cpp.o" "gcc" "src/data/CMakeFiles/svmdata.dir/sparse.cpp.o.d"
+  "/root/repo/src/data/split.cpp" "src/data/CMakeFiles/svmdata.dir/split.cpp.o" "gcc" "src/data/CMakeFiles/svmdata.dir/split.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/svmdata.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/svmdata.dir/synthetic.cpp.o.d"
+  "/root/repo/src/data/zoo.cpp" "src/data/CMakeFiles/svmdata.dir/zoo.cpp.o" "gcc" "src/data/CMakeFiles/svmdata.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/svmutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svmdata.dir/libsvm_io.cpp.o"
+  "CMakeFiles/svmdata.dir/libsvm_io.cpp.o.d"
+  "CMakeFiles/svmdata.dir/scale.cpp.o"
+  "CMakeFiles/svmdata.dir/scale.cpp.o.d"
+  "CMakeFiles/svmdata.dir/sparse.cpp.o"
+  "CMakeFiles/svmdata.dir/sparse.cpp.o.d"
+  "CMakeFiles/svmdata.dir/split.cpp.o"
+  "CMakeFiles/svmdata.dir/split.cpp.o.d"
+  "CMakeFiles/svmdata.dir/synthetic.cpp.o"
+  "CMakeFiles/svmdata.dir/synthetic.cpp.o.d"
+  "CMakeFiles/svmdata.dir/zoo.cpp.o"
+  "CMakeFiles/svmdata.dir/zoo.cpp.o.d"
+  "libsvmdata.a"
+  "libsvmdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svmdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/kernel.cpp" "src/kernel/CMakeFiles/svmkernel.dir/kernel.cpp.o" "gcc" "src/kernel/CMakeFiles/svmkernel.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernel/kernel_cache.cpp" "src/kernel/CMakeFiles/svmkernel.dir/kernel_cache.cpp.o" "gcc" "src/kernel/CMakeFiles/svmkernel.dir/kernel_cache.cpp.o.d"
+  "/root/repo/src/kernel/row_eval.cpp" "src/kernel/CMakeFiles/svmkernel.dir/row_eval.cpp.o" "gcc" "src/kernel/CMakeFiles/svmkernel.dir/row_eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/svmdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/svmutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

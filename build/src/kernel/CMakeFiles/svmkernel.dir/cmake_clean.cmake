@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svmkernel.dir/kernel.cpp.o"
+  "CMakeFiles/svmkernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/svmkernel.dir/kernel_cache.cpp.o"
+  "CMakeFiles/svmkernel.dir/kernel_cache.cpp.o.d"
+  "CMakeFiles/svmkernel.dir/row_eval.cpp.o"
+  "CMakeFiles/svmkernel.dir/row_eval.cpp.o.d"
+  "libsvmkernel.a"
+  "libsvmkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svmkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for svmkernel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpisim/collective.cpp" "src/mpisim/CMakeFiles/svmmpi.dir/collective.cpp.o" "gcc" "src/mpisim/CMakeFiles/svmmpi.dir/collective.cpp.o.d"
+  "/root/repo/src/mpisim/comm.cpp" "src/mpisim/CMakeFiles/svmmpi.dir/comm.cpp.o" "gcc" "src/mpisim/CMakeFiles/svmmpi.dir/comm.cpp.o.d"
+  "/root/repo/src/mpisim/mailbox.cpp" "src/mpisim/CMakeFiles/svmmpi.dir/mailbox.cpp.o" "gcc" "src/mpisim/CMakeFiles/svmmpi.dir/mailbox.cpp.o.d"
+  "/root/repo/src/mpisim/spmd.cpp" "src/mpisim/CMakeFiles/svmmpi.dir/spmd.cpp.o" "gcc" "src/mpisim/CMakeFiles/svmmpi.dir/spmd.cpp.o.d"
+  "/root/repo/src/mpisim/world.cpp" "src/mpisim/CMakeFiles/svmmpi.dir/world.cpp.o" "gcc" "src/mpisim/CMakeFiles/svmmpi.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/svmutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svmmpi.dir/collective.cpp.o"
+  "CMakeFiles/svmmpi.dir/collective.cpp.o.d"
+  "CMakeFiles/svmmpi.dir/comm.cpp.o"
+  "CMakeFiles/svmmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/svmmpi.dir/mailbox.cpp.o"
+  "CMakeFiles/svmmpi.dir/mailbox.cpp.o.d"
+  "CMakeFiles/svmmpi.dir/spmd.cpp.o"
+  "CMakeFiles/svmmpi.dir/spmd.cpp.o.d"
+  "CMakeFiles/svmmpi.dir/world.cpp.o"
+  "CMakeFiles/svmmpi.dir/world.cpp.o.d"
+  "libsvmmpi.a"
+  "libsvmmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svmmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svmutil.dir/cli.cpp.o"
+  "CMakeFiles/svmutil.dir/cli.cpp.o.d"
+  "CMakeFiles/svmutil.dir/logging.cpp.o"
+  "CMakeFiles/svmutil.dir/logging.cpp.o.d"
+  "CMakeFiles/svmutil.dir/rng.cpp.o"
+  "CMakeFiles/svmutil.dir/rng.cpp.o.d"
+  "CMakeFiles/svmutil.dir/stats.cpp.o"
+  "CMakeFiles/svmutil.dir/stats.cpp.o.d"
+  "CMakeFiles/svmutil.dir/table.cpp.o"
+  "CMakeFiles/svmutil.dir/table.cpp.o.d"
+  "CMakeFiles/svmutil.dir/timer.cpp.o"
+  "CMakeFiles/svmutil.dir/timer.cpp.o.d"
+  "libsvmutil.a"
+  "libsvmutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svmutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

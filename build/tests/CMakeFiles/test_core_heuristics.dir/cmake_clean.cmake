@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_heuristics.dir/test_core_heuristics.cpp.o"
+  "CMakeFiles/test_core_heuristics.dir/test_core_heuristics.cpp.o.d"
+  "test_core_heuristics"
+  "test_core_heuristics.pdb"
+  "test_core_heuristics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

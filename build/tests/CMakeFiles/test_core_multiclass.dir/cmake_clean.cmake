@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_multiclass.dir/test_core_multiclass.cpp.o"
+  "CMakeFiles/test_core_multiclass.dir/test_core_multiclass.cpp.o.d"
+  "test_core_multiclass"
+  "test_core_multiclass.pdb"
+  "test_core_multiclass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_multiclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

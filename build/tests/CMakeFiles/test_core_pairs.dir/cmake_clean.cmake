@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_pairs.dir/test_core_pairs.cpp.o"
+  "CMakeFiles/test_core_pairs.dir/test_core_pairs.cpp.o.d"
+  "test_core_pairs"
+  "test_core_pairs.pdb"
+  "test_core_pairs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_reconstruction.dir/test_core_reconstruction.cpp.o"
+  "CMakeFiles/test_core_reconstruction.dir/test_core_reconstruction.cpp.o.d"
+  "test_core_reconstruction"
+  "test_core_reconstruction.pdb"
+  "test_core_reconstruction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_sequential.dir/test_core_sequential.cpp.o"
+  "CMakeFiles/test_core_sequential.dir/test_core_sequential.cpp.o.d"
+  "test_core_sequential"
+  "test_core_sequential.pdb"
+  "test_core_sequential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_shrinking.dir/test_core_shrinking.cpp.o"
+  "CMakeFiles/test_core_shrinking.dir/test_core_shrinking.cpp.o.d"
+  "test_core_shrinking"
+  "test_core_shrinking.pdb"
+  "test_core_shrinking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_shrinking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

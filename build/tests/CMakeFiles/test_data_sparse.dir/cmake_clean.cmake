@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_sparse.dir/test_data_sparse.cpp.o"
+  "CMakeFiles/test_data_sparse.dir/test_data_sparse.cpp.o.d"
+  "test_data_sparse"
+  "test_data_sparse.pdb"
+  "test_data_sparse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

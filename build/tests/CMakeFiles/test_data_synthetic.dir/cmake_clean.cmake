@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_synthetic.dir/test_data_synthetic.cpp.o"
+  "CMakeFiles/test_data_synthetic.dir/test_data_synthetic.cpp.o.d"
+  "test_data_synthetic"
+  "test_data_synthetic.pdb"
+  "test_data_synthetic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

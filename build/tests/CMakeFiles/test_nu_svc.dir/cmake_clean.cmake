@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nu_svc.dir/test_nu_svc.cpp.o"
+  "CMakeFiles/test_nu_svc.dir/test_nu_svc.cpp.o.d"
+  "test_nu_svc"
+  "test_nu_svc.pdb"
+  "test_nu_svc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nu_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nu_svr.dir/test_nu_svr.cpp.o"
+  "CMakeFiles/test_nu_svr.dir/test_nu_svr.cpp.o.d"
+  "test_nu_svr"
+  "test_nu_svr.pdb"
+  "test_nu_svr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nu_svr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

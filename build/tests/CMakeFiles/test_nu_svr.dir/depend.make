@@ -1,0 +1,2 @@
+# Empty dependencies file for test_nu_svr.
+# This may be replaced when dependencies are built.

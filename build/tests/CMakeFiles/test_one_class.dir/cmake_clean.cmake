@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_one_class.dir/test_one_class.cpp.o"
+  "CMakeFiles/test_one_class.dir/test_one_class.cpp.o.d"
+  "test_one_class"
+  "test_one_class.pdb"
+  "test_one_class[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_one_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svr.dir/test_svr.cpp.o"
+  "CMakeFiles/test_svr.dir/test_svr.cpp.o.d"
+  "test_svr"
+  "test_svr.pdb"
+  "test_svr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

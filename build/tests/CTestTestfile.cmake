@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_mpisim_pt2pt[1]_include.cmake")
+include("/root/repo/build/tests/test_mpisim_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_mpisim_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_data_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_data_io[1]_include.cmake")
+include("/root/repo/build/tests/test_data_synthetic[1]_include.cmake")
+include("/root/repo/build/tests/test_data_split[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_core_pairs[1]_include.cmake")
+include("/root/repo/build/tests/test_core_sequential[1]_include.cmake")
+include("/root/repo/build/tests/test_core_heuristics[1]_include.cmake")
+include("/root/repo/build/tests/test_core_model[1]_include.cmake")
+include("/root/repo/build/tests/test_core_distributed[1]_include.cmake")
+include("/root/repo/build/tests/test_core_shrinking[1]_include.cmake")
+include("/root/repo/build/tests/test_core_reconstruction[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_core_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_core_multiclass[1]_include.cmake")
+include("/root/repo/build/tests/test_core_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_core_probability[1]_include.cmake")
+include("/root/repo/build/tests/test_svr[1]_include.cmake")
+include("/root/repo/build/tests/test_one_class[1]_include.cmake")
+include("/root/repo/build/tests/test_nu_svc[1]_include.cmake")
+include("/root/repo/build/tests/test_nu_svr[1]_include.cmake")
+include("/root/repo/build/tests/test_cascade[1]_include.cmake")
