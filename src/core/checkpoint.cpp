@@ -1,0 +1,238 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace svmcore {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53564b43;  // "CKVS"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void append_pod(std::vector<std::byte>& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t offset = out.size();
+  out.resize(offset + sizeof(T));
+  std::memcpy(out.data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+void append_vector(std::vector<std::byte>& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  append_pod(out, static_cast<std::uint64_t>(v.size()));
+  const std::size_t offset = out.size();
+  out.resize(offset + v.size() * sizeof(T));
+  if (!v.empty()) std::memcpy(out.data() + offset, v.data(), v.size() * sizeof(T));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::byte>& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  [[nodiscard]] T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, bytes_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto count = pod<std::uint64_t>();
+    if (count > (bytes_.size() - offset_) / sizeof(T))
+      throw std::runtime_error("checkpoint: truncated array");
+    std::vector<T> v(count);
+    if (count > 0) std::memcpy(v.data(), bytes_.data() + offset_, count * sizeof(T));
+    offset_ += count * sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return offset_ == bytes_.size(); }
+
+ private:
+  void require(std::size_t n) const {
+    if (n > bytes_.size() - offset_) throw std::runtime_error("checkpoint: truncated buffer");
+  }
+
+  const std::vector<std::byte>& bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::byte> RankCheckpoint::serialize() const {
+  std::vector<std::byte> out;
+  out.reserve(64 + alpha.size() * 17 + active.size() * 4);
+  append_pod(out, kMagic);
+  append_pod(out, kVersion);
+  append_pod(out, stage);
+  append_pod(out, stalls);
+  append_pod(out, iterations);
+  append_pod(out, delta_counter);
+  append_pod(out, beta_up);
+  append_pod(out, beta_low);
+  append_pod(out, i_up);
+  append_pod(out, i_low);
+  append_pod(out, shrink_passes);
+  append_pod(out, samples_shrunk);
+  append_pod(out, reconstructions);
+  append_pod(out, min_active);
+  append_vector(out, alpha);
+  append_vector(out, gamma);
+  append_vector(out, shrunk);
+  append_vector(out, active);
+  return out;
+}
+
+RankCheckpoint RankCheckpoint::deserialize(const std::vector<std::byte>& bytes) {
+  Reader reader(bytes);
+  if (reader.pod<std::uint32_t>() != kMagic)
+    throw std::runtime_error("checkpoint: bad magic (not a checkpoint buffer)");
+  if (reader.pod<std::uint32_t>() != kVersion)
+    throw std::runtime_error("checkpoint: unsupported version");
+  RankCheckpoint c;
+  c.stage = reader.pod<std::uint32_t>();
+  c.stalls = reader.pod<std::uint32_t>();
+  c.iterations = reader.pod<std::uint64_t>();
+  c.delta_counter = reader.pod<std::uint64_t>();
+  c.beta_up = reader.pod<double>();
+  c.beta_low = reader.pod<double>();
+  c.i_up = reader.pod<std::int64_t>();
+  c.i_low = reader.pod<std::int64_t>();
+  c.shrink_passes = reader.pod<std::uint64_t>();
+  c.samples_shrunk = reader.pod<std::uint64_t>();
+  c.reconstructions = reader.pod<std::uint64_t>();
+  c.min_active = reader.pod<std::uint64_t>();
+  c.alpha = reader.vector<double>();
+  c.gamma = reader.vector<double>();
+  c.shrunk = reader.vector<std::uint8_t>();
+  c.active = reader.vector<std::uint32_t>();
+  if (!reader.exhausted()) throw std::runtime_error("checkpoint: trailing bytes");
+  if (c.gamma.size() != c.alpha.size() || c.shrunk.size() != c.alpha.size() ||
+      c.active.size() > c.alpha.size())
+    throw std::runtime_error("checkpoint: inconsistent array lengths");
+  return c;
+}
+
+CheckpointStore::CheckpointStore(int num_ranks, std::string directory)
+    : num_ranks_(num_ranks), directory_(std::move(directory)), checkpoints_(num_ranks) {
+  if (num_ranks <= 0) throw std::invalid_argument("CheckpointStore: num_ranks must be positive");
+  if (!directory_.empty()) std::filesystem::create_directories(directory_);
+}
+
+std::string CheckpointStore::file_path(int rank, std::uint64_t epoch) const {
+  return directory_ + "/ckpt_r" + std::to_string(rank) + "_e" + std::to_string(epoch) + ".bin";
+}
+
+CheckpointStore::CheckpointStore(int num_ranks, std::string directory, LoadFromDisk)
+    : CheckpointStore(num_ranks, std::move(directory)) {
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    const std::string name = entry.path().filename().string();
+    int rank = -1;
+    unsigned long long epoch = 0;
+    if (std::sscanf(name.c_str(), "ckpt_r%d_e%llu.bin", &rank, &epoch) != 2) continue;
+    if (rank < 0 || rank >= num_ranks) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::vector<std::byte> bytes(static_cast<std::size_t>(entry.file_size()));
+    in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
+    if (!in) continue;  // unreadable/torn file: treat as absent
+    checkpoints_[rank][epoch] = std::move(bytes);
+  }
+}
+
+CheckpointStore CheckpointStore::open(int num_ranks, const std::string& directory) {
+  // Prvalue return: CheckpointStore owns a mutex and is neither movable nor
+  // copyable, so the object must be constructed in place.
+  return CheckpointStore(num_ranks, directory, LoadFromDisk{});
+}
+
+void CheckpointStore::save(int rank, std::uint64_t epoch, const RankCheckpoint& state) {
+  std::vector<std::byte> bytes = state.serialize();
+  if (!directory_.empty()) {
+    // Write-then-rename so a crash mid-write never leaves a torn file.
+    const std::string final_path = file_path(rank, epoch);
+    const std::string tmp_path = final_path + ".tmp";
+    {
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+      if (!out) throw std::runtime_error("CheckpointStore: cannot write " + tmp_path);
+    }
+    std::filesystem::rename(tmp_path, final_path);
+  }
+  std::lock_guard lock(mutex_);
+  auto& mine = checkpoints_[rank];
+  mine[epoch] = std::move(bytes);
+  ++saves_;
+  while (mine.size() > 2) {
+    if (!directory_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(file_path(rank, mine.begin()->first), ec);
+    }
+    mine.erase(mine.begin());
+  }
+}
+
+std::optional<std::uint64_t> CheckpointStore::begin_restart() {
+  std::lock_guard lock(mutex_);
+  restore_epoch_.reset();
+  std::optional<std::uint64_t> epoch;
+  for (const auto& mine : checkpoints_) {
+    if (mine.empty()) return std::nullopt;  // a rank never checkpointed: fresh start
+    const std::uint64_t newest = mine.rbegin()->first;
+    epoch = epoch ? std::min(*epoch, newest) : newest;
+  }
+  if (!epoch) return std::nullopt;
+  // The pinned epoch must actually be present on every rank (retention keeps
+  // two epochs, which covers the one-boundary straggle a failure can cause).
+  for (const auto& mine : checkpoints_)
+    if (!mine.contains(*epoch)) return std::nullopt;
+  for (auto& mine : checkpoints_) {
+    for (auto it = mine.begin(); it != mine.end();) {
+      if (it->first != *epoch) {
+        if (!directory_.empty()) {
+          std::error_code ec;
+          std::filesystem::remove(
+              file_path(static_cast<int>(&mine - checkpoints_.data()), it->first), ec);
+        }
+        it = mine.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  restore_epoch_ = epoch;
+  return epoch;
+}
+
+std::optional<RankCheckpoint> CheckpointStore::restore(int rank) const {
+  std::lock_guard lock(mutex_);
+  if (!restore_epoch_) return std::nullopt;
+  const auto& mine = checkpoints_[rank];
+  const auto it = mine.find(*restore_epoch_);
+  if (it == mine.end()) return std::nullopt;
+  return RankCheckpoint::deserialize(it->second);
+}
+
+std::uint64_t CheckpointStore::saves() const {
+  std::lock_guard lock(mutex_);
+  return saves_;
+}
+
+std::vector<std::uint64_t> CheckpointStore::epochs(int rank) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::uint64_t> out;
+  for (const auto& [epoch, bytes] : checkpoints_[rank]) out.push_back(epoch);
+  return out;
+}
+
+}  // namespace svmcore

@@ -1,0 +1,113 @@
+// Checkpoint/restart support for the distributed solver. Each rank
+// periodically serializes its complete solver state (multipliers, gradients,
+// shrink flags, active set, global bounds, shrink counter, iteration cursor
+// and the solve driver's phase cursor) into a CheckpointStore. Because every
+// rank checkpoints at the same deterministic iteration boundaries, the
+// per-rank snapshots with a common epoch form a globally consistent cut; the
+// retry driver (solve_with_recovery) restores the newest epoch present on
+// ALL ranks and replays from there. The solver is deterministic given a
+// loop-top state, so a fault-free replay from any consistent cut converges
+// to the bit-identical model a failure-free run would produce.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace svmcore {
+
+/// One rank's complete solver state at a checkpoint boundary (a run_phase
+/// loop top). Serialization is a versioned flat binary layout; deserialize()
+/// validates every length field against the buffer before copying.
+struct RankCheckpoint {
+  // Solve-driver cursor: index of the phase being executed (number of
+  // completed run_phase calls before it) and the consecutive-stall count at
+  // that phase's entry (Algorithm 5 driver state).
+  std::uint32_t stage = 0;
+  std::uint32_t stalls = 0;
+
+  // Iteration cursor and shrink scheduling.
+  std::uint64_t iterations = 0;
+  std::uint64_t delta_counter = ~0ULL;
+
+  // Global selection state (replica-consistent at a loop top).
+  double beta_up = 0.0;
+  double beta_low = 0.0;
+  std::int64_t i_up = -1;
+  std::int64_t i_low = -1;
+
+  // Work counters restored so post-recovery statistics stay meaningful.
+  std::uint64_t shrink_passes = 0;
+  std::uint64_t samples_shrunk = 0;
+  std::uint64_t reconstructions = 0;
+  std::uint64_t min_active = 0;
+
+  // Per-local-sample state.
+  std::vector<double> alpha;
+  std::vector<double> gamma;
+  std::vector<std::uint8_t> shrunk;
+  std::vector<std::uint32_t> active;
+
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+  /// Throws std::runtime_error on a corrupt or truncated buffer.
+  [[nodiscard]] static RankCheckpoint deserialize(const std::vector<std::byte>& bytes);
+
+  [[nodiscard]] bool operator==(const RankCheckpoint& other) const = default;
+};
+
+/// Thread-safe store of per-(rank, epoch) checkpoints. In-memory by default;
+/// when constructed with a directory, every save is also spilled to
+/// `<dir>/ckpt_r<rank>_e<epoch>.bin` and `open()` can reload a store from
+/// disk — surviving not just rank failures but whole-process restarts.
+///
+/// Protocol: the retry driver calls begin_restart() once (single-threaded)
+/// before each SPMD launch; it pins the newest epoch present on all ranks
+/// and discards everything else. Rank threads then call restore() during
+/// solver construction and save() at checkpoint boundaries.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(int num_ranks, std::string directory = {});
+
+  /// Reloads a file-backed store's contents from `directory`.
+  [[nodiscard]] static CheckpointStore open(int num_ranks, const std::string& directory);
+
+  /// Saves rank `rank`'s checkpoint for `epoch`, pruning epochs older than
+  /// the previous one (two epochs per rank are retained — enough to cover
+  /// ranks straddling a boundary when a failure hits).
+  void save(int rank, std::uint64_t epoch, const RankCheckpoint& state);
+
+  /// Pins the restore epoch: the newest epoch every rank has a checkpoint
+  /// for. Returns it, or nullopt when no consistent cut exists (fresh
+  /// start). Checkpoints from other epochs are discarded.
+  std::optional<std::uint64_t> begin_restart();
+
+  /// The checkpoint pinned by the last begin_restart() for this rank, or
+  /// nullopt for a fresh start. Thread-safe (read-only after pinning).
+  [[nodiscard]] std::optional<RankCheckpoint> restore(int rank) const;
+
+  [[nodiscard]] int num_ranks() const noexcept { return num_ranks_; }
+  /// Total save() calls, across all ranks and epochs.
+  [[nodiscard]] std::uint64_t saves() const;
+  /// Epochs currently retained for `rank` (newest last).
+  [[nodiscard]] std::vector<std::uint64_t> epochs(int rank) const;
+
+ private:
+  struct LoadFromDisk {};
+  CheckpointStore(int num_ranks, std::string directory, LoadFromDisk);
+
+  [[nodiscard]] std::string file_path(int rank, std::uint64_t epoch) const;
+
+  int num_ranks_;
+  std::string directory_;  ///< empty = in-memory only
+  mutable std::mutex mutex_;
+  /// checkpoints_[rank]: epoch -> serialized state, at most 2 entries.
+  std::vector<std::map<std::uint64_t, std::vector<std::byte>>> checkpoints_;
+  std::optional<std::uint64_t> restore_epoch_;
+  std::uint64_t saves_ = 0;
+};
+
+}  // namespace svmcore

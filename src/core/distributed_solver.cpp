@@ -35,6 +35,61 @@ DistributedSolver::DistributedSolver(svmmpi::Comm& comm, const svmdata::Dataset&
     active_[i] = static_cast<std::uint32_t>(i);
   }
   stats_.min_active = local_n;
+  maybe_restore();
+}
+
+void DistributedSolver::maybe_restore() {
+  if (config_.checkpoint_store == nullptr) return;
+  const std::optional<RankCheckpoint> c = config_.checkpoint_store->restore(comm_.rank());
+  if (!c) return;
+  if (c->alpha.size() != range_.size())
+    throw std::runtime_error("DistributedSolver: checkpoint does not match this rank's block");
+  alpha_ = c->alpha;
+  gamma_ = c->gamma;
+  shrunk_ = c->shrunk;
+  active_ = c->active;
+  beta_up_ = c->beta_up;
+  beta_low_ = c->beta_low;
+  i_up_ = c->i_up;
+  i_low_ = c->i_low;
+  delta_counter_ = c->delta_counter;
+  stats_.iterations = c->iterations;
+  stats_.shrink_passes = c->shrink_passes;
+  stats_.samples_shrunk = c->samples_shrunk;
+  stats_.reconstructions = c->reconstructions;
+  stats_.min_active = c->min_active;
+  resume_stage_ = c->stage;
+  resume_stalls_ = c->stalls;
+  restored_ = true;
+  // The restore epoch is a boundary the replay will hit again; skip the
+  // redundant (byte-identical) re-save there.
+  last_checkpoint_iteration_ = c->iterations;
+}
+
+void DistributedSolver::maybe_checkpoint() {
+  if (config_.checkpoint_store == nullptr || config_.checkpoint_interval == 0) return;
+  if (stats_.iterations % config_.checkpoint_interval != 0 ||
+      stats_.iterations == last_checkpoint_iteration_)
+    return;
+  RankCheckpoint c;
+  c.stage = stage_;
+  c.stalls = stage_stalls_;
+  c.iterations = stats_.iterations;
+  c.delta_counter = delta_counter_;
+  c.beta_up = beta_up_;
+  c.beta_low = beta_low_;
+  c.i_up = i_up_;
+  c.i_low = i_low_;
+  c.shrink_passes = stats_.shrink_passes;
+  c.samples_shrunk = stats_.samples_shrunk;
+  c.reconstructions = stats_.reconstructions;
+  c.min_active = stats_.min_active;
+  c.alpha = alpha_;
+  c.gamma = gamma_;
+  c.shrunk = shrunk_;
+  c.active = active_;
+  config_.checkpoint_store->save(comm_.rank(), stats_.iterations, c);
+  last_checkpoint_iteration_ = stats_.iterations;
 }
 
 void DistributedSolver::select_violators() {
@@ -87,6 +142,9 @@ PackedSamples DistributedSolver::fetch_sample(std::int64_t global_index) {
 
 DistributedSolver::PhaseExit DistributedSolver::run_phase(double tolerance, bool shrinking) {
   while (true) {
+    // Loop tops are the checkpoint boundaries: state is replica-consistent
+    // here and a replay from any saved boundary is deterministic.
+    maybe_checkpoint();
     select_violators();
     if (i_up_ == std::numeric_limits<std::int64_t>::max() ||
         i_low_ == std::numeric_limits<std::int64_t>::max()) {
@@ -230,7 +288,7 @@ RankResult DistributedSolver::solve() {
   svmutil::Timer total;
   const double two_eps = 2.0 * config_.params.eps;
   const bool shrinking = config_.heuristic.shrinking_enabled();
-  delta_counter_ = config_.heuristic.initial_threshold(data_.size());
+  if (!restored_) delta_counter_ = config_.heuristic.initial_threshold(data_.size());
 
   // Both classes must be present globally or no violating pair exists.
   std::int64_t class_counts[2] = {0, 0};
@@ -241,32 +299,61 @@ RankResult DistributedSolver::solve() {
   if (totals[0] == 0 || totals[1] == 0)
     throw std::invalid_argument("DistributedSolver: dataset must contain both classes");
 
+  // When resuming from a checkpoint, completed run_phase calls (index <
+  // resume_stage_) are skipped: the restored state already reflects them,
+  // and the recorded stage pins where the replay re-enters the driver.
   PhaseExit exit = PhaseExit::converged;
   if (!shrinking) {
+    begin_stage(0, 0);
     exit = run_phase(two_eps, /*shrinking=*/false);  // Algorithm 2 (Original)
   } else if (config_.permanent_shrink) {
     // CA-SVM-style ablation: shrink and never repair. Accuracy not guaranteed.
+    begin_stage(0, 0);
     exit = run_phase(two_eps, /*shrinking=*/true);
   } else if (!config_.heuristic.multi_reconstruction) {
     // Algorithm 4: single gradient reconstruction.
-    exit = run_phase(two_eps, /*shrinking=*/true);
-    if (exit != PhaseExit::iteration_cap) {
-      reconstruct_gradients();
-      if (beta_up_ + two_eps < beta_low_) {
-        delta_counter_ = ~0ULL;  // "should not shrink samples again" (line 32)
-        exit = run_phase(two_eps, /*shrinking=*/false);
+    if (resume_stage_ == 0) {
+      begin_stage(0, 0);
+      exit = run_phase(two_eps, /*shrinking=*/true);
+      if (exit != PhaseExit::iteration_cap) {
+        reconstruct_gradients();
+        if (beta_up_ + two_eps < beta_low_) {
+          delta_counter_ = ~0ULL;  // "should not shrink samples again" (line 32)
+          begin_stage(1, 0);
+          exit = run_phase(two_eps, /*shrinking=*/false);
+        }
       }
+    } else {
+      // Resuming inside the post-reconstruction sweep (delta_counter_ was
+      // restored as "never shrink again").
+      begin_stage(1, 0);
+      exit = run_phase(two_eps, /*shrinking=*/false);
     }
   } else {
     // Algorithm 5: first converge loosely (20*eps), then alternate
     // reconstruction and tight phases until reconstruction confirms 2*eps.
-    exit = run_phase(20.0 * config_.params.eps, /*shrinking=*/true);
-    int consecutive_stalls = exit == PhaseExit::stalled ? 1 : 0;
+    std::uint32_t stage = resume_stage_;
+    int consecutive_stalls = static_cast<int>(resume_stalls_);
+    if (stage == 0) {
+      begin_stage(0, 0);
+      exit = run_phase(20.0 * config_.params.eps, /*shrinking=*/true);
+      consecutive_stalls = exit == PhaseExit::stalled ? 1 : 0;
+      stage = 1;
+    } else {
+      // Resuming inside tight phase `stage`; its preceding reconstruction
+      // completed before the checkpoint was taken.
+      begin_stage(stage, static_cast<std::uint32_t>(consecutive_stalls));
+      exit = run_phase(two_eps, /*shrinking=*/true);
+      consecutive_stalls = exit == PhaseExit::stalled ? consecutive_stalls + 1 : 0;
+      ++stage;
+    }
     while (exit != PhaseExit::iteration_cap && consecutive_stalls < 2) {
       reconstruct_gradients();
       if (beta_up_ + two_eps >= beta_low_) break;
+      begin_stage(stage, static_cast<std::uint32_t>(consecutive_stalls));
       exit = run_phase(two_eps, /*shrinking=*/true);
       consecutive_stalls = exit == PhaseExit::stalled ? consecutive_stalls + 1 : 0;
+      ++stage;
     }
   }
 

@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/heuristics.hpp"
 #include "core/sample_block.hpp"
 #include "core/types.hpp"
@@ -41,6 +42,14 @@ struct DistributedConfig {
   /// iterations into SolverStats::active_trace (rank 0 only). Costs one
   /// Allreduce per sample point; used by the figure benches.
   std::uint64_t trace_active_interval = 0;
+  /// Checkpoint/restart: when both are set, every rank serializes its solver
+  /// state into `checkpoint_store` at iteration multiples of
+  /// `checkpoint_interval` (purely local — no extra communication), and a
+  /// freshly constructed solver restores the store's pinned epoch (see
+  /// CheckpointStore::begin_restart) before solving. Used by
+  /// solve_with_recovery to survive injected rank failures.
+  std::uint64_t checkpoint_interval = 0;
+  CheckpointStore* checkpoint_store = nullptr;
 };
 
 /// Per-rank output of a distributed solve. Alphas cover this rank's block.
@@ -85,6 +94,22 @@ class DistributedSolver {
   /// Records the global active-set size when tracing is enabled.
   void maybe_trace_active();
 
+  /// Restores solver state from the store's pinned epoch, if any.
+  void maybe_restore();
+
+  /// Saves a checkpoint at run_phase loop tops on the configured iteration
+  /// cadence. Purely local; all ranks hit the same boundaries because the
+  /// iteration counter advances in lockstep.
+  void maybe_checkpoint();
+
+  /// Marks the solve driver's position for checkpoints: the index of the
+  /// run_phase call about to execute and the Algorithm 5 stall count at its
+  /// entry.
+  void begin_stage(std::uint32_t stage, std::uint32_t stalls) noexcept {
+    stage_ = stage;
+    stage_stalls_ = stalls;
+  }
+
   [[nodiscard]] std::size_t local_of(std::int64_t global) const noexcept {
     return static_cast<std::size_t>(global) - range_.begin;
   }
@@ -114,6 +139,18 @@ class DistributedSolver {
   // Shrinking counters (Algorithm 4): delta_counter_ iterations remain until
   // the next shrink pass; ~0ULL disables.
   std::uint64_t delta_counter_ = ~0ULL;
+
+  // Checkpoint cursor: current solve-driver stage, the stall count at its
+  // entry, the restored stage/stalls to resume from, and the iteration of
+  // the last save (suppresses duplicate saves when phases change without
+  // advancing the iteration counter — a mixed-stage epoch would break the
+  // consistent-cut property).
+  std::uint32_t stage_ = 0;
+  std::uint32_t stage_stalls_ = 0;
+  std::uint32_t resume_stage_ = 0;
+  std::uint32_t resume_stalls_ = 0;
+  bool restored_ = false;
+  std::uint64_t last_checkpoint_iteration_ = ~0ULL;
 
   SolverStats stats_;
 };

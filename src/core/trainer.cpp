@@ -1,5 +1,6 @@
 #include "core/trainer.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "mpisim/spmd.hpp"
@@ -20,15 +21,18 @@ SvmModel build_model(const svmdata::Dataset& dataset, std::span<const double> al
   return SvmModel(kernel, std::move(support_vectors), std::move(coefficients), beta);
 }
 
-TrainResult train(const svmdata::Dataset& dataset, const SolverParams& params,
-                  const TrainOptions& options) {
+namespace {
+
+/// Shared SPMD launch + result assembly used by both entry points. `config`
+/// carries the optional checkpoint wiring and `injector` the optional fault
+/// schedule; both may be null/disabled for a plain run.
+TrainResult train_impl(const svmdata::Dataset& dataset, const TrainOptions& options,
+                       const DistributedConfig& config, svmmpi::FaultInjector* injector) {
   if (options.num_ranks <= 0) throw std::invalid_argument("train: num_ranks must be positive");
   if (static_cast<std::size_t>(options.num_ranks) > dataset.size())
     throw std::invalid_argument("train: more ranks than samples");
   dataset.validate();
 
-  const DistributedConfig config{params, options.heuristic, options.permanent_shrink,
-                                 options.openmp_gamma, options.trace_active_interval};
   std::vector<RankResult> results(options.num_ranks);
 
   TrainResult out;
@@ -43,7 +47,8 @@ TrainResult train(const svmdata::Dataset& dataset, const SolverParams& params,
       [&](const svmmpi::World& world) {
         out.rank_traffic.reserve(options.num_ranks);
         for (int r = 0; r < options.num_ranks; ++r) out.rank_traffic.push_back(world.stats(r));
-      });
+      },
+      injector);
   out.wall_seconds = wall.seconds();
   out.traffic = total;
 
@@ -81,8 +86,65 @@ TrainResult train(const svmdata::Dataset& dataset, const SolverParams& params,
     out.modeled_seconds = std::max(out.modeled_seconds, modeled);
   }
 
-  out.model = build_model(dataset, alpha, out.beta, params.kernel);
+  out.model = build_model(dataset, alpha, out.beta, config.params.kernel);
   return out;
+}
+
+}  // namespace
+
+TrainResult train(const svmdata::Dataset& dataset, const SolverParams& params,
+                  const TrainOptions& options) {
+  const DistributedConfig config{params, options.heuristic, options.permanent_shrink,
+                                 options.openmp_gamma, options.trace_active_interval};
+  return train_impl(dataset, options, config, /*injector=*/nullptr);
+}
+
+TrainResult train_with_recovery(const svmdata::Dataset& dataset, const SolverParams& params,
+                                const TrainOptions& options, const RecoveryOptions& recovery,
+                                RecoveryReport* report) {
+  if (recovery.max_restarts < 0)
+    throw std::invalid_argument("train_with_recovery: max_restarts must be non-negative");
+
+  // One injector across all attempts: a fault already fired stays consumed,
+  // so a crash event kills exactly one launch instead of every retry.
+  svmmpi::FaultInjector injector(recovery.fault_plan);
+  std::optional<CheckpointStore> owned_store;
+  CheckpointStore* store = recovery.store;
+  if (store == nullptr) {
+    owned_store.emplace(options.num_ranks);
+    store = &*owned_store;
+  } else if (store->num_ranks() != options.num_ranks) {
+    throw std::invalid_argument("train_with_recovery: store num_ranks mismatch");
+  }
+
+  DistributedConfig config{params, options.heuristic, options.permanent_shrink,
+                           options.openmp_gamma, options.trace_active_interval};
+  config.checkpoint_interval = recovery.checkpoint_interval;
+  config.checkpoint_store = recovery.checkpoint_interval > 0 ? store : nullptr;
+
+  RecoveryReport local_report;
+  RecoveryReport& rep = report != nullptr ? *report : local_report;
+  rep = RecoveryReport{};
+
+  for (int attempt = 0;; ++attempt) {
+    try {
+      TrainResult out = train_impl(dataset, options, config, &injector);
+      rep.checkpoints_saved = store->saves();
+      return out;
+    } catch (const svmmpi::RankFailed& failure) {
+      rep.failures.push_back(failure.what());
+      if (attempt == recovery.max_restarts) throw;
+    } catch (const svmmpi::TimeoutError& failure) {
+      rep.failures.push_back(failure.what());
+      if (attempt == recovery.max_restarts) throw;
+    }
+    // Pin the newest consistent cut (single-threaded: the failed world has
+    // been fully joined by run_spmd before its exception reached us).
+    const std::optional<std::uint64_t> epoch =
+        config.checkpoint_store != nullptr ? store->begin_restart() : std::nullopt;
+    rep.restore_epochs.push_back(epoch.value_or(0));
+    ++rep.restarts;
+  }
 }
 
 }  // namespace svmcore

@@ -5,13 +5,16 @@
 // examples/parallel_training.cpp) can construct DistributedSolver directly.
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/distributed_solver.hpp"
 #include "core/heuristics.hpp"
 #include "core/model.hpp"
 #include "core/types.hpp"
 #include "data/sparse.hpp"
+#include "mpisim/fault.hpp"
 #include "mpisim/netmodel.hpp"
 
 namespace svmcore {
@@ -55,6 +58,42 @@ struct TrainResult {
 
 [[nodiscard]] TrainResult train(const svmdata::Dataset& dataset, const SolverParams& params,
                                 const TrainOptions& options = {});
+
+/// Fault-tolerant training: inject the given fault plan, checkpoint every
+/// `checkpoint_interval` iterations, and on a rank failure or timeout restart
+/// the SPMD region from the last consistent checkpoint cut.
+struct RecoveryOptions {
+  svmmpi::FaultPlan fault_plan{};  ///< faults to inject (empty = none)
+  /// Checkpoint cadence in solver iterations; 0 disables checkpointing (every
+  /// restart then replays from scratch).
+  std::uint64_t checkpoint_interval = 64;
+  /// Maximum SPMD relaunches after the initial attempt before giving up and
+  /// rethrowing the last failure.
+  int max_restarts = 8;
+  /// Optional external store (e.g. file-backed via CheckpointStore's
+  /// directory constructor, or one reloaded with CheckpointStore::open).
+  /// When null an in-memory store scoped to this call is used.
+  CheckpointStore* store = nullptr;
+};
+
+struct RecoveryReport {
+  int restarts = 0;                   ///< relaunches actually performed
+  std::vector<std::string> failures;  ///< what() of each failure survived
+  std::uint64_t checkpoints_saved = 0;
+  /// Epoch (iteration count) each restart resumed from; 0 = from scratch.
+  std::vector<std::uint64_t> restore_epochs;
+};
+
+/// Runs train() under the fault plan in `recovery`, transparently restarting
+/// from checkpoints on svmmpi::RankFailed / svmmpi::TimeoutError until the
+/// solve completes or `max_restarts` is exhausted (then the last failure is
+/// rethrown). With a crash-only fault plan the returned model is
+/// bit-identical to a fault-free train() with the same options.
+[[nodiscard]] TrainResult train_with_recovery(const svmdata::Dataset& dataset,
+                                              const SolverParams& params,
+                                              const TrainOptions& options,
+                                              const RecoveryOptions& recovery,
+                                              RecoveryReport* report = nullptr);
 
 /// Builds a model from a full alpha vector (e.g. the sequential solver's).
 [[nodiscard]] SvmModel build_model(const svmdata::Dataset& dataset,

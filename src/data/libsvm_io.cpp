@@ -1,9 +1,12 @@
 #include "data/libsvm_io.hpp"
 
 #include <cerrno>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -21,6 +24,7 @@ double parse_double(const char*& cursor, std::size_t line) {
   errno = 0;
   const double v = std::strtod(cursor, &end);
   if (end == cursor || errno == ERANGE) fail(line, "expected a number");
+  if (!std::isfinite(v)) fail(line, "non-finite number");  // strtod accepts inf/nan
   cursor = end;
   return v;
 }
@@ -79,9 +83,18 @@ Dataset read_libsvm(std::istream& in, const LibsvmReadOptions& options) {
       const long index = parse_long(cursor, line_number);
       if (*cursor != ':') fail(line_number, "expected ':' after feature index");
       ++cursor;
+      // strtod would silently skip whitespace here, turning "3: 5" or a
+      // truncated "3:" into something other than what the file says.
+      if (*cursor == '\0' || *cursor == ' ' || *cursor == '\t')
+        fail(line_number, "missing feature value after ':'");
       const double value = parse_double(cursor, line_number);
       if (index <= 0) fail(line_number, "feature index must be >= 1");
-      if (index <= previous_index) fail(line_number, "feature indices must be increasing");
+      if (index > static_cast<long>(std::numeric_limits<std::int32_t>::max()))
+        fail(line_number, "feature index overflows 32 bits");
+      if (index <= previous_index) {
+        fail(line_number, index == previous_index ? "duplicate feature index"
+                                                  : "feature indices must be increasing");
+      }
       previous_index = index;
       if (value != 0.0) row.push_back(Feature{static_cast<std::int32_t>(index - 1), value});
     }

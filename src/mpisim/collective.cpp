@@ -1,16 +1,41 @@
 #include "mpisim/collective.hpp"
 
+#include <chrono>
+
+#include "mpisim/fault.hpp"
 #include "mpisim/mailbox.hpp"
 
 namespace svmmpi {
 
-CollectiveContext::CollectiveContext(int size) : size_(size), contributions_(size) {}
+namespace {
+/// Collectives have no (source, tag); TimeoutError carries this sentinel.
+constexpr int kCollectivePeer = -2;
+}  // namespace
+
+CollectiveContext::CollectiveContext(int size, double timeout_s)
+    : size_(size), timeout_s_(timeout_s), contributions_(size) {}
+
+template <typename Predicate>
+void CollectiveContext::wait_or_timeout(std::unique_lock<std::mutex>& lock, int rank,
+                                        Predicate ready, const char* what_op) {
+  if (timeout_s_ <= 0.0) {
+    turnstile_.wait(lock, ready);
+    return;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(timeout_s_));
+  if (!turnstile_.wait_until(lock, deadline, ready))
+    throw TimeoutError(rank, kCollectivePeer, kCollectivePeer, timeout_s_, what_op);
+}
 
 std::vector<std::byte> CollectiveContext::run(int rank, std::vector<std::byte> contribution,
                                               const Combine& combine) {
   std::unique_lock lock(mutex_);
   // Wait for the previous round to fully drain before contributing.
-  turnstile_.wait(lock, [&] { return aborted_ || phase_ == Phase::collecting; });
+  wait_or_timeout(
+      lock, rank, [&] { return aborted_ || phase_ == Phase::collecting; },
+      "collective rendezvous (previous round drain)");
   if (aborted_) throw WorldAborted{};
 
   contributions_[rank] = std::move(contribution);
@@ -20,7 +45,9 @@ std::vector<std::byte> CollectiveContext::run(int rank, std::vector<std::byte> c
     phase_ = Phase::distributing;
     turnstile_.notify_all();
   } else {
-    turnstile_.wait(lock, [&] { return aborted_ || phase_ == Phase::distributing; });
+    wait_or_timeout(
+        lock, rank, [&] { return aborted_ || phase_ == Phase::distributing; },
+        "collective rendezvous");
     if (aborted_) throw WorldAborted{};
   }
 

@@ -23,10 +23,14 @@ class CollectiveContext {
   using Combine =
       std::function<std::vector<std::byte>(const std::vector<std::vector<std::byte>>&)>;
 
-  explicit CollectiveContext(int size);
+  /// `timeout_s` > 0 bounds each rendezvous wait: if the other ranks fail to
+  /// arrive (or to drain the previous round) within the deadline, run()
+  /// throws TimeoutError instead of deadlocking. 0 = wait forever.
+  explicit CollectiveContext(int size, double timeout_s = 0.0);
 
   /// Collective rendezvous; every rank must call with the same combine
-  /// semantics. Returns the combined result. Throws WorldAborted on abort.
+  /// semantics. Returns the combined result. Throws WorldAborted on abort
+  /// and TimeoutError when the rendezvous deadline elapses.
   [[nodiscard]] std::vector<std::byte> run(int rank, std::vector<std::byte> contribution,
                                            const Combine& combine);
 
@@ -37,9 +41,15 @@ class CollectiveContext {
  private:
   enum class Phase { collecting, distributing };
 
+  /// Waits on `turnstile_` until `ready` holds; honours abort and deadline.
+  template <typename Predicate>
+  void wait_or_timeout(std::unique_lock<std::mutex>& lock, int rank, Predicate ready,
+                       const char* what_op);
+
   std::mutex mutex_;
   std::condition_variable turnstile_;
   int size_;
+  double timeout_s_ = 0.0;
   int arrived_ = 0;
   int departed_ = 0;
   Phase phase_ = Phase::collecting;

@@ -1,6 +1,8 @@
 #include "mpisim/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <tuple>
 
 namespace svmmpi {
@@ -13,12 +15,25 @@ constexpr int kSplitContextTag = 1 << 28;
 
 }  // namespace
 
+bool Comm::faulted_op(FaultSite site) {
+  FaultInjector* injector = world_->injector();
+  if (injector == nullptr) return false;
+  const FaultAction action = injector->on_op((*group_)[rank_], site);  // may throw RankFailed
+  if (action.delay_s > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(action.delay_s));
+  return action.drop;
+}
+
 void Comm::send_bytes(std::vector<std::byte> payload, int destination, int tag) {
   if (destination < 0 || destination >= size())
     throw std::out_of_range("svmmpi: send destination out of range");
   const std::size_t bytes = payload.size();
-  world_->mailbox((*group_)[destination])
-      .push(Message{context_id_, rank_, tag, std::move(payload)});
+  // A dropped send still charges the sender's stats: the sender cannot tell
+  // the message was lost, exactly as on a real network.
+  const bool dropped = faulted_op(FaultSite::send);
+  if (!dropped)
+    world_->mailbox((*group_)[destination])
+        .push(Message{context_id_, rank_, tag, std::move(payload)});
   TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
   ++s.sends;
   s.bytes_sent += bytes;
@@ -28,6 +43,7 @@ void Comm::send_bytes(std::vector<std::byte> payload, int destination, int tag) 
 std::vector<std::byte> Comm::recv_bytes(int source, int tag, int* actual_source) {
   if (source != kAnySource && (source < 0 || source >= size()))
     throw std::out_of_range("svmmpi: recv source out of range");
+  (void)faulted_op(FaultSite::recv);
   Message m = world_->mailbox((*group_)[rank_]).pop(context_id_, source, tag);
   if (actual_source != nullptr) *actual_source = m.source;
   TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
@@ -40,6 +56,7 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag, int* actual_source)
 std::vector<std::byte> Comm::collective(std::vector<std::byte> contribution,
                                         const CollectiveContext::Combine& combine,
                                         ModelAs model_as, std::size_t payload_bytes) {
+  (void)faulted_op(FaultSite::collective);
   auto result = world_->context(context_id_).run(rank_, std::move(contribution), combine);
   TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
   ++s.collectives;
@@ -107,7 +124,8 @@ DoubleInt Comm::allreduce_maxloc(DoubleInt mine) {
   return detail::from_bytes<DoubleInt>(out)[0];
 }
 
-std::vector<std::byte> Comm::concat_with_sizes(const std::vector<std::vector<std::byte>>& parts) {
+std::vector<std::byte> detail::concat_with_sizes(
+    const std::vector<std::vector<std::byte>>& parts) {
   const std::uint64_t count = parts.size();
   std::size_t total = 0;
   for (const auto& p : parts) total += p.size();

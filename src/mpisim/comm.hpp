@@ -14,6 +14,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "mpisim/fault.hpp"
 #include "mpisim/mailbox.hpp"
 #include "mpisim/netmodel.hpp"
 #include "mpisim/request.hpp"
@@ -65,6 +66,37 @@ void apply_reduce(ReduceOp op, std::span<T> accumulator, std::span<const T> oper
       case ReduceOp::prod: accumulator[i] *= operand[i]; break;
     }
   }
+}
+
+/// Packs parts as [uint64 count][uint64 sizes...][concatenated payloads];
+/// also the combine step of allgatherv.
+[[nodiscard]] std::vector<std::byte> concat_with_sizes(
+    const std::vector<std::vector<std::byte>>& parts);
+
+/// Inverse of concat_with_sizes. Every header field is validated against the
+/// actual buffer length before any copy, so a malformed or truncated payload
+/// throws std::runtime_error instead of reading out of bounds.
+template <typename T>
+[[nodiscard]] std::vector<std::vector<T>> split_concatenated(std::span<const std::byte> bytes) {
+  if (bytes.size() < sizeof(std::uint64_t))
+    throw std::runtime_error("svmmpi: malformed allgatherv payload (missing count)");
+  std::uint64_t count = 0;
+  std::memcpy(&count, bytes.data(), sizeof(count));
+  std::size_t offset = sizeof(std::uint64_t);
+  if (count > (bytes.size() - offset) / sizeof(std::uint64_t))
+    throw std::runtime_error("svmmpi: malformed allgatherv payload (count exceeds buffer)");
+  std::vector<std::uint64_t> sizes(count);
+  if (count > 0)
+    std::memcpy(sizes.data(), bytes.data() + offset, count * sizeof(std::uint64_t));
+  offset += count * sizeof(std::uint64_t);
+  std::vector<std::vector<T>> result(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    if (sizes[r] > bytes.size() - offset)
+      throw std::runtime_error("svmmpi: malformed allgatherv payload (truncated part)");
+    result[r] = from_bytes<T>(bytes.subspan(offset, sizes[r]));
+    offset += sizes[r];
+  }
+  return result;
 }
 
 }  // namespace detail
@@ -200,9 +232,9 @@ class Comm {
   /// Variable-length allgather; result[r] is rank r's contribution.
   template <typename T>
   [[nodiscard]] std::vector<std::vector<T>> allgatherv(std::span<const T> mine) {
-    auto out = collective(detail::to_bytes(mine), concat_with_sizes, ModelAs::ring,
+    auto out = collective(detail::to_bytes(mine), detail::concat_with_sizes, ModelAs::ring,
                           mine.size_bytes());
-    return split_concatenated<T>(out);
+    return detail::split_concatenated<T>(out);
   }
 
   /// Rooted reduction: every rank contributes; only `root` receives the
@@ -236,10 +268,10 @@ class Comm {
       std::vector<std::vector<std::byte>> byte_parts(parts.size());
       for (std::size_t r = 0; r < parts.size(); ++r)
         byte_parts[r] = detail::to_bytes(std::span<const T>(parts[r]));
-      packed = concat_with_sizes(byte_parts);
+      packed = detail::concat_with_sizes(byte_parts);
     }
     bcast(packed, root);  // modeled as a tree distribution
-    return split_concatenated<T>(packed)[rank_];
+    return detail::split_concatenated<T>(packed)[rank_];
   }
 
   /// Splits the communicator; ranks passing the same color form a new comm,
@@ -255,29 +287,10 @@ class Comm {
                                                   const CollectiveContext::Combine& combine,
                                                   ModelAs model_as, std::size_t payload_bytes);
 
-  /// Packs parts as [uint64 count][uint64 sizes...][concatenated payloads];
-  /// also the combine step of allgatherv.
-  static std::vector<std::byte> concat_with_sizes(
-      const std::vector<std::vector<std::byte>>& parts);
-
-  template <typename T>
-  [[nodiscard]] static std::vector<std::vector<T>> split_concatenated(
-      std::span<const std::byte> bytes) {
-    if (bytes.size() < sizeof(std::uint64_t))
-      throw std::runtime_error("svmmpi: malformed allgatherv payload");
-    std::uint64_t count = 0;
-    std::memcpy(&count, bytes.data(), sizeof(count));
-    std::size_t offset = sizeof(std::uint64_t);
-    std::vector<std::uint64_t> sizes(count);
-    std::memcpy(sizes.data(), bytes.data() + offset, count * sizeof(std::uint64_t));
-    offset += count * sizeof(std::uint64_t);
-    std::vector<std::vector<T>> result(count);
-    for (std::size_t r = 0; r < count; ++r) {
-      result[r] = detail::from_bytes<T>(bytes.subspan(offset, sizes[r]));
-      offset += sizes[r];
-    }
-    return result;
-  }
+  /// Consults the world's FaultInjector (if any) before a communication op;
+  /// may sleep (delay) or throw RankFailed (crash). Returns true when the op
+  /// must be suppressed (dropped send).
+  [[nodiscard]] bool faulted_op(FaultSite site);
 
   World* world_;
   std::shared_ptr<const std::vector<int>> group_;

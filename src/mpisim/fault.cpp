@@ -1,0 +1,76 @@
+#include "mpisim/fault.hpp"
+
+#include "util/rng.hpp"
+
+namespace svmmpi {
+
+FaultPlan FaultPlan::chaos(std::uint64_t seed, int num_ranks, std::uint64_t horizon, int drops,
+                           int delays, bool with_crash, double max_delay_s) {
+  svmutil::Rng rng(seed);
+  FaultPlan plan;
+  if (num_ranks <= 0 || horizon == 0) return plan;
+  auto pick_rank = [&] { return static_cast<int>(rng.uniform_index(num_ranks)); };
+  auto pick_op = [&] { return 1 + rng.uniform_index(horizon); };
+  for (int i = 0; i < drops; ++i) plan.drop(pick_rank(), pick_op());
+  for (int i = 0; i < delays; ++i)
+    plan.delay(pick_rank(), pick_op(), rng.uniform(0.0, max_delay_s));
+  if (with_crash) plan.crash(pick_rank(), pick_op());
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : events_(plan.events()), consumed_(events_.size(), false) {}
+
+FaultAction FaultInjector::on_op(int rank, FaultSite site) {
+  std::lock_guard lock(mutex_);
+  if (rank >= static_cast<int>(op_counts_.size())) op_counts_.resize(rank + 1, 0);
+  const std::uint64_t op = ++op_counts_[rank];
+
+  FaultAction action;
+  // Crashes take precedence over drop/delay scheduled at the same op; at
+  // most one drop and one delay fire per op (further eligible events wait
+  // for the rank's next matching op, keeping replay deterministic).
+  for (std::size_t e = 0; e < events_.size(); ++e) {
+    if (consumed_[e]) continue;
+    const FaultEvent& ev = events_[e];
+    if (ev.rank != rank || ev.op > op || !site_matches(ev.site, site)) continue;
+    if (ev.kind == FaultKind::crash) {
+      consumed_[e] = true;
+      ++fired_;
+      throw RankFailed(rank, op);
+    }
+  }
+  for (std::size_t e = 0; e < events_.size(); ++e) {
+    if (consumed_[e]) continue;
+    const FaultEvent& ev = events_[e];
+    if (ev.rank != rank || ev.op > op || !site_matches(ev.site, site)) continue;
+    if (ev.kind == FaultKind::drop && !action.drop) {
+      action.drop = true;
+      consumed_[e] = true;
+      ++fired_;
+    } else if (ev.kind == FaultKind::delay && action.delay_s == 0.0) {
+      action.delay_s = ev.delay_s;
+      consumed_[e] = true;
+      ++fired_;
+    }
+  }
+  return action;
+}
+
+std::uint64_t FaultInjector::ops(int rank) const {
+  std::lock_guard lock(mutex_);
+  if (rank < 0 || rank >= static_cast<int>(op_counts_.size())) return 0;
+  return op_counts_[rank];
+}
+
+std::size_t FaultInjector::fired() const {
+  std::lock_guard lock(mutex_);
+  return fired_;
+}
+
+std::size_t FaultInjector::pending() const {
+  std::lock_guard lock(mutex_);
+  return events_.size() - fired_;
+}
+
+}  // namespace svmmpi

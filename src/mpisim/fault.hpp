@@ -1,0 +1,144 @@
+// Deterministic fault injection for the message-passing substrate. A
+// FaultPlan is a replayable schedule of faults — message delays, message
+// drops and rank crashes — keyed by (rank, rank-local communication-op
+// count). Because each rank's thread issues its communication operations
+// sequentially, the op counter is deterministic regardless of thread
+// scheduling, so a seeded plan reproduces the exact same failure schedule
+// on every run. A FaultInjector consumes a plan: Comm consults it before
+// every send / receive / collective; the injector either lets the op
+// proceed, sleeps (delay), suppresses delivery (drop) or throws RankFailed
+// (crash). An injector outlives a single World so a retry driver can
+// relaunch the SPMD region without re-firing already-consumed faults.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace svmmpi {
+
+/// Thrown at the faulted rank when a FaultPlan crash event fires. The SPMD
+/// launcher aborts the world (siblings observe WorldAborted) and rethrows
+/// this to the caller, modelling a process failure on a real cluster.
+struct RankFailed : std::runtime_error {
+  RankFailed(int failed_rank, std::uint64_t at_op)
+      : std::runtime_error("svmmpi: rank " + std::to_string(failed_rank) +
+                           " failed (injected crash at op " + std::to_string(at_op) + ")"),
+        rank(failed_rank),
+        op(at_op) {}
+
+  int rank;
+  std::uint64_t op;
+};
+
+/// Thrown instead of deadlocking when a blocking receive or collective
+/// rendezvous exceeds the configured deadline (NetModel::timeout_s). Names
+/// the stuck (rank, source, tag); collectives use source = tag = -2.
+struct TimeoutError : std::runtime_error {
+  TimeoutError(int stuck_rank, int wanted_source, int wanted_tag, double after_s,
+               const std::string& what_op)
+      : std::runtime_error("svmmpi: " + what_op + " timed out after " +
+                           std::to_string(after_s) + "s at rank " +
+                           std::to_string(stuck_rank) + " (source=" +
+                           std::to_string(wanted_source) + ", tag=" + std::to_string(wanted_tag) +
+                           ")"),
+        rank(stuck_rank),
+        source(wanted_source),
+        tag(wanted_tag),
+        deadline_s(after_s) {}
+
+  int rank;
+  int source;
+  int tag;
+  double deadline_s;
+};
+
+/// Operation class a fault event is restricted to. `any` matches every
+/// communication op; drops only ever apply to sends (a dropped receive has
+/// no meaning — the message simply never arrives).
+enum class FaultSite : std::uint8_t { any, send, recv, collective };
+
+enum class FaultKind : std::uint8_t { delay, drop, crash };
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::delay;
+  FaultSite site = FaultSite::any;
+  int rank = -1;            ///< world rank the fault applies to
+  std::uint64_t op = 0;     ///< fires at the first eligible op with counter >= op
+  double delay_s = 0.0;     ///< delay events: wall-clock sleep duration
+};
+
+/// A replayable failure schedule. Build explicitly with crash()/drop()/
+/// delay(), or generate a seeded random schedule with chaos(). Plans are
+/// value types; the same plan always produces the same execution.
+class FaultPlan {
+ public:
+  FaultPlan& crash(int rank, std::uint64_t op, FaultSite site = FaultSite::any) {
+    events_.push_back({FaultKind::crash, site, rank, op, 0.0});
+    return *this;
+  }
+  FaultPlan& drop(int rank, std::uint64_t op) {
+    events_.push_back({FaultKind::drop, FaultSite::send, rank, op, 0.0});
+    return *this;
+  }
+  FaultPlan& delay(int rank, std::uint64_t op, double seconds,
+                   FaultSite site = FaultSite::any) {
+    events_.push_back({FaultKind::delay, site, rank, op, seconds});
+    return *this;
+  }
+
+  /// Seeded random schedule over `num_ranks` ranks and op indices in
+  /// [1, horizon]: `drops` dropped sends, `delays` short delays (up to
+  /// `max_delay_s`), and at most one crash when `with_crash` is set. Same
+  /// seed => same schedule, byte for byte.
+  [[nodiscard]] static FaultPlan chaos(std::uint64_t seed, int num_ranks,
+                                       std::uint64_t horizon, int drops, int delays,
+                                       bool with_crash, double max_delay_s = 2e-3);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// What the caller of FaultInjector::on_op must do to the current op.
+struct FaultAction {
+  bool drop = false;      ///< sends only: swallow the message
+  double delay_s = 0.0;   ///< sleep this long before proceeding
+};
+
+/// Consumes a FaultPlan. Thread-safe; shared by all rank threads of a World
+/// and across World relaunches (each event fires exactly once in the
+/// injector's lifetime, so a retry driver does not replay consumed faults).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Advances `rank`'s op counter and returns the action for this op.
+  /// Throws RankFailed if a crash event fires. A rank whose crash already
+  /// fired keeps counting ops normally on relaunch.
+  [[nodiscard]] FaultAction on_op(int rank, FaultSite site);
+
+  /// Rank-local communication ops observed so far (stable across relaunches).
+  [[nodiscard]] std::uint64_t ops(int rank) const;
+  /// Events that have fired so far.
+  [[nodiscard]] std::size_t fired() const;
+  /// Events still pending.
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  [[nodiscard]] static bool site_matches(FaultSite event_site, FaultSite op_site) noexcept {
+    return event_site == FaultSite::any || event_site == op_site;
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<FaultEvent> events_;
+  std::vector<bool> consumed_;
+  std::vector<std::uint64_t> op_counts_;  ///< indexed by rank; grown on demand
+  std::size_t fired_ = 0;
+};
+
+}  // namespace svmmpi

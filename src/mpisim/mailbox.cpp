@@ -1,5 +1,9 @@
 #include "mpisim/mailbox.hpp"
 
+#include <chrono>
+
+#include "mpisim/fault.hpp"
+
 namespace svmmpi {
 
 void Mailbox::push(Message message) {
@@ -27,8 +31,16 @@ bool Mailbox::find_match_locked(int context, int source, int tag, std::size_t& i
 Message Mailbox::pop(int context, int source, int tag) {
   std::unique_lock lock(mutex_);
   std::size_t index = 0;
-  available_.wait(lock,
-                  [&] { return aborted_ || find_match_locked(context, source, tag, index); });
+  const auto ready = [&] { return aborted_ || find_match_locked(context, source, tag, index); };
+  if (timeout_s_ <= 0.0) {
+    available_.wait(lock, ready);
+  } else {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(timeout_s_));
+    if (!available_.wait_until(lock, deadline, ready))
+      throw TimeoutError(owner_rank_, source, tag, timeout_s_, "blocking receive");
+  }
   if (aborted_) throw WorldAborted{};
   Message result = std::move(queue_[index]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));

@@ -32,11 +32,19 @@ struct WorldAborted : std::exception {
 
 class Mailbox {
  public:
+  /// `owner_rank` names this mailbox's rank in errors; `timeout_s` > 0 turns
+  /// a blocked pop into a TimeoutError after that many wall-clock seconds
+  /// (0 = wait forever, the MPI default).
+  explicit Mailbox(int owner_rank = -1, double timeout_s = 0.0)
+      : owner_rank_(owner_rank), timeout_s_(timeout_s) {}
+
   void push(Message message);
 
   /// Blocks until a message matching (context, source, tag) is available and
   /// removes it. Wildcards kAnySource/kAnyTag match anything; context always
-  /// matches exactly. Throws WorldAborted if abort() is called while waiting.
+  /// matches exactly. Throws WorldAborted if abort() is called while waiting,
+  /// and TimeoutError naming (rank, source, tag) once the configured deadline
+  /// elapses with no matching message.
   [[nodiscard]] Message pop(int context, int source, int tag);
 
   /// Non-blocking variant; returns false if no matching message is queued.
@@ -54,6 +62,8 @@ class Mailbox {
   mutable std::mutex mutex_;
   std::condition_variable available_;
   std::deque<Message> queue_;
+  int owner_rank_ = -1;
+  double timeout_s_ = 0.0;
   bool aborted_ = false;
 };
 

@@ -17,6 +17,12 @@ struct NetModel {
   double latency_s = 2.0e-6;
   /// Seconds per byte `G` (default ~ 6 GB/s effective per-rank bandwidth).
   double seconds_per_byte = 1.0 / 6.0e9;
+  /// Wall-clock deadline for blocking receives and collective rendezvous:
+  /// when > 0, a rank stuck longer than this throws TimeoutError (naming the
+  /// stuck rank/source/tag) instead of hanging forever. 0 keeps MPI's
+  /// wait-forever semantics. Essential under fault injection, where dropped
+  /// messages would otherwise deadlock the world.
+  double timeout_s = 0.0;
 
   [[nodiscard]] double pt2pt(std::size_t bytes) const noexcept {
     return latency_s + static_cast<double>(bytes) * seconds_per_byte;

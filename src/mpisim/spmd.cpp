@@ -8,8 +8,9 @@
 namespace svmmpi {
 
 TrafficStats run_spmd(int num_ranks, const std::function<void(Comm&)>& body, NetModel model,
-                      const std::function<void(const World&)>& inspect) {
-  World world(num_ranks, model);
+                      const std::function<void(const World&)>& inspect,
+                      FaultInjector* injector) {
+  World world(num_ranks, model, injector);
 
   std::exception_ptr first_error;
   std::mutex error_mutex;

@@ -11,10 +11,15 @@
 namespace svmmpi {
 
 /// Runs the SPMD region and returns the world's aggregate traffic stats.
-/// `world_out`, if non-null, receives per-rank stats access via the World
+/// `inspect`, if non-null, receives per-rank stats access via the World
 /// kept alive for the duration of the call only — copy what you need.
+/// `injector`, if non-null, injects the faults of its FaultPlan into every
+/// communication op (see fault.hpp); a crash surfaces as RankFailed and a
+/// conversation stalled past model.timeout_s as TimeoutError, both rethrown
+/// to the caller — a retry driver can relaunch with the same injector.
 TrafficStats run_spmd(int num_ranks, const std::function<void(Comm&)>& body,
                       NetModel model = {},
-                      const std::function<void(const World&)>& inspect = nullptr);
+                      const std::function<void(const World&)>& inspect = nullptr,
+                      FaultInjector* injector = nullptr);
 
 }  // namespace svmmpi

@@ -7,10 +7,12 @@
 
 namespace svmmpi {
 
-World::World(int size, NetModel model) : size_(size), model_(model), stats_(size) {
+World::World(int size, NetModel model, FaultInjector* injector)
+    : size_(size), model_(model), injector_(injector), stats_(size) {
   if (size <= 0) throw std::invalid_argument("svmmpi: world size must be positive");
   mailboxes_.reserve(size);
-  for (int r = 0; r < size; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+  for (int r = 0; r < size; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>(r, model_.timeout_s));
   // Context 0 is the world communicator's.
   (void)create_context(size);
 }
@@ -45,7 +47,7 @@ CollectiveContext& World::context(int id) {
 int World::create_context(int size) {
   std::lock_guard lock(registry_mutex_);
   const int id = next_context_id_++;
-  contexts_.emplace(id, std::make_unique<CollectiveContext>(size));
+  contexts_.emplace(id, std::make_unique<CollectiveContext>(size, model_.timeout_s));
   return id;
 }
 

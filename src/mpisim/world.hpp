@@ -16,10 +16,14 @@
 namespace svmmpi {
 
 class Comm;
+class FaultInjector;
 
 class World {
  public:
-  explicit World(int size, NetModel model = {});
+  /// `injector`, when non-null, is consulted by every communication op (see
+  /// fault.hpp); it must outlive the World. The model's timeout_s is applied
+  /// to every mailbox pop and collective rendezvous.
+  explicit World(int size, NetModel model = {}, FaultInjector* injector = nullptr);
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -44,6 +48,7 @@ class World {
 
   // --- internals used by Comm -------------------------------------------
   [[nodiscard]] Mailbox& mailbox(int world_rank) { return *mailboxes_[world_rank]; }
+  [[nodiscard]] FaultInjector* injector() const noexcept { return injector_; }
   [[nodiscard]] CollectiveContext& context(int id);
   /// Allocates a new collective context for a sub-communicator of `size`
   /// ranks and returns its id. Thread-safe; called once per new group.
@@ -52,6 +57,7 @@ class World {
  private:
   int size_;
   NetModel model_;
+  FaultInjector* injector_ = nullptr;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<TrafficStats> stats_;
   std::atomic<bool> aborted_{false};

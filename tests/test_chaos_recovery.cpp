@@ -1,0 +1,337 @@
+// Checkpoint/restart fault tolerance. A seeded FaultPlan kills a rank (and
+// optionally drops/delays messages) mid-solve; train_with_recovery must
+// restart from the last consistent checkpoint cut and converge to the same
+// model a fault-free run produces — bit-identical for a crash-only schedule,
+// within 1e-10 for schedules that also perturb timing. With recovery disabled
+// the same schedule must surface RankFailed/TimeoutError in bounded
+// wall-clock time, never a hang.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/distributed_solver.hpp"
+#include "core/sequential_smo.hpp"
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "mpisim/fault.hpp"
+#include "mpisim/spmd.hpp"
+
+namespace {
+
+using svmcore::CheckpointStore;
+using svmcore::DistributedConfig;
+using svmcore::DistributedSolver;
+using svmcore::Heuristic;
+using svmcore::RankCheckpoint;
+using svmcore::RecoveryOptions;
+using svmcore::RecoveryReport;
+using svmcore::SolverParams;
+using svmcore::TrainOptions;
+using svmcore::TrainResult;
+using svmdata::Dataset;
+using svmkernel::KernelParams;
+using svmmpi::FaultInjector;
+using svmmpi::FaultPlan;
+
+Dataset chaos_dataset() {
+  return svmdata::synthetic::gaussian_blobs(
+      {.n = 160, .d = 6, .separation = 1.8, .label_noise = 0.05, .seed = 41});
+}
+
+SolverParams rbf_params() {
+  SolverParams p;
+  p.C = 4.0;
+  p.eps = 1e-3;
+  p.kernel = KernelParams::rbf_with_sigma_sq(4.0);
+  return p;
+}
+
+TrainOptions ranks4(Heuristic heuristic) {
+  TrainOptions options;
+  options.num_ranks = 4;
+  options.heuristic = heuristic;
+  return options;
+}
+
+/// Total communication ops rank `rank` issues during a fault-free solve:
+/// lets tests schedule crashes at a precise fraction of the run.
+std::uint64_t probe_ops(const Dataset& d, const SolverParams& params, const TrainOptions& options,
+                        int rank) {
+  FaultInjector probe{FaultPlan{}};
+  const DistributedConfig config{params, options.heuristic, options.permanent_shrink,
+                                 options.openmp_gamma, options.trace_active_interval};
+  svmmpi::run_spmd(
+      options.num_ranks,
+      [&](svmmpi::Comm& comm) {
+        DistributedSolver solver(comm, d, config);
+        (void)solver.solve();
+      },
+      options.net_model, nullptr, &probe);
+  return probe.ops(rank);
+}
+
+void expect_same_model(const TrainResult& a, const TrainResult& b, double tolerance) {
+  EXPECT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.model.num_support_vectors(), b.model.num_support_vectors());
+  if (tolerance == 0.0) {
+    EXPECT_EQ(a.beta, b.beta);
+    for (std::size_t j = 0; j < a.model.num_support_vectors(); ++j)
+      EXPECT_EQ(a.model.coefficients()[j], b.model.coefficients()[j]);
+  } else {
+    EXPECT_NEAR(a.beta, b.beta, tolerance);
+    for (std::size_t j = 0; j < a.model.num_support_vectors(); ++j)
+      EXPECT_NEAR(a.model.coefficients()[j], b.model.coefficients()[j], tolerance);
+  }
+}
+
+// --- RankCheckpoint serialization ------------------------------------------
+
+RankCheckpoint sample_checkpoint() {
+  RankCheckpoint c;
+  c.stage = 2;
+  c.stalls = 1;
+  c.iterations = 4242;
+  c.delta_counter = 17;
+  c.beta_up = -0.75;
+  c.beta_low = 0.5;
+  c.i_up = 12;
+  c.i_low = 99;
+  c.shrink_passes = 3;
+  c.samples_shrunk = 40;
+  c.reconstructions = 2;
+  c.min_active = 11;
+  c.alpha = {0.0, 1.5, 4.0};
+  c.gamma = {-1.0, 0.25, 2.0};
+  c.shrunk = {0, 1, 0};
+  c.active = {0, 2};
+  return c;
+}
+
+TEST(RankCheckpointTest, SerializeDeserializeRoundTrip) {
+  const RankCheckpoint original = sample_checkpoint();
+  const RankCheckpoint restored = RankCheckpoint::deserialize(original.serialize());
+  EXPECT_EQ(restored, original);
+}
+
+TEST(RankCheckpointTest, CorruptBuffersAreRejected) {
+  const std::vector<std::byte> bytes = sample_checkpoint().serialize();
+
+  // Truncation anywhere must throw, never read out of bounds.
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{17},
+                                 bytes.size() / 2, bytes.size() - 1}) {
+    const std::vector<std::byte> cut(bytes.begin(), bytes.begin() + keep);
+    EXPECT_THROW((void)RankCheckpoint::deserialize(cut), std::runtime_error) << keep;
+  }
+  // Trailing garbage.
+  std::vector<std::byte> padded = bytes;
+  padded.push_back(std::byte{0});
+  EXPECT_THROW((void)RankCheckpoint::deserialize(padded), std::runtime_error);
+  // Bad magic.
+  std::vector<std::byte> wrong = bytes;
+  wrong[0] = std::byte{0xFF};
+  EXPECT_THROW((void)RankCheckpoint::deserialize(wrong), std::runtime_error);
+  // Inconsistent array lengths (gamma shorter than alpha).
+  RankCheckpoint mismatched = sample_checkpoint();
+  mismatched.gamma.pop_back();
+  EXPECT_THROW((void)RankCheckpoint::deserialize(mismatched.serialize()), std::runtime_error);
+}
+
+// --- CheckpointStore semantics ---------------------------------------------
+
+TEST(CheckpointStoreTest, PinsNewestEpochPresentOnAllRanks) {
+  CheckpointStore store(2);
+  RankCheckpoint c = sample_checkpoint();
+
+  EXPECT_FALSE(store.begin_restart().has_value());  // nothing saved yet
+
+  c.iterations = 64;
+  store.save(0, 64, c);
+  EXPECT_FALSE(store.begin_restart().has_value());  // rank 1 never checkpointed
+
+  store.save(1, 64, c);
+  c.iterations = 128;
+  store.save(0, 128, c);  // rank 0 ran ahead one boundary
+  const auto epoch = store.begin_restart();
+  ASSERT_TRUE(epoch.has_value());
+  EXPECT_EQ(*epoch, 64u);  // newest epoch both ranks have
+
+  const auto restored = store.restore(0);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->iterations, 64u);
+  // Non-pinned epochs were discarded by begin_restart.
+  EXPECT_EQ(store.epochs(0), std::vector<std::uint64_t>{64});
+}
+
+TEST(CheckpointStoreTest, RetainsOnlyTwoEpochsPerRank) {
+  CheckpointStore store(1);
+  RankCheckpoint c = sample_checkpoint();
+  for (std::uint64_t e : {32u, 64u, 96u, 128u}) store.save(0, e, c);
+  EXPECT_EQ(store.epochs(0), (std::vector<std::uint64_t>{96, 128}));
+  EXPECT_EQ(store.saves(), 4u);
+}
+
+TEST(CheckpointStoreTest, FileBackedStoreSurvivesReopen) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "shrinksvm_ckpt_test";
+  std::filesystem::remove_all(dir);
+
+  RankCheckpoint c = sample_checkpoint();
+  {
+    CheckpointStore store(2, dir.string());
+    store.save(0, 64, c);
+    store.save(1, 64, c);
+    store.save(0, 128, c);  // straggler epoch, only on rank 0
+  }
+  CheckpointStore reopened = CheckpointStore::open(2, dir.string());
+  const auto epoch = reopened.begin_restart();
+  ASSERT_TRUE(epoch.has_value());
+  EXPECT_EQ(*epoch, 64u);
+  const auto restored = reopened.restore(1);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, c);
+  // begin_restart pruned the rank-0-only epoch, on disk too.
+  EXPECT_FALSE(std::filesystem::exists(dir / "ckpt_r0_e128.bin"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "ckpt_r0_e64.bin"));
+  std::filesystem::remove_all(dir);
+}
+
+// --- end-to-end chaos runs -------------------------------------------------
+
+TEST(ChaosRecovery, CrashOnlyScheduleRecoversBitIdentically) {
+  const Dataset d = chaos_dataset();
+  const SolverParams params = rbf_params();
+  // Multi-reconstruction heuristic: exercises the staged Algorithm 5 driver,
+  // so the crash can land after reconstructions and mid-tight-phase.
+  const TrainOptions options = ranks4(Heuristic::best());
+
+  const TrainResult baseline = svmcore::train(d, params, options);
+  ASSERT_TRUE(baseline.converged);
+
+  const std::uint64_t total_ops = probe_ops(d, params, options, /*rank=*/1);
+  ASSERT_GT(total_ops, 100u);
+
+  RecoveryOptions recovery;
+  recovery.fault_plan = FaultPlan{}.crash(1, total_ops / 2);
+  recovery.checkpoint_interval = 32;
+  RecoveryReport report;
+  const TrainResult recovered =
+      svmcore::train_with_recovery(d, params, options, recovery, &report);
+
+  EXPECT_EQ(report.restarts, 1);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].find("injected crash"), std::string::npos);
+  ASSERT_EQ(report.restore_epochs.size(), 1u);
+  EXPECT_GT(report.restore_epochs[0], 0u) << "restart should resume from a checkpoint";
+  EXPECT_GT(report.checkpoints_saved, 0u);
+
+  EXPECT_TRUE(recovered.converged);
+  // Deterministic replay from a consistent cut: bit-identical model.
+  expect_same_model(recovered, baseline, /*tolerance=*/0.0);
+}
+
+TEST(ChaosRecovery, CrashDuringAlgorithm4FinishPhaseRecovers) {
+  const Dataset d = chaos_dataset();
+  const SolverParams params = rbf_params();
+  const TrainOptions options = ranks4(Heuristic::parse("Single2"));
+
+  const TrainResult baseline = svmcore::train(d, params, options);
+  const std::uint64_t total_ops = probe_ops(d, params, options, /*rank=*/2);
+
+  // Crash late in the run — typically inside the post-reconstruction sweep,
+  // exercising the stage-1 resume path.
+  RecoveryOptions recovery;
+  recovery.fault_plan = FaultPlan{}.crash(2, (total_ops * 9) / 10);
+  recovery.checkpoint_interval = 16;
+  RecoveryReport report;
+  const TrainResult recovered =
+      svmcore::train_with_recovery(d, params, options, recovery, &report);
+
+  EXPECT_EQ(report.restarts, 1);
+  expect_same_model(recovered, baseline, /*tolerance=*/0.0);
+}
+
+TEST(ChaosRecovery, SeededChaosScheduleStaysWithinTolerance) {
+  const Dataset d = chaos_dataset();
+  const SolverParams params = rbf_params();
+  TrainOptions options = ranks4(Heuristic::best());
+  // Drops starve a receiver forever; the pop deadline turns that into a
+  // TimeoutError the retry driver can recover from.
+  options.net_model.timeout_s = 0.25;
+
+  const TrainResult baseline = svmcore::train(d, params, options);
+  const std::uint64_t total_ops = probe_ops(d, params, options, /*rank=*/0);
+
+  RecoveryOptions recovery;
+  // Seeded drops and delays, plus a crash pinned mid-run so the schedule is
+  // guaranteed to kill one attempt regardless of the seed.
+  recovery.fault_plan =
+      FaultPlan::chaos(/*seed=*/1234, options.num_ranks, /*horizon=*/total_ops,
+                       /*drops=*/2, /*delays=*/3, /*with_crash=*/false, /*max_delay_s=*/1e-3)
+          .crash(1, total_ops / 2);
+  recovery.checkpoint_interval = 32;
+  RecoveryReport report;
+  const TrainResult recovered =
+      svmcore::train_with_recovery(d, params, options, recovery, &report);
+
+  EXPECT_TRUE(recovered.converged);
+  EXPECT_GE(report.restarts, 1) << "the crash alone should force one restart";
+  // Replay is deterministic, so even the mixed schedule reproduces the
+  // fault-free model far inside the 1e-10 acceptance bound.
+  expect_same_model(recovered, baseline, /*tolerance=*/1e-10);
+}
+
+TEST(ChaosRecovery, RecoveryDisabledFailsFastInsteadOfHanging) {
+  const Dataset d = chaos_dataset();
+  const SolverParams params = rbf_params();
+  TrainOptions options = ranks4(Heuristic::best());
+  options.net_model.timeout_s = 0.25;
+
+  const std::uint64_t total_ops = probe_ops(d, params, options, /*rank=*/0);
+  RecoveryOptions recovery;
+  recovery.fault_plan =
+      FaultPlan::chaos(1234, options.num_ranks, total_ops, 2, 3, false, 1e-3)
+          .crash(1, total_ops / 2);
+  recovery.max_restarts = 0;  // recovery disabled: first failure is fatal
+
+  const auto start = std::chrono::steady_clock::now();
+  bool failed_as_expected = false;
+  try {
+    (void)svmcore::train_with_recovery(d, params, options, recovery);
+  } catch (const svmmpi::RankFailed&) {
+    failed_as_expected = true;
+  } catch (const svmmpi::TimeoutError&) {
+    failed_as_expected = true;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_TRUE(failed_as_expected)
+      << "the schedule contains a crash, so the run must fail without recovery";
+  EXPECT_LT(elapsed, 60.0) << "pop deadline must bound wall-clock time";
+}
+
+TEST(ChaosRecovery, ZeroIntervalReplaysFromScratch) {
+  const Dataset d = chaos_dataset();
+  const SolverParams params = rbf_params();
+  const TrainOptions options = ranks4(Heuristic::best());
+
+  const TrainResult baseline = svmcore::train(d, params, options);
+  const std::uint64_t total_ops = probe_ops(d, params, options, /*rank=*/1);
+
+  RecoveryOptions recovery;
+  recovery.fault_plan = FaultPlan{}.crash(1, total_ops / 3);
+  recovery.checkpoint_interval = 0;  // checkpointing off: restart = rerun
+  RecoveryReport report;
+  const TrainResult recovered =
+      svmcore::train_with_recovery(d, params, options, recovery, &report);
+
+  EXPECT_EQ(report.restarts, 1);
+  ASSERT_EQ(report.restore_epochs.size(), 1u);
+  EXPECT_EQ(report.restore_epochs[0], 0u);  // no checkpoint to resume from
+  expect_same_model(recovered, baseline, /*tolerance=*/0.0);
+}
+
+}  // namespace

@@ -74,6 +74,60 @@ TEST(LibsvmIo, ErrorMessageCarriesLineNumber) {
   }
 }
 
+// Every malformed line must fail with a clear line-numbered parse error —
+// never UB, never a silently mangled dataset.
+void expect_parse_error(const std::string& text, std::size_t line,
+                        const std::string& what_fragment) {
+  std::istringstream in(text);
+  try {
+    (void)read_libsvm(in);
+    FAIL() << "expected parse error for: " << text;
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("line " + std::to_string(line)), std::string::npos) << message;
+    EXPECT_NE(message.find(what_fragment), std::string::npos) << message;
+  }
+}
+
+TEST(LibsvmIo, RejectsNonNumericIndex) {
+  expect_parse_error("+1 1:1\n+1 abc:2\n", 2, "integer index");
+}
+
+TEST(LibsvmIo, RejectsNegativeIndex) {
+  expect_parse_error("+1 -3:2\n", 1, "index must be >= 1");
+}
+
+TEST(LibsvmIo, RejectsDuplicateIndex) {
+  expect_parse_error("+1 2:1 2:5\n", 1, "duplicate feature index");
+}
+
+TEST(LibsvmIo, RejectsIndexOverflowing32Bits) {
+  expect_parse_error("+1 4294967295:1\n", 1, "overflows 32 bits");
+}
+
+TEST(LibsvmIo, RejectsTruncatedPair) {
+  expect_parse_error("+1 1:1\n-1 3:\n", 2, "missing feature value");
+}
+
+TEST(LibsvmIo, RejectsWhitespaceAfterColon) {
+  // strtod would silently skip the space and parse the next token.
+  expect_parse_error("+1 3: 5\n", 1, "missing feature value");
+}
+
+TEST(LibsvmIo, RejectsNonNumericValue) {
+  expect_parse_error("+1 3:x\n", 1, "expected a number");
+}
+
+TEST(LibsvmIo, RejectsNonFiniteValues) {
+  expect_parse_error("+1 1:inf\n", 1, "non-finite");
+  expect_parse_error("+1 1:nan\n", 1, "non-finite");
+  expect_parse_error("nan 1:1\n", 1, "non-finite");
+}
+
+TEST(LibsvmIo, RejectsMissingColon) {
+  expect_parse_error("+1 17\n", 1, "expected ':'");
+}
+
 TEST(LibsvmIo, DropsExplicitZeroValues) {
   std::istringstream in("+1 1:0 2:5\n-1 1:1\n");
   const Dataset d = read_libsvm(in);
@@ -112,10 +166,11 @@ class SliceP : public ::testing::TestWithParam<int> {};
 TEST_P(SliceP, SlicesConcatenateToWholeFile) {
   const Dataset original =
       svmdata::synthetic::gaussian_blobs({.n = 97, .d = 5, .separation = 2.0, .seed = 7});
-  const std::string path = ::testing::TempDir() + "/slices.libsvm";
-  svmdata::write_libsvm_file(path, original);
-
   const int p = GetParam();
+  // Path must be unique per instance: ctest runs the instances concurrently.
+  const std::string path =
+      ::testing::TempDir() + "/slices_p" + std::to_string(p) + ".libsvm";
+  svmdata::write_libsvm_file(path, original);
   Dataset reassembled;
   for (int r = 0; r < p; ++r) {
     const Dataset slice = svmdata::read_libsvm_slice(path, r, p);
