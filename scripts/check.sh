@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus an AddressSanitizer pass over the kernel/engine
+# layer. Run from the repo root:
+#
+#   scripts/check.sh            # full: tier-1 build+ctest, then ASan kernel tests
+#   scripts/check.sh --tier1    # only the tier-1 build + full ctest suite
+#   scripts/check.sh --asan     # only the ASan kernel/engine/cache tests
+#
+# The ASan pass rebuilds the kernel-layer tests under -DSVM_SANITIZE=address
+# in a separate build tree (build-asan/) and runs the binaries directly; it
+# exists to catch span-lifetime bugs in KernelRowCache pinning and the
+# KernelEngine scatter buffers that a plain run cannot see.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tier1=true
+run_asan=true
+case "${1:-}" in
+  --tier1) run_asan=false ;;
+  --asan) run_tier1=false ;;
+  "") ;;
+  *) echo "usage: scripts/check.sh [--tier1|--asan]" >&2; exit 2 ;;
+esac
+
+if $run_tier1; then
+  echo "=== tier-1: configure + build + ctest ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j
+  (cd build && ctest --output-on-failure -j "$(nproc)")
+fi
+
+if $run_asan; then
+  echo "=== asan: kernel/engine/cache tests under -fsanitize=address ==="
+  cmake -B build-asan -S . -DSVM_SANITIZE=address >/dev/null
+  cmake --build build-asan -j --target \
+    test_kernel test_kernel_cache test_kernel_engine test_engine_parity
+  for t in test_kernel test_kernel_cache test_kernel_engine test_engine_parity; do
+    echo "--- $t (asan) ---"
+    ./build-asan/tests/"$t"
+  done
+fi
+
+echo "ALL CHECKS PASSED"

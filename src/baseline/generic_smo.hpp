@@ -22,7 +22,10 @@ struct GenericProblem {
   std::span<const double> linear;      ///< p vector
   std::span<const double> q_diag;      ///< Q(t, t)
   /// Returns Q row t at full length l. The span must stay valid until the
-  /// next q_row call (single-row aliasing is handled inside the solver).
+  /// next q_row call and no longer — the solver copies the first row of a
+  /// pair before fetching the second. KernelEngine::k_row_floats satisfies
+  /// this exactly: the cache pins the most recently returned row, so a later
+  /// insert can never evict (and dangle) it before the next call.
   std::function<std::span<const float>(std::size_t)> q_row;
   /// Per-variable box constraint.
   std::function<double(std::size_t)> C_of;

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "baseline/generic_smo.hpp"
-#include "kernel/kernel_cache.hpp"
+#include "kernel/kernel_engine.hpp"
 #include "util/timer.hpp"
 
 namespace svmbaseline {
@@ -17,32 +17,22 @@ BaselineResult solve_libsvm_like(const svmdata::Dataset& dataset,
 
   svmutil::Timer timer;
   const svmkernel::Kernel kernel(options.kernel);
-  svmkernel::KernelRowCache cache(options.cache_mb * (1 << 20));
-  const std::vector<double> sq = dataset.X.row_squared_norms();
+  // Cached engine backend: k_row_floats computes Q_ij = y_i y_j K_ij rows
+  // (set_row_scale bakes the labels in) through the dense scatter path and
+  // serves repeats from the LRU row cache. The paper's OpenMP enhancement
+  // parallelizes exactly this row computation.
+  svmkernel::KernelEngine engine(kernel, dataset.X, svmkernel::EngineBackend::cached,
+                                 options.cache_mb * (std::size_t{1} << 20));
+  engine.set_row_scale(dataset.y);
 
   std::vector<double> q_diag(n);
-  for (std::size_t i = 0; i < n; ++i)
-    q_diag[i] = kernel.eval(dataset.X.row(i), dataset.X.row(i), sq[i], sq[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sq_i = engine.sq_norm(i);
+    q_diag[i] = engine.eval_one(dataset.X.row(i), dataset.X.row(i), sq_i, sq_i);
+  }
 
-  // Q row provider with LRU caching; rows hold Q_ij = y_i y_j K_ij as float.
-  // The paper's OpenMP enhancement parallelizes exactly this row loop.
-  std::vector<float> row_buffer(n);
   auto q_row = [&](std::size_t i) -> std::span<const float> {
-    const std::span<const float> cached = cache.lookup(i);
-    if (!cached.empty()) return cached;
-    const auto row_i = dataset.X.row(i);
-    const double sq_i = sq[i];
-    const double y_i = dataset.y[i];
-    const auto count = static_cast<std::ptrdiff_t>(n);
-#pragma omp parallel for schedule(static) if (options.use_openmp)
-    for (std::ptrdiff_t t = 0; t < count; ++t) {
-      const auto j = static_cast<std::size_t>(t);
-      row_buffer[j] = static_cast<float>(
-          y_i * dataset.y[j] * kernel.eval(row_i, dataset.X.row(j), sq_i, sq[j]));
-    }
-    cache.insert(i, row_buffer);
-    const std::span<const float> inserted = cache.lookup(i);
-    return inserted.empty() ? std::span<const float>(row_buffer) : inserted;
+    return engine.k_row_floats(i, n, options.use_openmp);
   };
 
   const std::vector<double> linear(n, -1.0);  // p = -e for C-SVC
@@ -68,7 +58,7 @@ BaselineResult solve_libsvm_like(const svmdata::Dataset& dataset,
   result.iterations = generic.iterations;
   result.converged = generic.converged;
   result.kernel_evaluations = kernel.evaluations();
-  result.cache_hit_rate = cache.hit_rate();
+  result.cache_hit_rate = engine.cache_hit_rate();
   result.solve_seconds = timer.seconds();
   return result;
 }

@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "baseline/generic_smo.hpp"
-#include "kernel/kernel_cache.hpp"
+#include "kernel/kernel_engine.hpp"
 #include "util/timer.hpp"
 
 namespace svmbaseline {
@@ -43,30 +43,19 @@ NuSvcResult solve_nu_svc(const svmdata::Dataset& dataset, const NuSvcOptions& op
 
   svmutil::Timer timer;
   const svmkernel::Kernel kernel(options.kernel);
-  svmkernel::KernelRowCache cache(options.cache_mb * (1 << 20));
-  const std::vector<double> sq = dataset.X.row_squared_norms();
+  // Label-scaled Q rows (Q_ij = y_i y_j K_ij) via the cached engine backend.
+  svmkernel::KernelEngine engine(kernel, dataset.X, svmkernel::EngineBackend::cached,
+                                 options.cache_mb * (std::size_t{1} << 20));
+  engine.set_row_scale(dataset.y);
 
   std::vector<double> q_diag(n);
-  for (std::size_t i = 0; i < n; ++i)
-    q_diag[i] = kernel.eval(dataset.X.row(i), dataset.X.row(i), sq[i], sq[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sq_i = engine.sq_norm(i);
+    q_diag[i] = engine.eval_one(dataset.X.row(i), dataset.X.row(i), sq_i, sq_i);
+  }
 
-  std::vector<float> row_buffer(n);
   auto q_row = [&](std::size_t i) -> std::span<const float> {
-    const std::span<const float> cached = cache.lookup(i);
-    if (!cached.empty()) return cached;
-    const auto row_i = dataset.X.row(i);
-    const double sq_i = sq[i];
-    const double y_i = dataset.y[i];
-    const auto count = static_cast<std::ptrdiff_t>(n);
-#pragma omp parallel for schedule(static) if (options.use_openmp)
-    for (std::ptrdiff_t t = 0; t < count; ++t) {
-      const auto j = static_cast<std::size_t>(t);
-      row_buffer[j] = static_cast<float>(
-          y_i * dataset.y[j] * kernel.eval(row_i, dataset.X.row(j), sq_i, sq[j]));
-    }
-    cache.insert(i, row_buffer);
-    const std::span<const float> inserted = cache.lookup(i);
-    return inserted.empty() ? std::span<const float>(row_buffer) : inserted;
+    return engine.k_row_floats(i, n, options.use_openmp);
   };
 
   // libsvm's nu-SVC warm start: nu*l/2 alpha mass per class, box C = 1.

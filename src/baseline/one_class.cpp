@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "baseline/generic_smo.hpp"
-#include "kernel/kernel_cache.hpp"
+#include "kernel/kernel_engine.hpp"
 #include "util/timer.hpp"
 
 namespace svmbaseline {
@@ -30,27 +30,18 @@ OneClassResult solve_one_class(const svmdata::CsrMatrix& X, const OneClassOption
 
   svmutil::Timer timer;
   const svmkernel::Kernel kernel(options.kernel);
-  svmkernel::KernelRowCache cache(options.cache_mb * (1 << 20));
-  const std::vector<double> sq = X.row_squared_norms();
+  // Unscaled Q = K for one-class: cached engine rows, no row scale.
+  svmkernel::KernelEngine engine(kernel, X, svmkernel::EngineBackend::cached,
+                                 options.cache_mb * (std::size_t{1} << 20));
 
   std::vector<double> q_diag(n);
-  for (std::size_t i = 0; i < n; ++i) q_diag[i] = kernel.eval(X.row(i), X.row(i), sq[i], sq[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sq_i = engine.sq_norm(i);
+    q_diag[i] = engine.eval_one(X.row(i), X.row(i), sq_i, sq_i);
+  }
 
-  std::vector<float> row_buffer(n);
   auto q_row = [&](std::size_t i) -> std::span<const float> {
-    const std::span<const float> cached = cache.lookup(i);
-    if (!cached.empty()) return cached;
-    const auto row_i = X.row(i);
-    const double sq_i = sq[i];
-    const auto count = static_cast<std::ptrdiff_t>(n);
-#pragma omp parallel for schedule(static) if (options.use_openmp)
-    for (std::ptrdiff_t t = 0; t < count; ++t) {
-      const auto j = static_cast<std::size_t>(t);
-      row_buffer[j] = static_cast<float>(kernel.eval(row_i, X.row(j), sq_i, sq[j]));
-    }
-    cache.insert(i, row_buffer);
-    const std::span<const float> inserted = cache.lookup(i);
-    return inserted.empty() ? std::span<const float>(row_buffer) : inserted;
+    return engine.k_row_floats(i, n, options.use_openmp);
   };
 
   // libsvm's warm start: nu*l mass spread over the first ceil(nu*l) alphas.

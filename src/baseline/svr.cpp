@@ -3,7 +3,7 @@
 #include <stdexcept>
 
 #include "baseline/generic_smo.hpp"
-#include "kernel/kernel_cache.hpp"
+#include "kernel/kernel_engine.hpp"
 #include "util/timer.hpp"
 
 namespace svmbaseline {
@@ -32,8 +32,10 @@ SvrResult solve_svr(const svmdata::CsrMatrix& X, std::span<const double> targets
   svmutil::Timer timer;
   const std::size_t l = 2 * n;
   const svmkernel::Kernel kernel(options.kernel);
-  svmkernel::KernelRowCache cache(options.cache_mb * (1 << 20));
-  const std::vector<double> sq = X.row_squared_norms();
+  // Raw (unscaled) K rows per real sample, via the cached engine backend;
+  // the 2n-length Q rows are materialized locally with the sign pattern.
+  svmkernel::KernelEngine engine(kernel, X, svmkernel::EngineBackend::cached,
+                                 options.cache_mb * (std::size_t{1} << 20));
 
   // Signs and linear term of the 2n-variable dual.
   std::vector<double> y(l);
@@ -46,32 +48,18 @@ SvrResult solve_svr(const svmdata::CsrMatrix& X, std::span<const double> targets
   }
 
   std::vector<double> k_diag(n);
-  for (std::size_t i = 0; i < n; ++i)
-    k_diag[i] = kernel.eval(X.row(i), X.row(i), sq[i], sq[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sq_i = engine.sq_norm(i);
+    k_diag[i] = engine.eval_one(X.row(i), X.row(i), sq_i, sq_i);
+  }
   std::vector<double> q_diag(l);
   for (std::size_t k = 0; k < l; ++k) q_diag[k] = k_diag[k % n];  // s_k^2 = 1
 
   // K rows are cached per real sample; the 2n-length Q row is materialized
   // from the cached K row with the sign pattern of variable k.
-  std::vector<float> k_buffer(n);
   std::vector<float> q_buffer(l);
-  auto k_row = [&](std::size_t i) -> std::span<const float> {
-    const std::span<const float> cached = cache.lookup(i);
-    if (!cached.empty()) return cached;
-    const auto row_i = X.row(i);
-    const double sq_i = sq[i];
-    const auto count = static_cast<std::ptrdiff_t>(n);
-#pragma omp parallel for schedule(static) if (options.use_openmp)
-    for (std::ptrdiff_t t = 0; t < count; ++t) {
-      const auto j = static_cast<std::size_t>(t);
-      k_buffer[j] = static_cast<float>(kernel.eval(row_i, X.row(j), sq_i, sq[j]));
-    }
-    cache.insert(i, k_buffer);
-    const std::span<const float> inserted = cache.lookup(i);
-    return inserted.empty() ? std::span<const float>(k_buffer) : inserted;
-  };
   auto q_row = [&](std::size_t k) -> std::span<const float> {
-    const std::span<const float> base = k_row(k % n);
+    const std::span<const float> base = engine.k_row_floats(k % n, n, options.use_openmp);
     const float sign_k = k < n ? 1.0f : -1.0f;
     for (std::size_t j = 0; j < n; ++j) {
       q_buffer[j] = sign_k * base[j];

@@ -11,9 +11,12 @@ ConfusionMatrix distributed_evaluate(svmmpi::Comm& comm, const SvmModel& model,
   const svmdata::BlockRange range =
       svmdata::block_range(dataset.size(), comm.size(), comm.rank());
 
+  // One engine per rank: each query row scatters once and streams the
+  // support vectors in a single fused pass (bit-identical to model.predict).
+  svmkernel::KernelEngine engine = model.make_engine();
   ConfusionMatrix local;
   for (std::size_t i = range.begin; i < range.end; ++i) {
-    const bool predicted_positive = model.predict(dataset.X.row(i)) > 0.0;
+    const bool predicted_positive = model.decision_value(dataset.X.row(i), engine) >= 0.0;
     const bool actually_positive = dataset.y[i] > 0.0;
     if (predicted_positive && actually_positive)
       ++local.true_positive;

@@ -20,18 +20,17 @@ DistributedSolver::DistributedSolver(svmmpi::Comm& comm, const svmdata::Dataset&
       data_(dataset),
       config_(config),
       range_(svmdata::block_range(dataset.size(), comm.size(), comm.rank())),
-      kernel_(config.params.kernel) {
+      kernel_(config.params.kernel),
+      engine_(kernel_, dataset.X, config.params.engine_backend, range_.begin, range_.end) {
   if (comm.rank() == 0) dataset.validate();
   const std::size_t local_n = range_.size();
   alpha_.assign(local_n, 0.0);
   gamma_.resize(local_n);
-  sq_.resize(local_n);
   shrunk_.assign(local_n, 0);
   active_.resize(local_n);
   for (std::size_t i = 0; i < local_n; ++i) {
     const std::size_t g = range_.begin + i;
     gamma_[i] = -data_.y[g];  // alpha = 0 => gamma = -y (Algorithm 2 line 1)
-    sq_[i] = svmdata::CsrMatrix::squared_norm(data_.X.row(g));
     active_[i] = static_cast<std::uint32_t>(i);
   }
   stats_.min_active = local_n;
@@ -113,29 +112,82 @@ void DistributedSolver::select_violators() {
   stats_.final_beta_low = beta_low_;
 }
 
+void DistributedSolver::pack_local_sample(PackedSamples& out, std::int64_t global) {
+  const std::size_t i = local_of(global);
+  const auto g = static_cast<std::size_t>(global);
+  out.add(global, data_.y[g], alpha_[i], engine_.sq_norm(g), data_.X.row(g));
+}
+
 PackedSamples DistributedSolver::fetch_sample(std::int64_t global_index) {
   const int owner = svmdata::owner_of(data_.size(), comm_.size(), global_index);
   std::vector<std::byte> bytes;
   if (owner == 0) {
     if (comm_.rank() == 0) {
       PackedSamples one;
-      const std::size_t i = local_of(global_index);
-      one.add(global_index, data_.y[global_index], alpha_[i], sq_[i],
-              data_.X.row(static_cast<std::size_t>(global_index)));
+      pack_local_sample(one, global_index);
       bytes = one.pack();
     }
   } else {
     // Owner sends the sample to rank 0 first (Algorithm 2 lines 4-9)...
     if (comm_.rank() == owner) {
       PackedSamples one;
-      const std::size_t i = local_of(global_index);
-      one.add(global_index, data_.y[global_index], alpha_[i], sq_[i],
-              data_.X.row(static_cast<std::size_t>(global_index)));
+      pack_local_sample(one, global_index);
       comm_.send<std::byte>(one.pack(), 0, kTagSampleToRoot);
     }
     if (comm_.rank() == 0) bytes = comm_.recv<std::byte>(owner, kTagSampleToRoot);
   }
   // ...then rank 0 broadcasts it to everyone (line 10).
+  comm_.bcast(bytes, 0);
+  return PackedSamples::unpack(bytes);
+}
+
+PackedSamples DistributedSolver::fetch_pair(std::int64_t g_up, std::int64_t g_low) {
+  const int owner_up = svmdata::owner_of(data_.size(), comm_.size(), g_up);
+  const int owner_low = svmdata::owner_of(data_.size(), comm_.size(), g_low);
+  const int rank = comm_.rank();
+
+  // Owners ship their contribution(s) to rank 0 — one message per owning
+  // rank, both samples in one message when a single rank owns the pair.
+  if (rank != 0) {
+    if (rank == owner_up && rank == owner_low) {
+      PackedSamples both;
+      pack_local_sample(both, g_up);
+      pack_local_sample(both, g_low);
+      comm_.send<std::byte>(both.pack(), 0, kTagSampleToRoot);
+    } else if (rank == owner_up || rank == owner_low) {
+      PackedSamples one;
+      pack_local_sample(one, rank == owner_up ? g_up : g_low);
+      comm_.send<std::byte>(one.pack(), 0, kTagSampleToRoot);
+    }
+  }
+
+  // Rank 0 merges in fixed (up, low) order, then ONE Bcast replaces the two
+  // broadcasts of the unbatched protocol.
+  std::vector<std::byte> bytes;
+  if (rank == 0) {
+    PackedSamples pair;
+    if (owner_up == owner_low) {
+      if (owner_up == 0) {
+        pack_local_sample(pair, g_up);
+        pack_local_sample(pair, g_low);
+      } else {
+        pair = PackedSamples::unpack(comm_.recv<std::byte>(owner_up, kTagSampleToRoot));
+      }
+    } else {
+      auto append_from = [&](std::int64_t g, int owner) {
+        if (owner == 0) {
+          pack_local_sample(pair, g);
+        } else {
+          const PackedSamples one =
+              PackedSamples::unpack(comm_.recv<std::byte>(owner, kTagSampleToRoot));
+          pair.add(one.global_index(0), one.y(0), one.alpha(0), one.sq_norm(0), one.row(0));
+        }
+      };
+      append_from(g_up, owner_up);
+      append_from(g_low, owner_low);
+    }
+    bytes = pair.pack();
+  }
   comm_.bcast(bytes, 0);
   return PackedSamples::unpack(bytes);
 }
@@ -154,30 +206,35 @@ DistributedSolver::PhaseExit DistributedSolver::run_phase(double tolerance, bool
     if (beta_up_ + tolerance >= beta_low_) return PhaseExit::converged;
     if (stats_.iterations >= config_.params.max_iterations) return PhaseExit::iteration_cap;
 
-    const PackedSamples up = fetch_sample(i_up_);
-    const PackedSamples low = fetch_sample(i_low_);
+    // Both violators arrive in one message + one Bcast (sample 0 = up,
+    // sample 1 = low).
+    const PackedSamples pair = fetch_pair(i_up_, i_low_);
+    const auto x_up = pair.row(0);
+    const auto x_low = pair.row(1);
+    const double sq_up = pair.sq_norm(0);
+    const double sq_low = pair.sq_norm(1);
 
     // The pair update (Eq. 6) is computed redundantly on every rank from the
     // broadcast state, so all replicas agree bit-for-bit.
-    const PairState state{up.y(0),
-                          low.y(0),
-                          up.alpha(0),
-                          low.alpha(0),
+    const PairState state{pair.y(0),
+                          pair.y(1),
+                          pair.alpha(0),
+                          pair.alpha(1),
                           beta_up_,
                           beta_low_,
-                          kernel_.eval(up.row(0), up.row(0), up.sq_norm(0), up.sq_norm(0)),
-                          kernel_.eval(low.row(0), low.row(0), low.sq_norm(0), low.sq_norm(0)),
-                          kernel_.eval(up.row(0), low.row(0), up.sq_norm(0), low.sq_norm(0)),
-                          config_.params.C_of(up.y(0)),
-                          config_.params.C_of(low.y(0))};
+                          engine_.eval_one(x_up, x_up, sq_up, sq_up),
+                          engine_.eval_one(x_low, x_low, sq_low, sq_low),
+                          engine_.eval_one(x_up, x_low, sq_up, sq_low),
+                          config_.params.C_of(pair.y(0)),
+                          config_.params.C_of(pair.y(1))};
     const PairResult updated = solve_pair(state);
     if (!updated.progress) {
       SVM_LOG_WARN << "distributed solver: stalled pair at gap "
                    << (beta_low_ - beta_up_) << "; ending phase";
       return PhaseExit::stalled;
     }
-    const double delta_up = updated.alpha_up - up.alpha(0);
-    const double delta_low = updated.alpha_low - low.alpha(0);
+    const double delta_up = updated.alpha_up - pair.alpha(0);
+    const double delta_low = updated.alpha_low - pair.alpha(1);
     if (owns(i_up_)) alpha_[local_of(i_up_)] = updated.alpha_up;
     if (owns(i_low_)) alpha_[local_of(i_low_)] = updated.alpha_low;
 
@@ -189,37 +246,31 @@ DistributedSolver::PhaseExit DistributedSolver::run_phase(double tolerance, bool
       if (delta_counter_ == 0) shrink_now = true;
     }
 
-    // Gradient update over active samples (Eq. 2), with optional shrinking.
-    const double coef_up = up.y(0) * delta_up;
-    const double coef_low = low.y(0) * delta_low;
-    if (config_.openmp_gamma && !shrink_now) {
-      // Hybrid path: pure gamma updates are independent across samples, so
-      // they parallelize across the rank's cores. Shrink iterations keep the
-      // serial path (the compaction below is order-dependent).
-      const auto count = static_cast<std::ptrdiff_t>(active_.size());
-#pragma omp parallel for schedule(static)
-      for (std::ptrdiff_t a = 0; a < count; ++a) {
-        const std::uint32_t i = active_[static_cast<std::size_t>(a)];
-        const auto row = data_.X.row(range_.begin + i);
-        gamma_[i] += coef_up * kernel_.eval(up.row(0), row, up.sq_norm(0), sq_[i]) +
-                     coef_low * kernel_.eval(low.row(0), row, low.sq_norm(0), sq_[i]);
-      }
-      ++stats_.iterations;
-      maybe_trace_active();
-      continue;
-    }
-    std::size_t kept = 0;
-    for (std::size_t a = 0; a < active_.size(); ++a) {
-      const std::uint32_t i = active_[a];
-      const std::size_t g = range_.begin + i;
-      const auto row = data_.X.row(g);
-      gamma_[i] += coef_up * kernel_.eval(up.row(0), row, up.sq_norm(0), sq_[i]) +
-                   coef_low * kernel_.eval(low.row(0), row, low.sq_norm(0), sq_[i]);
-      if (static_cast<std::int64_t>(g) == i_up_ || static_cast<std::int64_t>(g) == i_low_) {
-        active_[kept++] = i;  // the pair is never shrunk this iteration
-        continue;
-      }
-      if (shrink_now) {
+    // Gradient update over active samples (Eq. 2): one fused engine call
+    // computes K(x_up, i) and K(x_low, i) for the whole active set — the
+    // former serial and OpenMP branches collapse here, and the OpenMP knob
+    // now also accelerates shrink iterations (the kernel batch is
+    // order-independent; only the compaction below is sequential).
+    const double coef_up = pair.y(0) * delta_up;
+    const double coef_low = pair.y(1) * delta_low;
+    k_up_.resize(active_.size());
+    k_low_.resize(active_.size());
+    engine_.eval_pair_rows(x_up, sq_up, x_low, sq_low, active_, range_.begin, k_up_, k_low_,
+                           config_.openmp_gamma);
+    if (!shrink_now) {
+      for (std::size_t a = 0; a < active_.size(); ++a)
+        gamma_[active_[a]] += coef_up * k_up_[a] + coef_low * k_low_[a];
+    } else {
+      std::size_t kept = 0;
+      for (std::size_t a = 0; a < active_.size(); ++a) {
+        const std::uint32_t i = active_[a];
+        const std::size_t g = range_.begin + i;
+        gamma_[i] += coef_up * k_up_[a] + coef_low * k_low_[a];
+        if (static_cast<std::int64_t>(g) == i_up_ ||
+            static_cast<std::int64_t>(g) == i_low_) {
+          active_[kept++] = i;  // the pair is never shrunk this iteration
+          continue;
+        }
         const IndexSet set = classify(data_.y[g], alpha_[i], config_.params.C_of(data_.y[g]));
         const bool at_bound_up = set == IndexSet::I3 || set == IndexSet::I4;
         const bool at_bound_low = set == IndexSet::I1 || set == IndexSet::I2;
@@ -228,10 +279,10 @@ DistributedSolver::PhaseExit DistributedSolver::run_phase(double tolerance, bool
           ++stats_.samples_shrunk;
           continue;
         }
+        active_[kept++] = i;
       }
-      active_[kept++] = i;
+      active_.resize(kept);
     }
-    active_.resize(kept);
 
     if (shrink_now) {
       ++stats_.shrink_passes;
@@ -376,6 +427,9 @@ RankResult DistributedSolver::solve() {
                                        : 0.5 * (beta_low_ + beta_up_);
 
   stats_.kernel_evaluations = kernel_.evaluations();
+  stats_.engine_pair_evals = engine_.stats().pair_evals;
+  stats_.engine_scatter_builds = engine_.stats().scatter_builds;
+  stats_.engine_bytes_streamed = engine_.stats().bytes_streamed;
   stats_.solve_seconds = total.seconds();
 
   RankResult result;

@@ -24,6 +24,7 @@
 #include "core/types.hpp"
 #include "data/split.hpp"
 #include "data/sparse.hpp"
+#include "kernel/kernel_engine.hpp"
 #include "mpisim/comm.hpp"
 
 namespace svmcore {
@@ -87,6 +88,14 @@ class DistributedSolver {
   /// Owner -> rank 0 -> Bcast of one sample (Algorithm 2 lines 3-9).
   [[nodiscard]] PackedSamples fetch_sample(std::int64_t global_index);
 
+  /// Batched violator fetch: both pair samples travel in ONE PackedSamples
+  /// message and ONE Bcast (sample 0 = up, sample 1 = low), halving the
+  /// per-iteration broadcast count of the two fetch_sample round trips.
+  [[nodiscard]] PackedSamples fetch_pair(std::int64_t g_up, std::int64_t g_low);
+
+  /// Appends the locally-owned sample `global` to `out`.
+  void pack_local_sample(PackedSamples& out, std::int64_t global);
+
   /// Recomputes local extrema over ALL local samples and Allreduces them;
   /// used after reconstruction.
   void refresh_bounds_all_samples();
@@ -122,13 +131,17 @@ class DistributedSolver {
   DistributedConfig config_;
   svmdata::BlockRange range_;
   svmkernel::Kernel kernel_;
+  /// Batched kernel evaluation over this rank's block; owns the block's row
+  /// squared norms and the dense scatter state (see kernel_engine.hpp).
+  svmkernel::KernelEngine engine_;
 
   // Per-local-sample state (index = global - range_.begin).
   std::vector<double> alpha_;
   std::vector<double> gamma_;
-  std::vector<double> sq_;
   std::vector<std::uint8_t> shrunk_;
   std::vector<std::uint32_t> active_;  ///< local indices still in play
+  std::vector<double> k_up_;   ///< per-iteration K(x_up, i) over active_
+  std::vector<double> k_low_;  ///< per-iteration K(x_low, i) over active_
 
   // Global selection state, identical on every rank after each Allreduce.
   double beta_up_ = 0.0;

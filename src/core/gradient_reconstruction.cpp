@@ -32,7 +32,8 @@ void DistributedSolver::reconstruct_gradients() {
     for (std::size_t i = 0; i < range_.size(); ++i) {
       if (alpha_[i] > 0.0) {
         const std::size_t g = range_.begin + i;
-        mine.add(static_cast<std::int64_t>(g), data_.y[g], alpha_[i], sq_[i], data_.X.row(g));
+        mine.add(static_cast<std::int64_t>(g), data_.y[g], alpha_[i], engine_.sq_norm(g),
+                 data_.X.row(g));
       }
     }
 
@@ -47,11 +48,15 @@ void DistributedSolver::reconstruct_gradients() {
           step == 0 ? std::move(mine) : PackedSamples::unpack(circulating);
       for (std::size_t w = 0; w < omega.size(); ++w) {
         const std::uint32_t i = omega[w];
-        const auto row_i = data_.X.row(range_.begin + i);
+        const std::size_t g = range_.begin + i;
+        // Engine query scope: the stale row is scattered once, then the
+        // whole circulating block streams against it.
+        engine_.begin_query(data_.X.row(g), engine_.sq_norm(g));
         double sum = 0.0;
         for (std::size_t j = 0; j < block.size(); ++j)
           sum += block.alpha(j) * block.y(j) *
-                 kernel_.eval(block.row(j), row_i, block.sq_norm(j), sq_[i]);
+                 engine_.query_row(block.row(j), block.sq_norm(j));
+        engine_.end_query();
         gamma_accum[w] += sum;
       }
       // After p-1 exchanges every block has visited every rank.

@@ -28,6 +28,21 @@ double SvmModel::decision_value(std::span<const svmdata::Feature> x) const {
   return sum - beta_;
 }
 
+svmkernel::KernelEngine SvmModel::make_engine(svmkernel::EngineBackend backend) const {
+  return svmkernel::KernelEngine(kernel_, support_vectors_, backend, sv_sq_norms_);
+}
+
+double SvmModel::decision_value(std::span<const svmdata::Feature> x,
+                                svmkernel::KernelEngine& engine) const {
+  const double sq_x = svmdata::CsrMatrix::squared_norm(x);
+  engine.begin_query(x, sq_x);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < coefficients_.size(); ++j)
+    sum += coefficients_[j] * engine.query_row(support_vectors_.row(j), sv_sq_norms_[j]);
+  engine.end_query();
+  return sum - beta_;
+}
+
 std::vector<double> SvmModel::predict_all(const svmdata::CsrMatrix& X, bool parallel) const {
   std::vector<double> out(X.rows());
   const auto n = static_cast<std::ptrdiff_t>(X.rows());

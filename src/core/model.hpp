@@ -11,6 +11,7 @@
 
 #include "data/sparse.hpp"
 #include "kernel/kernel.hpp"
+#include "kernel/kernel_engine.hpp"
 
 namespace svmcore {
 
@@ -30,6 +31,18 @@ class SvmModel {
 
   /// Signed decision value f(x); positive ⇒ class +1.
   [[nodiscard]] double decision_value(std::span<const svmdata::Feature> x) const;
+
+  /// A KernelEngine over this model's support vectors, for batched scoring
+  /// of many queries (decision_value(x, engine)). The engine references the
+  /// model — the model must outlive it. One engine per thread: the engine
+  /// carries mutable scatter state.
+  [[nodiscard]] svmkernel::KernelEngine make_engine(
+      svmkernel::EngineBackend backend = svmkernel::EngineBackend::dense_scatter) const;
+
+  /// Engine-accelerated scoring; `engine` must come from make_engine() on
+  /// this model. Bit-identical to the plain decision_value overload.
+  [[nodiscard]] double decision_value(std::span<const svmdata::Feature> x,
+                                      svmkernel::KernelEngine& engine) const;
 
   [[nodiscard]] double predict(std::span<const svmdata::Feature> x) const {
     return decision_value(x) >= 0.0 ? 1.0 : -1.0;

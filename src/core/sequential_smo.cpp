@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/pair_update.hpp"
+#include "kernel/kernel_engine.hpp"
 #include "util/timer.hpp"
 
 namespace svmcore {
@@ -14,9 +15,11 @@ SequentialResult solve_sequential(const svmdata::Dataset& dataset, const SolverP
   if (n < 2) throw std::invalid_argument("solve_sequential: need at least two samples");
 
   const svmkernel::Kernel kernel(params.kernel);
-  const std::vector<double> sq = dataset.X.row_squared_norms();
+  svmkernel::KernelEngine engine(kernel, dataset.X, params.engine_backend);
   const auto& X = dataset.X;
   const std::vector<double>& y = dataset.y;
+  std::vector<double> k_up(n);
+  std::vector<double> k_low(n);
 
   SequentialResult result;
   result.alpha.assign(n, 0.0);
@@ -59,12 +62,14 @@ SequentialResult solve_sequential(const svmdata::Dataset& dataset, const SolverP
 
     const auto row_up = X.row(i_up);
     const auto row_low = X.row(i_low);
+    const double sq_up = engine.sq_norm(i_up);
+    const double sq_low = engine.sq_norm(i_low);
     const PairState state{
         y[i_up],       y[i_low],      alpha[i_up],
         alpha[i_low],  gamma[i_up],   gamma[i_low],
-        kernel.eval(row_up, row_up, sq[i_up], sq[i_up]),
-        kernel.eval(row_low, row_low, sq[i_low], sq[i_low]),
-        kernel.eval(row_up, row_low, sq[i_up], sq[i_low]),
+        engine.eval_one(row_up, row_up, sq_up, sq_up),
+        engine.eval_one(row_low, row_low, sq_low, sq_low),
+        engine.eval_one(row_up, row_low, sq_up, sq_low),
         params.C_of(y[i_up]),
         params.C_of(y[i_low])};
     const PairResult update = solve_pair(state);
@@ -75,12 +80,14 @@ SequentialResult solve_sequential(const svmdata::Dataset& dataset, const SolverP
     alpha[i_up] = update.alpha_up;
     alpha[i_low] = update.alpha_low;
 
-    // Gradient update, Eq. (2), for every sample.
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto row = X.row(i);
-      gamma[i] += y[i_up] * delta_up * kernel.eval(row_up, row, sq[i_up], sq[i]) +
-                  y[i_low] * delta_low * kernel.eval(row_low, row, sq[i_low], sq[i]);
-    }
+    // Gradient update, Eq. (2), for every sample: one fused engine pass
+    // computes both kernel columns, then the same expression shape as the
+    // distributed gamma loop (bitwise parity with it is test-enforced).
+    const double coef_up = y[i_up] * delta_up;
+    const double coef_low = y[i_low] * delta_low;
+    engine.eval_pair_range(row_up, sq_up, row_low, sq_low, 0, n, k_up, k_low);
+    for (std::size_t i = 0; i < n; ++i)
+      gamma[i] += coef_up * k_up[i] + coef_low * k_low[i];
     ++result.stats.iterations;
   }
 

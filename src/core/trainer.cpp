@@ -69,6 +69,9 @@ TrainResult train_impl(const svmdata::Dataset& dataset, const TrainOptions& opti
         std::max(out.max_rank_kernel_evaluations, s.kernel_evaluations);
     out.samples_shrunk += s.samples_shrunk;
     out.recon_kernel_evaluations += s.recon_kernel_evaluations;
+    out.engine_pair_evals += s.engine_pair_evals;
+    out.engine_scatter_builds += s.engine_scatter_builds;
+    out.engine_bytes_streamed += s.engine_bytes_streamed;
     out.solve_seconds = std::max(out.solve_seconds, s.solve_seconds);
     out.reconstruction_seconds =
         std::max(out.reconstruction_seconds, s.reconstruction_seconds);

@@ -45,6 +45,9 @@ struct TrainResult {
   std::uint64_t samples_shrunk = 0;
   std::uint64_t reconstructions = 0;
   std::uint64_t recon_kernel_evaluations = 0;  ///< summed over ranks
+  std::uint64_t engine_pair_evals = 0;         ///< summed over ranks
+  std::uint64_t engine_scatter_builds = 0;     ///< summed over ranks
+  std::uint64_t engine_bytes_streamed = 0;     ///< summed over ranks
   double solve_seconds = 0.0;           ///< max over ranks
   double reconstruction_seconds = 0.0;  ///< max over ranks
   double wall_seconds = 0.0;            ///< around the whole SPMD region

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "kernel/kernel.hpp"
+#include "kernel/kernel_engine.hpp"
 
 namespace svmcore {
 
@@ -18,6 +19,11 @@ struct SolverParams {
   svmkernel::KernelParams kernel{};
   double eps = 1e-3;  ///< user tolerance; terminate when beta_up + 2*eps >= beta_low
   std::uint64_t max_iterations = 100'000'000;  ///< safety valve, not a tuning knob
+
+  /// Kernel-evaluation strategy for the solver hot paths. `dense_scatter`
+  /// (default) is bit-identical to `reference` — see kernel_engine.hpp — so
+  /// this is a performance knob, never a results knob.
+  svmkernel::EngineBackend engine_backend = svmkernel::EngineBackend::dense_scatter;
 
   /// Per-class cost weights (libsvm's -wi): the box constraint of a sample
   /// with label y is C * (y > 0 ? weight_positive : weight_negative). Used
@@ -67,6 +73,12 @@ struct SolverStats {
   std::size_t active_at_end = 0;         ///< active (non-shrunk) samples at exit
   std::size_t min_active = 0;            ///< smallest active-set size seen (this rank)
   bool converged = false;                ///< false only if max_iterations hit
+  // KernelEngine counters (see EngineStats): samples through the fused
+  // up/low pair path, query-row scatters (dense backends only), and CSR
+  // bytes the batched ops streamed.
+  std::uint64_t engine_pair_evals = 0;
+  std::uint64_t engine_scatter_builds = 0;
+  std::uint64_t engine_bytes_streamed = 0;
   /// (iteration, global active samples) samples; filled on rank 0 when
   /// DistributedConfig::trace_active_interval > 0.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> active_trace;

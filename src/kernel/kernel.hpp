@@ -54,7 +54,14 @@ class Kernel {
                             std::span<const svmdata::Feature> b, double sq_a,
                             double sq_b) const noexcept {
     evaluations_.fetch_add(1, std::memory_order_relaxed);
-    const double dot = svmdata::CsrMatrix::dot(a, b);
+    return finish_from_dot(svmdata::CsrMatrix::dot(a, b), sq_a, sq_b);
+  }
+
+  /// The kernel-specific finish applied to an already-computed dot product.
+  /// Every evaluation path (eval(), KernelEngine backends) funnels through
+  /// this one function, so results are bitwise identical regardless of how
+  /// the dot was produced. Does NOT bump the evaluation counter.
+  [[nodiscard]] double finish_from_dot(double dot, double sq_a, double sq_b) const noexcept {
     switch (params_.type) {
       case KernelType::rbf: {
         double dist = sq_a + sq_b - 2.0 * dot;
@@ -67,6 +74,12 @@ class Kernel {
       case KernelType::sigmoid: return std::tanh(params_.gamma * dot + params_.coef0);
     }
     return 0.0;  // unreachable
+  }
+
+  /// Credits `n` evaluations to the counter; batched paths that bypass
+  /// eval() call this so the work metric stays comparable across backends.
+  void note_evaluations(std::uint64_t n) const noexcept {
+    evaluations_.fetch_add(n, std::memory_order_relaxed);
   }
 
   /// Number of kernel evaluations since construction or reset. Atomic so

@@ -3,6 +3,7 @@
 namespace svmkernel {
 
 std::span<const float> KernelRowCache::lookup(std::size_t index) {
+  pinned_ = kNoPin;  // a new lookup releases the previous pin
   const auto it = map_.find(index);
   if (it == map_.end()) {
     ++misses_;
@@ -10,6 +11,7 @@ std::span<const float> KernelRowCache::lookup(std::size_t index) {
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
+  pinned_ = index;
   return it->second->row;
 }
 
@@ -17,15 +19,20 @@ void KernelRowCache::insert(std::size_t index, std::span<const float> row) {
   const auto existing = map_.find(index);
   if (existing != map_.end()) {
     bytes_used_ -= existing->second->row.size() * sizeof(float);
+    if (pinned_ == index) pinned_ = kNoPin;  // caller overwrote its own pinned row
     lru_.erase(existing->second);
     map_.erase(existing);
   }
   const std::size_t row_bytes = row.size() * sizeof(float);
-  while (!lru_.empty() && bytes_used_ + row_bytes > budget_bytes_) {
-    const Entry& victim = lru_.back();
-    bytes_used_ -= victim.row.size() * sizeof(float);
-    map_.erase(victim.index);
-    lru_.pop_back();
+  // Evict from the LRU tail, skipping the pinned entry: the span returned by
+  // the last lookup() must stay valid until the next lookup().
+  auto victim = lru_.end();
+  while (victim != lru_.begin() && bytes_used_ + row_bytes > budget_bytes_) {
+    --victim;
+    if (victim->index == pinned_) continue;
+    bytes_used_ -= victim->row.size() * sizeof(float);
+    map_.erase(victim->index);
+    victim = lru_.erase(victim);
   }
   lru_.push_front(Entry{index, std::vector<float>(row.begin(), row.end())});
   map_[index] = lru_.begin();
@@ -36,6 +43,7 @@ void KernelRowCache::clear() {
   lru_.clear();
   map_.clear();
   bytes_used_ = 0;
+  pinned_ = kNoPin;
 }
 
 }  // namespace svmkernel

@@ -21,9 +21,18 @@ class KernelRowCache {
 
   /// Looks up the row for sample `index`. On hit, returns a view and bumps
   /// recency. On miss, returns an empty span; call insert() with the data.
+  ///
+  /// Lifetime contract: the returned span stays valid until the NEXT call to
+  /// lookup() or clear(). The looked-up entry is pinned — insert() will evict
+  /// other LRU entries but never the pinned one (the budget may transiently
+  /// overshoot by that single row, matching libsvm's behaviour of always
+  /// keeping the in-flight row resident). Each lookup() releases the
+  /// previous pin, so callers that need two live rows must copy the first.
   [[nodiscard]] std::span<const float> lookup(std::size_t index);
 
   /// Inserts a row (copies), evicting LRU entries until within budget.
+  /// The entry pinned by the latest lookup() is never evicted; the inserted
+  /// row itself becomes most-recent but is not pinned.
   void insert(std::size_t index, std::span<const float> row);
 
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
@@ -43,12 +52,15 @@ class KernelRowCache {
     std::vector<float> row;
   };
 
+  static constexpr std::size_t kNoPin = static_cast<std::size_t>(-1);
+
   std::size_t budget_bytes_;
   std::size_t bytes_used_ = 0;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::size_t, std::list<Entry>::iterator> map_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::size_t pinned_ = kNoPin;  ///< index of the entry the last lookup() returned
 };
 
 }  // namespace svmkernel

@@ -1,0 +1,311 @@
+#include "kernel/kernel_engine.hpp"
+
+#include <stdexcept>
+
+namespace svmkernel {
+
+std::string to_string(EngineBackend backend) {
+  switch (backend) {
+    case EngineBackend::reference: return "reference";
+    case EngineBackend::dense_scatter: return "dense_scatter";
+    case EngineBackend::cached: return "cached";
+  }
+  return "?";
+}
+
+EngineBackend engine_backend_from_string(const std::string& name) {
+  if (name == "reference") return EngineBackend::reference;
+  if (name == "dense_scatter") return EngineBackend::dense_scatter;
+  if (name == "cached") return EngineBackend::cached;
+  throw std::invalid_argument("engine_backend_from_string: unknown backend '" + name + "'");
+}
+
+KernelEngine::KernelEngine(const Kernel& kernel, const svmdata::CsrMatrix& X,
+                           EngineBackend backend, std::size_t norm_begin,
+                           std::size_t norm_end, std::size_t cache_budget_bytes)
+    : kernel_(kernel), X_(X), backend_(backend), norm_begin_(norm_begin) {
+  if (norm_end < norm_begin || norm_end > X.rows())
+    throw std::invalid_argument("KernelEngine: bad norm range");
+  owned_norms_.resize(norm_end - norm_begin);
+  for (std::size_t i = norm_begin; i < norm_end; ++i)
+    owned_norms_[i - norm_begin] = svmdata::CsrMatrix::squared_norm(X.row(i));
+  norms_ = owned_norms_;
+  if (backend == EngineBackend::cached && cache_budget_bytes > 0)
+    cache_ = std::make_unique<KernelRowCache>(cache_budget_bytes);
+}
+
+KernelEngine::KernelEngine(const Kernel& kernel, const svmdata::CsrMatrix& X,
+                           EngineBackend backend, std::span<const double> sq_norms)
+    : kernel_(kernel), X_(X), backend_(backend), norm_begin_(0), norms_(sq_norms) {
+  if (sq_norms.size() < X.rows())
+    throw std::invalid_argument("KernelEngine: borrowed norms shorter than matrix");
+}
+
+KernelEngine::KernelEngine(const KernelParams& params, const svmdata::CsrMatrix& X,
+                           EngineBackend backend, std::span<const double> sq_norms)
+    : owned_kernel_(std::make_unique<Kernel>(params)),
+      kernel_(*owned_kernel_),
+      X_(X),
+      backend_(backend),
+      norm_begin_(0),
+      norms_(sq_norms) {
+  if (sq_norms.size() < X.rows())
+    throw std::invalid_argument("KernelEngine: borrowed norms shorter than matrix");
+}
+
+void KernelEngine::ensure_dense(std::size_t lanes) {
+  const std::size_t needed = lanes * X_.cols();
+  // The buffer is kept all-zero between scatters, so growing with
+  // zero-fill (and reinterpreting the lane stride) preserves the invariant.
+  if (dense_.size() < needed) dense_.resize(needed, 0.0);
+  dense_lanes_ = lanes;
+}
+
+void KernelEngine::scatter(std::span<const svmdata::Feature> row, std::size_t lane,
+                           std::size_t lanes) {
+  const std::size_t cols = X_.cols();
+  // Query features beyond the matrix's column count cannot intersect any
+  // matrix row; skipping them is exact (and keeps the buffer in bounds when
+  // the query is a remote sample with wider features).
+  for (const svmdata::Feature& f : row) {
+    const auto idx = static_cast<std::size_t>(f.index);
+    if (idx < cols) dense_[idx * lanes + lane] = f.value;
+  }
+}
+
+void KernelEngine::unscatter(std::span<const svmdata::Feature> row, std::size_t lane,
+                             std::size_t lanes) {
+  const std::size_t cols = X_.cols();
+  for (const svmdata::Feature& f : row) {
+    const auto idx = static_cast<std::size_t>(f.index);
+    if (idx < cols) dense_[idx * lanes + lane] = 0.0;
+  }
+}
+
+std::uint64_t KernelEngine::payload_bytes(std::span<const std::uint32_t> rows,
+                                          std::size_t base) const noexcept {
+  std::uint64_t bytes = 0;
+  for (const std::uint32_t r : rows)
+    bytes += X_.row(base + r).size() * sizeof(svmdata::Feature);
+  return bytes;
+}
+
+void KernelEngine::eval_pair_rows(std::span<const svmdata::Feature> up, double sq_up,
+                                  std::span<const svmdata::Feature> low, double sq_low,
+                                  std::span<const std::uint32_t> rows, std::size_t base,
+                                  std::span<double> out_up, std::span<double> out_low,
+                                  bool parallel) {
+  const auto count = static_cast<std::ptrdiff_t>(rows.size());
+  stats_.pair_evals += rows.size();
+  stats_.bytes_streamed += payload_bytes(rows, base);
+
+  if (backend_ == EngineBackend::reference) {
+    // Ground truth: two sparse merge joins per sample, as the pre-engine
+    // solvers did. Kernel::eval bumps the evaluation counter itself.
+#pragma omp parallel for schedule(static) if (parallel)
+    for (std::ptrdiff_t k = 0; k < count; ++k) {
+      const std::size_t g = base + rows[static_cast<std::size_t>(k)];
+      const auto row = X_.row(g);
+      const double sq = sq_norm(g);
+      out_up[static_cast<std::size_t>(k)] = kernel_.eval(up, row, sq_up, sq);
+      out_low[static_cast<std::size_t>(k)] = kernel_.eval(low, row, sq_low, sq);
+    }
+    return;
+  }
+
+  // Fused fast path: one interleaved dense buffer holds both query rows, so
+  // each matrix row is traversed once and yields both kernel values.
+  ensure_dense(2);
+  scatter(up, 0, 2);
+  scatter(low, 1, 2);
+  stats_.scatter_builds += 2;
+#pragma omp parallel for schedule(static) if (parallel)
+  for (std::ptrdiff_t k = 0; k < count; ++k) {
+    const std::size_t g = base + rows[static_cast<std::size_t>(k)];
+    double du = 0.0;
+    double dl = 0.0;
+    for (const svmdata::Feature& f : X_.row(g)) {
+      const double* lane = dense_.data() + 2 * static_cast<std::size_t>(f.index);
+      du += f.value * lane[0];
+      dl += f.value * lane[1];
+    }
+    const double sq = sq_norm(g);
+    out_up[static_cast<std::size_t>(k)] = kernel_.finish_from_dot(du, sq_up, sq);
+    out_low[static_cast<std::size_t>(k)] = kernel_.finish_from_dot(dl, sq_low, sq);
+  }
+  kernel_.note_evaluations(2 * rows.size());
+  unscatter(up, 0, 2);
+  unscatter(low, 1, 2);
+}
+
+void KernelEngine::eval_pair_range(std::span<const svmdata::Feature> up, double sq_up,
+                                   std::span<const svmdata::Feature> low, double sq_low,
+                                   std::size_t begin, std::size_t end,
+                                   std::span<double> out_up, std::span<double> out_low,
+                                   bool parallel) {
+  const auto first = static_cast<std::ptrdiff_t>(begin);
+  const auto last = static_cast<std::ptrdiff_t>(end);
+  stats_.pair_evals += end - begin;
+  for (std::size_t i = begin; i < end; ++i)
+    stats_.bytes_streamed += X_.row(i).size() * sizeof(svmdata::Feature);
+
+  if (backend_ == EngineBackend::reference) {
+#pragma omp parallel for schedule(static) if (parallel)
+    for (std::ptrdiff_t k = first; k < last; ++k) {
+      const auto g = static_cast<std::size_t>(k);
+      const auto row = X_.row(g);
+      const double sq = sq_norm(g);
+      out_up[g - begin] = kernel_.eval(up, row, sq_up, sq);
+      out_low[g - begin] = kernel_.eval(low, row, sq_low, sq);
+    }
+    return;
+  }
+
+  ensure_dense(2);
+  scatter(up, 0, 2);
+  scatter(low, 1, 2);
+  stats_.scatter_builds += 2;
+#pragma omp parallel for schedule(static) if (parallel)
+  for (std::ptrdiff_t k = first; k < last; ++k) {
+    const auto g = static_cast<std::size_t>(k);
+    double du = 0.0;
+    double dl = 0.0;
+    for (const svmdata::Feature& f : X_.row(g)) {
+      const double* lane = dense_.data() + 2 * static_cast<std::size_t>(f.index);
+      du += f.value * lane[0];
+      dl += f.value * lane[1];
+    }
+    const double sq = sq_norm(g);
+    out_up[g - begin] = kernel_.finish_from_dot(du, sq_up, sq);
+    out_low[g - begin] = kernel_.finish_from_dot(dl, sq_low, sq);
+  }
+  kernel_.note_evaluations(2 * (end - begin));
+  unscatter(up, 0, 2);
+  unscatter(low, 1, 2);
+}
+
+void KernelEngine::eval_rows(std::span<const svmdata::Feature> query, double sq_query,
+                             std::size_t begin, std::size_t end, std::span<double> out,
+                             bool parallel) {
+  const auto first = static_cast<std::ptrdiff_t>(begin);
+  const auto last = static_cast<std::ptrdiff_t>(end);
+  stats_.single_evals += end - begin;
+  for (std::size_t i = begin; i < end; ++i)
+    stats_.bytes_streamed += X_.row(i).size() * sizeof(svmdata::Feature);
+
+  if (backend_ == EngineBackend::reference) {
+#pragma omp parallel for schedule(static) if (parallel)
+    for (std::ptrdiff_t k = first; k < last; ++k) {
+      const auto g = static_cast<std::size_t>(k);
+      out[g - begin] = kernel_.eval(X_.row(g), query, sq_norm(g), sq_query);
+    }
+    return;
+  }
+
+  ensure_dense(1);
+  scatter(query, 0, 1);
+  stats_.scatter_builds += 1;
+#pragma omp parallel for schedule(static) if (parallel)
+  for (std::ptrdiff_t k = first; k < last; ++k) {
+    const auto g = static_cast<std::size_t>(k);
+    double d = 0.0;
+    for (const svmdata::Feature& f : X_.row(g))
+      d += f.value * dense_[static_cast<std::size_t>(f.index)];
+    out[g - begin] = kernel_.finish_from_dot(d, sq_norm(g), sq_query);
+  }
+  kernel_.note_evaluations(end - begin);
+  unscatter(query, 0, 1);
+}
+
+void KernelEngine::begin_query(std::span<const svmdata::Feature> query, double sq_query) {
+  query_ = query;
+  query_sq_ = sq_query;
+  query_active_ = true;
+  if (backend_ != EngineBackend::reference) {
+    ensure_dense(1);
+    scatter(query, 0, 1);
+    stats_.scatter_builds += 1;
+  }
+}
+
+double KernelEngine::query_row(std::span<const svmdata::Feature> row, double sq_row) {
+  stats_.single_evals += 1;
+  stats_.bytes_streamed += row.size() * sizeof(svmdata::Feature);
+  if (backend_ == EngineBackend::reference)
+    return kernel_.eval(row, query_, sq_row, query_sq_);
+  const std::size_t cols = X_.cols();
+  double d = 0.0;
+  // Streamed rows may come from other ranks (ring blocks) and exceed this
+  // matrix's column count; such features cannot intersect the query, so
+  // skipping them is exact.
+  for (const svmdata::Feature& f : row) {
+    const auto idx = static_cast<std::size_t>(f.index);
+    if (idx < cols) d += f.value * dense_[idx];
+  }
+  kernel_.note_evaluations(1);
+  return kernel_.finish_from_dot(d, sq_row, query_sq_);
+}
+
+void KernelEngine::end_query() {
+  if (query_active_ && backend_ != EngineBackend::reference) unscatter(query_, 0, 1);
+  query_ = {};
+  query_active_ = false;
+}
+
+void KernelEngine::set_row_scale(std::span<const double> scale) {
+  scale_.assign(scale.begin(), scale.end());
+  if (cache_) cache_->clear();  // cached rows bake the scale in
+}
+
+void KernelEngine::fill_k_row(std::size_t i, std::size_t len, bool parallel, float* out) {
+  const auto qrow = X_.row(i);
+  const double sq_i = sq_norm(i);
+  const bool scaled = !scale_.empty();
+  const double s_i = scaled ? scale_[i] : 1.0;
+  const auto last = static_cast<std::ptrdiff_t>(len);
+  stats_.single_evals += len;
+  for (std::size_t j = 0; j < len; ++j)
+    stats_.bytes_streamed += X_.row(j).size() * sizeof(svmdata::Feature);
+
+  if (backend_ == EngineBackend::reference) {
+#pragma omp parallel for schedule(static) if (parallel)
+    for (std::ptrdiff_t k = 0; k < last; ++k) {
+      const auto j = static_cast<std::size_t>(k);
+      const double kij = kernel_.eval(qrow, X_.row(j), sq_i, sq_norm(j));
+      out[j] = static_cast<float>(scaled ? s_i * scale_[j] * kij : kij);
+    }
+    return;
+  }
+
+  ensure_dense(1);
+  scatter(qrow, 0, 1);
+  stats_.scatter_builds += 1;
+#pragma omp parallel for schedule(static) if (parallel)
+  for (std::ptrdiff_t k = 0; k < last; ++k) {
+    const auto j = static_cast<std::size_t>(k);
+    double d = 0.0;
+    for (const svmdata::Feature& f : X_.row(j))
+      d += f.value * dense_[static_cast<std::size_t>(f.index)];
+    const double kij = kernel_.finish_from_dot(d, sq_i, sq_norm(j));
+    out[j] = static_cast<float>(scaled ? s_i * scale_[j] * kij : kij);
+  }
+  kernel_.note_evaluations(len);
+  unscatter(qrow, 0, 1);
+}
+
+std::span<const float> KernelEngine::k_row_floats(std::size_t i, std::size_t len,
+                                                  bool parallel) {
+  if (cache_) {
+    const std::span<const float> hit = cache_->lookup(i);
+    if (hit.size() >= len) return hit.first(len);
+    row_scratch_.resize(len);
+    fill_k_row(i, len, parallel, row_scratch_.data());
+    cache_->insert(i, row_scratch_);
+    return cache_->lookup(i).first(len);  // re-lookup pins the fresh row
+  }
+  row_scratch_.resize(len);
+  fill_k_row(i, len, parallel, row_scratch_.data());
+  return std::span<const float>(row_scratch_).first(len);
+}
+
+}  // namespace svmkernel

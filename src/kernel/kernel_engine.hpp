@@ -1,0 +1,194 @@
+// KernelEngine: the one batched kernel-evaluation layer every hot path goes
+// through. The engine owns per-solve hot state — precomputed row squared
+// norms for its slice of the matrix, a dense scatter buffer for the current
+// query row(s), an optional LRU row cache — and exposes batched operations:
+//
+//   eval_pair_rows / eval_pair_range   fused up/low evaluation: both query
+//       rows are scattered into one interleaved dense accumulator, then every
+//       requested matrix row is streamed against it ONCE, producing K(up,i)
+//       and K(low,i) in a single memory traversal (the gamma-update hot loop
+//       previously paid two sparse merge-join intersections per sample);
+//   eval_rows                          the single-query batch, same core;
+//   begin_query/query_row/end_query    streaming one-query scope for loops
+//       that walk rows from elsewhere (gradient reconstruction's ring blocks,
+//       model scoring against support vectors);
+//   k_row_floats                       full float kernel row with optional
+//       per-row scaling and LRU caching (the libsvm baseline's Q rows).
+//
+// Backends (EngineBackend) select the evaluation strategy:
+//   reference      every value via Kernel::eval, i.e. the CsrMatrix::dot
+//                  sparse merge join — the semantics ground truth;
+//   dense_scatter  the fused fast path described above;
+//   cached         dense_scatter plus the KernelRowCache for k_row_floats.
+//
+// Parity guarantee: dense_scatter is BIT-IDENTICAL to reference, not merely
+// close. Both visit row i's nonzeros in increasing index order: the merge
+// join accumulates the products a_k*b_k of the index intersection in that
+// order, and the dense pass accumulates the same products in the same order
+// interleaved with terms of the form v*(+-0.0), which never change an IEEE
+// sum that starts at +0.0 (adding a signed zero to any finite value is an
+// exact identity, and (+0)+(-0) = +0). Both paths then funnel the dot
+// through Kernel::finish_from_dot, so the RBF/poly/sigmoid finish is the
+// same instruction sequence. Tests enforce bitwise equality of whole models;
+// checkpoint/chaos recovery relies on it staying exact.
+//
+// Thread safety: an engine is mutable per-call state (scatter buffers,
+// counters) — use one engine per rank / per thread. The `parallel` flags
+// parallelize INSIDE a call with OpenMP; that is safe because the dense
+// buffer is read-only while worker threads stream rows.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/sparse.hpp"
+#include "kernel/kernel.hpp"
+#include "kernel/kernel_cache.hpp"
+
+namespace svmkernel {
+
+enum class EngineBackend { reference, dense_scatter, cached };
+
+[[nodiscard]] std::string to_string(EngineBackend backend);
+[[nodiscard]] EngineBackend engine_backend_from_string(const std::string& name);
+
+/// Counters for the batched layer; cheap (no atomics — engines are
+/// single-owner), reported through SolverStats and the benches.
+struct EngineStats {
+  std::uint64_t pair_evals = 0;      ///< samples evaluated by the fused pair path
+  std::uint64_t single_evals = 0;    ///< rows evaluated by eval_rows/query_row
+  std::uint64_t scatter_builds = 0;  ///< query-row scatters into the dense buffer
+  std::uint64_t bytes_streamed = 0;  ///< CSR payload bytes traversed by batched ops
+};
+
+class KernelEngine {
+ public:
+  /// Engine over rows [norm_begin, norm_end) of `X` (a distributed rank's
+  /// local block); squared norms for that slice are computed on
+  /// construction. `cache_budget_bytes` > 0 enables the row cache used by
+  /// k_row_floats (the `cached` backend; ignored otherwise). The engine
+  /// keeps references to `kernel` and `X` — both must outlive it.
+  KernelEngine(const Kernel& kernel, const svmdata::CsrMatrix& X, EngineBackend backend,
+               std::size_t norm_begin, std::size_t norm_end,
+               std::size_t cache_budget_bytes = 0);
+
+  /// Full-matrix convenience (sequential solvers, baselines, model scoring).
+  KernelEngine(const Kernel& kernel, const svmdata::CsrMatrix& X, EngineBackend backend,
+               std::size_t cache_budget_bytes = 0)
+      : KernelEngine(kernel, X, backend, 0, X.rows(), cache_budget_bytes) {}
+
+  /// Borrowed-norms form: reuse already-computed squared norms for all of
+  /// `X` instead of recomputing (the free eval_rows entry point).
+  KernelEngine(const Kernel& kernel, const svmdata::CsrMatrix& X, EngineBackend backend,
+               std::span<const double> sq_norms);
+
+  /// Owning-kernel form for callers without a long-lived Kernel (model
+  /// scoring): the engine constructs and owns the evaluator itself.
+  KernelEngine(const KernelParams& params, const svmdata::CsrMatrix& X,
+               EngineBackend backend, std::span<const double> sq_norms);
+
+  [[nodiscard]] EngineBackend backend() const noexcept { return backend_; }
+  [[nodiscard]] const Kernel& kernel() const noexcept { return kernel_; }
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
+  /// ||X.row(i)||^2 for i in the engine's norm range.
+  [[nodiscard]] double sq_norm(std::size_t i) const noexcept {
+    return norms_[i - norm_begin_];
+  }
+
+  /// One-off evaluation of arbitrary rows (not necessarily from X); always
+  /// the reference merge join — there is nothing to batch.
+  [[nodiscard]] double eval_one(std::span<const svmdata::Feature> a,
+                                std::span<const svmdata::Feature> b, double sq_a,
+                                double sq_b) const noexcept {
+    return kernel_.eval(a, b, sq_a, sq_b);
+  }
+
+  /// Fused pair evaluation over an index list: for each k,
+  ///   out_up[k]  = K(up,  X.row(base + rows[k]))
+  ///   out_low[k] = K(low, X.row(base + rows[k]))
+  /// All base+rows[k] must lie in the engine's norm range. `up`/`low` may be
+  /// remote rows (PackedSamples); their squared norms are passed explicitly.
+  void eval_pair_rows(std::span<const svmdata::Feature> up, double sq_up,
+                      std::span<const svmdata::Feature> low, double sq_low,
+                      std::span<const std::uint32_t> rows, std::size_t base,
+                      std::span<double> out_up, std::span<double> out_low,
+                      bool parallel = false);
+
+  /// Fused pair evaluation over the contiguous rows [begin, end).
+  void eval_pair_range(std::span<const svmdata::Feature> up, double sq_up,
+                       std::span<const svmdata::Feature> low, double sq_low,
+                       std::size_t begin, std::size_t end, std::span<double> out_up,
+                       std::span<double> out_low, bool parallel = false);
+
+  /// Single-query batch: out[i - begin] = K(query, X.row(i)), i in [begin, end).
+  void eval_rows(std::span<const svmdata::Feature> query, double sq_query,
+                 std::size_t begin, std::size_t end, std::span<double> out,
+                 bool parallel = false);
+
+  // --- streaming one-query scope -----------------------------------------
+  // begin_query scatters (or, for the reference backend, remembers) the
+  // query row; query_row then evaluates arbitrary rows against it — rows
+  // need not come from X (gradient reconstruction streams ring-exchanged
+  // blocks). The query span must stay valid until end_query.
+
+  void begin_query(std::span<const svmdata::Feature> query, double sq_query);
+  [[nodiscard]] double query_row(std::span<const svmdata::Feature> row, double sq_row);
+  void end_query();
+
+  // --- cached float rows (libsvm baseline Q rows) -------------------------
+
+  /// Optional per-row scale s: k_row_floats then returns
+  /// float(s[i] * s[j] * K(i, j)) — with s = y this is exactly the C-SVC
+  /// Q row, and since y in {+-1} the float rounding equals libsvm's
+  /// float(y_i * y_j * K). Must be set before the first k_row_floats call;
+  /// scaled rows are cached scaled (cache hits stay O(1)).
+  void set_row_scale(std::span<const double> scale);
+
+  /// Row i of the (scaled) kernel matrix as floats, columns [0, len).
+  /// Served from the LRU cache when the `cached` backend has a budget; the
+  /// returned span stays valid until the next k_row_floats call (the cache
+  /// pins it — see KernelRowCache::lookup). Counts `len` kernel
+  /// evaluations on a miss and none on a hit, matching the per-element
+  /// Kernel::eval metric of the unbatched code.
+  [[nodiscard]] std::span<const float> k_row_floats(std::size_t i, std::size_t len,
+                                                    bool parallel = false);
+
+  [[nodiscard]] double cache_hit_rate() const noexcept {
+    return cache_ ? cache_->hit_rate() : 0.0;
+  }
+
+ private:
+  void ensure_dense(std::size_t lanes);
+  void scatter(std::span<const svmdata::Feature> row, std::size_t lane, std::size_t lanes);
+  void unscatter(std::span<const svmdata::Feature> row, std::size_t lane, std::size_t lanes);
+  void fill_k_row(std::size_t i, std::size_t len, bool parallel, float* out);
+  [[nodiscard]] std::uint64_t payload_bytes(std::span<const std::uint32_t> rows,
+                                            std::size_t base) const noexcept;
+
+  std::unique_ptr<Kernel> owned_kernel_;  ///< set only by the owning ctor
+  const Kernel& kernel_;
+  const svmdata::CsrMatrix& X_;
+  EngineBackend backend_;
+  std::size_t norm_begin_ = 0;
+  std::vector<double> owned_norms_;
+  std::span<const double> norms_;
+
+  std::vector<double> dense_;        ///< scatter buffer, lanes * cols entries
+  std::size_t dense_lanes_ = 0;      ///< 1 = single query, 2 = interleaved pair
+  std::span<const svmdata::Feature> query_;  ///< active begin_query row
+  double query_sq_ = 0.0;
+  bool query_active_ = false;
+
+  std::vector<double> scale_;
+  std::vector<float> row_scratch_;
+  std::unique_ptr<KernelRowCache> cache_;
+
+  EngineStats stats_;
+};
+
+}  // namespace svmkernel

@@ -1,23 +1,19 @@
 #include "kernel/row_eval.hpp"
 
+#include "kernel/kernel_engine.hpp"
+
 namespace svmkernel {
 
+// Thin forwarder onto the batched KernelEngine core (dense scatter path,
+// bit-identical to the merge-join reference — see kernel_engine.hpp). Kept
+// as a free function for callers that hold norms themselves and evaluate
+// one query ad hoc; solvers own a long-lived engine instead.
 void eval_rows(const Kernel& kernel, const svmdata::CsrMatrix& X,
                std::span<const double> sq_norms, std::span<const svmdata::Feature> query,
                double sq_query, std::size_t begin, std::size_t end, std::span<double> out,
                bool parallel) {
-  const auto first = static_cast<std::ptrdiff_t>(begin);
-  const auto last = static_cast<std::ptrdiff_t>(end);
-  if (parallel) {
-#pragma omp parallel for schedule(static)
-    for (std::ptrdiff_t i = first; i < last; ++i)
-      out[i - first] = kernel.eval(X.row(static_cast<std::size_t>(i)), query,
-                                   sq_norms[static_cast<std::size_t>(i)], sq_query);
-  } else {
-    for (std::ptrdiff_t i = first; i < last; ++i)
-      out[i - first] = kernel.eval(X.row(static_cast<std::size_t>(i)), query,
-                                   sq_norms[static_cast<std::size_t>(i)], sq_query);
-  }
+  KernelEngine engine(kernel, X, EngineBackend::dense_scatter, sq_norms);
+  engine.eval_rows(query, sq_query, begin, end, out, parallel);
 }
 
 std::vector<double> eval_all_rows(const Kernel& kernel, const svmdata::CsrMatrix& X,

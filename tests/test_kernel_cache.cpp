@@ -85,6 +85,61 @@ TEST(Cache, ClearResetsContentButNotCounters) {
   EXPECT_TRUE(cache.lookup(1).empty());
 }
 
+// --- pinning (the lookup-span lifetime contract) -----------------------------
+
+TEST(Cache, PinnedRowSurvivesInsertPressure) {
+  // Budget for exactly one row: any insert after a hit would previously have
+  // evicted the looked-up row and dangled the caller's span.
+  KernelRowCache cache(10 * sizeof(float));
+  cache.insert(1, row_of(1.0f));
+  const auto pinned = cache.lookup(1);
+  ASSERT_EQ(pinned.size(), 10u);
+
+  cache.insert(2, row_of(2.0f));  // over budget; LRU victim is the pinned row
+  // The pinned span is still alive and unchanged; the new row was admitted
+  // anyway (transient budget overshoot, libsvm-style).
+  for (std::size_t j = 0; j < pinned.size(); ++j) EXPECT_FLOAT_EQ(pinned[j], 1.0f);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_GT(cache.bytes_used(), 10 * sizeof(float));
+}
+
+TEST(Cache, NextLookupReleasesThePin) {
+  KernelRowCache cache(10 * sizeof(float));
+  cache.insert(1, row_of(1.0f));
+  (void)cache.lookup(1);          // pins row 1
+  cache.insert(2, row_of(2.0f));  // row 1 pinned -> survives
+  EXPECT_EQ(cache.entries(), 2u);
+
+  (void)cache.lookup(2);          // releases row 1's pin, pins row 2
+  cache.insert(3, row_of(3.0f));  // now row 1 is evictable (and is the LRU)
+  EXPECT_TRUE(cache.lookup(1).empty());
+  EXPECT_FALSE(cache.lookup(3).empty());
+}
+
+TEST(Cache, InsertOverPinnedIndexClearsPin) {
+  KernelRowCache cache(10 * sizeof(float));
+  cache.insert(1, row_of(1.0f));
+  (void)cache.lookup(1);          // pins row 1
+  cache.insert(1, row_of(9.0f));  // caller overwrites its own pinned row
+  const auto row = cache.lookup(1);
+  ASSERT_EQ(row.size(), 10u);
+  EXPECT_FLOAT_EQ(row[0], 9.0f);
+  // The overwrite released the stale pin: fresh inserts can evict normally.
+  (void)cache.lookup(42);         // miss; releases row 1's new pin too
+  cache.insert(2, row_of(2.0f));
+  EXPECT_TRUE(cache.lookup(1).empty());
+}
+
+TEST(Cache, MissReleasesPinWithoutPinningAnything) {
+  KernelRowCache cache(10 * sizeof(float));
+  cache.insert(1, row_of(1.0f));
+  (void)cache.lookup(1);           // pins row 1
+  EXPECT_TRUE(cache.lookup(7).empty());  // miss: releases the pin, pins nothing
+  cache.insert(7, row_of(7.0f));   // row 1 evictable again
+  EXPECT_TRUE(cache.lookup(1).empty());
+  EXPECT_LE(cache.bytes_used(), 10 * sizeof(float));
+}
+
 TEST(Cache, ManyInsertionsStayWithinBudget) {
   const std::size_t budget = 16 * 10 * sizeof(float);
   KernelRowCache cache(budget);
