@@ -2,19 +2,88 @@
 // schedules and reports recovery behavior — restarts taken, epochs resumed
 // from, checkpoint overhead and model agreement with a fault-free run. Each
 // seed is a fully deterministic schedule, so a reported row is replayable.
+// A second section compares the recovery policies on an identical permanent
+// rank death at p=4 and p=8 — restart_world (cold relaunch, from-scratch
+// replay on a memory-only store) vs shrink_world (in-world repartition onto
+// the survivors from the buddy replica) — and emits BENCH_recovery.json.
 //
 // Usage: bench_chaos_recovery [--seeds=N] [--ranks=P] [--scale=S]
 //                             [--interval=I] [--drops=D] [--delays=L]
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/checkpoint.hpp"
 #include "core/distributed_solver.hpp"
+#include "core/trainer.hpp"
 #include "data/synthetic.hpp"
 #include "mpisim/fault.hpp"
 #include "mpisim/spmd.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// One policy × rank-count recovery run on the shared death schedule.
+struct PolicyRow {
+  int ranks = 0;
+  std::string policy;
+  int restarts = 0;
+  int shrinks = 0;
+  std::uint64_t restore_epoch = 0;
+  std::uint64_t iterations_replayed = 0;
+  double wall_s = 0.0;
+  double modeled_s = 0.0;
+  double max_delta = 0.0;
+  bool match = false;
+};
+
+double model_max_delta(const svmcore::TrainResult& a, const svmcore::TrainResult& b) {
+  if (a.model.num_support_vectors() != b.model.num_support_vectors())
+    return std::numeric_limits<double>::infinity();
+  double max_delta = std::abs(a.beta - b.beta);
+  for (std::size_t j = 0; j < a.model.num_support_vectors(); ++j)
+    max_delta =
+        std::max(max_delta, std::abs(a.model.coefficients()[j] - b.model.coefficients()[j]));
+  return max_delta;
+}
+
+void write_json(const std::vector<PolicyRow>& rows, bool shrink_fewer, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"chaos_recovery\",\n  \"policy_comparison\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const PolicyRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\n"
+                 "      \"ranks\": %d,\n"
+                 "      \"policy\": \"%s\",\n"
+                 "      \"restarts\": %d,\n"
+                 "      \"shrinks\": %d,\n"
+                 "      \"restore_epoch\": %" PRIu64 ",\n"
+                 "      \"iterations_replayed\": %" PRIu64 ",\n"
+                 "      \"wall_s\": %.4f,\n"
+                 "      \"modeled_network_s\": %.6f,\n"
+                 "      \"max_coef_delta\": %.3e,\n"
+                 "      \"matches_fault_free\": %s\n"
+                 "    }%s\n",
+                 r.ranks, r.policy.c_str(), r.restarts, r.shrinks, r.restore_epoch,
+                 r.iterations_replayed, r.wall_s, r.modeled_s, r.max_delta,
+                 r.match ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"shrink_replays_fewer_iterations\": %s\n}\n",
+               shrink_fewer ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const svmutil::CliFlags flags(
@@ -108,5 +177,78 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\n%d/%d seeds reproduced the fault-free model within 1e-10\n", seeds - mismatches,
               seeds);
-  return mismatches == 0 ? 0 : 1;
+
+  // --- restart_world vs shrink_world on an identical permanent death -------
+  std::printf("\npolicy comparison: permanent death of rank 1 mid-solve, memory-only store\n");
+  std::vector<PolicyRow> rows;
+  bool shrink_fewer = true;
+  svmutil::TextTable policy_table({"p", "policy", "restarts", "shrinks", "resume epoch",
+                                   "iters replayed", "wall s", "modeled s", "max |dalpha|",
+                                   "match"});
+  for (const int p : {4, 8}) {
+    svmcore::TrainOptions elastic_options = options;
+    elastic_options.num_ranks = p;
+    elastic_options.net_model.timeout_s = 5.0;  // shrink needs a failure detector
+
+    const svmcore::TrainResult p_baseline = svmcore::train(train, params, elastic_options);
+    std::uint64_t victim_ops = 0;
+    {
+      svmmpi::FaultInjector probe{svmmpi::FaultPlan{}};
+      const svmcore::DistributedConfig config{params, elastic_options.heuristic};
+      svmmpi::run_spmd(
+          p,
+          [&](svmmpi::Comm& comm) {
+            svmcore::DistributedSolver solver(comm, train, config);
+            (void)solver.solve();
+          },
+          elastic_options.net_model, nullptr, &probe);
+      victim_ops = probe.ops(1);
+    }
+
+    std::uint64_t replayed_by_policy[2] = {0, 0};
+    const svmcore::RecoveryPolicy policies[2] = {svmcore::RecoveryPolicy::restart_world,
+                                                 svmcore::RecoveryPolicy::shrink_world};
+    const char* names[2] = {"restart_world", "shrink_world"};
+    for (int i = 0; i < 2; ++i) {
+      svmcore::RecoveryOptions recovery;
+      recovery.fault_plan = svmmpi::FaultPlan{}.die(1, victim_ops / 2);
+      recovery.checkpoint_interval = interval;
+      recovery.policy = policies[i];
+      svmcore::RecoveryReport report;
+
+      svmutil::Timer timer;
+      const svmcore::TrainResult recovered =
+          svmcore::train_with_recovery(train, params, elastic_options, recovery, &report);
+
+      PolicyRow row;
+      row.ranks = p;
+      row.policy = names[i];
+      row.restarts = report.restarts;
+      row.shrinks = report.shrinks;
+      row.restore_epoch = report.restore_epochs.empty() ? 0 : report.restore_epochs.front();
+      row.iterations_replayed = report.iterations_replayed;
+      row.wall_s = timer.seconds();
+      row.modeled_s = recovered.modeled_seconds;
+      row.max_delta = model_max_delta(recovered, p_baseline);
+      row.match = row.max_delta <= 1e-10;
+      if (!row.match) ++mismatches;
+      replayed_by_policy[i] = report.iterations_replayed;
+      rows.push_back(row);
+
+      policy_table.add_row(
+          {svmutil::TextTable::integer(p), row.policy, svmutil::TextTable::integer(row.restarts),
+           svmutil::TextTable::integer(row.shrinks),
+           svmutil::TextTable::integer(static_cast<long long>(row.restore_epoch)),
+           svmutil::TextTable::integer(static_cast<long long>(row.iterations_replayed)),
+           svmutil::TextTable::num(row.wall_s, 2), svmutil::TextTable::num(row.modeled_s, 4),
+           svmutil::TextTable::num(row.max_delta, 12), row.match ? "OK" : "MISMATCH"});
+    }
+    if (replayed_by_policy[1] >= replayed_by_policy[0]) shrink_fewer = false;
+  }
+  policy_table.print();
+  std::printf("\nshrink_world replays strictly fewer iterations than restart_world: %s\n",
+              shrink_fewer ? "yes" : "NO");
+  write_json(rows, shrink_fewer, "BENCH_recovery.json");
+
+  return (mismatches == 0 && shrink_fewer) ? 0 : 1;
 }

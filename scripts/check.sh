@@ -1,25 +1,35 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus an AddressSanitizer pass over the kernel/engine
-# layer. Run from the repo root:
+# Tier-1 verification plus sanitizer passes over the layers that need them.
+# Run from the repo root:
 #
-#   scripts/check.sh            # full: tier-1 build+ctest, then ASan kernel tests
+#   scripts/check.sh            # full: tier-1 build+ctest, ASan kernel tests, TSan chaos tests
 #   scripts/check.sh --tier1    # only the tier-1 build + full ctest suite
 #   scripts/check.sh --asan     # only the ASan kernel/engine/cache tests
+#   scripts/check.sh --tsan     # only the TSan chaos/fault-tolerance tests
 #
 # The ASan pass rebuilds the kernel-layer tests under -DSVM_SANITIZE=address
 # in a separate build tree (build-asan/) and runs the binaries directly; it
 # exists to catch span-lifetime bugs in KernelRowCache pinning and the
 # KernelEngine scatter buffers that a plain run cannot see.
+#
+# The TSan pass rebuilds under -DSVM_SANITIZE=thread (build-tsan/) and runs
+# the `chaos`-labelled ctest suite: the fault-injection, checkpoint/restart
+# and elastic shrink-world tests. Failure detection, World::mark_failed
+# poking, Comm::agree and the generation hand-off in the elastic trainer are
+# all cross-thread rendezvous under the simulated MPI world — exactly the
+# code a data-race would corrupt silently in a plain run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tier1=true
 run_asan=true
+run_tsan=true
 case "${1:-}" in
-  --tier1) run_asan=false ;;
-  --asan) run_tier1=false ;;
+  --tier1) run_asan=false; run_tsan=false ;;
+  --asan) run_tier1=false; run_tsan=false ;;
+  --tsan) run_tier1=false; run_asan=false ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--tier1|--asan]" >&2; exit 2 ;;
+  *) echo "usage: scripts/check.sh [--tier1|--asan|--tsan]" >&2; exit 2 ;;
 esac
 
 if $run_tier1; then
@@ -38,6 +48,14 @@ if $run_asan; then
     echo "--- $t (asan) ---"
     ./build-asan/tests/"$t"
   done
+fi
+
+if $run_tsan; then
+  echo "=== tsan: chaos/fault-tolerance tests under -fsanitize=thread ==="
+  cmake -B build-tsan -S . -DSVM_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target \
+    test_mpisim_fault test_chaos_recovery test_elastic_shrink
+  (cd build-tsan && ctest -L chaos --output-on-failure -j "$(nproc)")
 fi
 
 echo "ALL CHECKS PASSED"

@@ -1,10 +1,13 @@
 #include "core/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+
+#include "data/split.hpp"
 
 namespace svmcore {
 
@@ -123,14 +126,40 @@ RankCheckpoint RankCheckpoint::deserialize(const std::vector<std::byte>& bytes) 
   return c;
 }
 
-CheckpointStore::CheckpointStore(int num_ranks, std::string directory)
-    : num_ranks_(num_ranks), directory_(std::move(directory)), checkpoints_(num_ranks) {
+CheckpointStore::CheckpointStore(int num_ranks, std::string directory, bool buddy_replication)
+    : num_ranks_(num_ranks),
+      directory_(std::move(directory)),
+      buddy_(buddy_replication && num_ranks > 1),
+      checkpoints_(num_ranks),
+      buddy_replicas_(num_ranks) {
   if (num_ranks <= 0) throw std::invalid_argument("CheckpointStore: num_ranks must be positive");
   if (!directory_.empty()) std::filesystem::create_directories(directory_);
 }
 
 std::string CheckpointStore::file_path(int rank, std::uint64_t epoch) const {
   return directory_ + "/ckpt_r" + std::to_string(rank) + "_e" + std::to_string(epoch) + ".bin";
+}
+
+bool CheckpointStore::read_validated(const std::string& path, std::vector<std::byte>& out) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return false;
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
+  if (!in) {
+    std::fprintf(stderr, "CheckpointStore: skipping unreadable checkpoint %s\n", path.c_str());
+    return false;
+  }
+  try {
+    (void)RankCheckpoint::deserialize(bytes);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "CheckpointStore: skipping corrupt checkpoint %s (%s)\n", path.c_str(),
+                 error.what());
+    return false;
+  }
+  out = std::move(bytes);
+  return true;
 }
 
 CheckpointStore::CheckpointStore(int num_ranks, std::string directory, LoadFromDisk)
@@ -141,10 +170,10 @@ CheckpointStore::CheckpointStore(int num_ranks, std::string directory, LoadFromD
     unsigned long long epoch = 0;
     if (std::sscanf(name.c_str(), "ckpt_r%d_e%llu.bin", &rank, &epoch) != 2) continue;
     if (rank < 0 || rank >= num_ranks) continue;
-    std::ifstream in(entry.path(), std::ios::binary);
-    std::vector<std::byte> bytes(static_cast<std::size_t>(entry.file_size()));
-    in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
-    if (!in) continue;  // unreadable/torn file: treat as absent
+    // Truncated/corrupt/unreadable files are skipped (logged), not loaded:
+    // begin_restart() then falls back to an older epoch or a fresh start.
+    std::vector<std::byte> bytes;
+    if (!read_validated(entry.path().string(), bytes)) continue;
     checkpoints_[rank][epoch] = std::move(bytes);
   }
 }
@@ -171,6 +200,11 @@ void CheckpointStore::save(int rank, std::uint64_t epoch, const RankCheckpoint& 
   }
   std::lock_guard lock(mutex_);
   auto& mine = checkpoints_[rank];
+  if (buddy_) {
+    auto& replica = buddy_replicas_[rank];
+    replica[epoch] = bytes;  // mirrored into rank (rank+1) mod p's memory
+    while (replica.size() > 2) replica.erase(replica.begin());
+  }
   mine[epoch] = std::move(bytes);
   ++saves_;
   while (mine.size() > 2) {
@@ -179,6 +213,30 @@ void CheckpointStore::save(int rank, std::uint64_t epoch, const RankCheckpoint& 
       std::filesystem::remove(file_path(rank, mine.begin()->first), ec);
     }
     mine.erase(mine.begin());
+  }
+}
+
+void CheckpointStore::mark_rank_lost(int rank) {
+  if (rank < 0 || rank >= num_ranks_)
+    throw std::out_of_range("CheckpointStore: rank out of range");
+  std::lock_guard lock(mutex_);
+  checkpoints_[rank].clear();
+  // The dead rank held the buddy replica of its predecessor; that memory is
+  // gone too. (If the predecessor later dies as well, its state is therefore
+  // unreachable and repartition_from_checkpoints reports no consistent cut.)
+  buddy_replicas_[(rank - 1 + num_ranks_) % num_ranks_].clear();
+  if (directory_.empty()) return;
+  // Disk spills are durable: a replacement process can re-read them.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_, ec)) {
+    const std::string name = entry.path().filename().string();
+    int file_rank = -1;
+    unsigned long long epoch = 0;
+    if (std::sscanf(name.c_str(), "ckpt_r%d_e%llu.bin", &file_rank, &epoch) != 2) continue;
+    if (file_rank != rank) continue;
+    std::vector<std::byte> bytes;
+    if (!read_validated(entry.path().string(), bytes)) continue;
+    checkpoints_[rank][epoch] = std::move(bytes);
   }
 }
 
@@ -233,6 +291,93 @@ std::vector<std::uint64_t> CheckpointStore::epochs(int rank) const {
   std::vector<std::uint64_t> out;
   for (const auto& [epoch, bytes] : checkpoints_[rank]) out.push_back(epoch);
   return out;
+}
+
+std::optional<std::uint64_t> repartition_from_checkpoints(const CheckpointStore& source,
+                                                          std::size_t num_samples,
+                                                          CheckpointStore& target) {
+  if (&source == &target)
+    throw std::invalid_argument("repartition_from_checkpoints: source and target must differ");
+  const int p = source.num_ranks();
+  const int s = target.num_ranks();
+
+  // Reachable epochs per source rank: the primary copy when the rank's
+  // memory survives, with the buddy replica filling the holes mark_rank_lost
+  // punched. Snapshot the candidate byte buffers under the source lock.
+  std::vector<std::map<std::uint64_t, std::vector<std::byte>>> reachable(p);
+  {
+    std::lock_guard lock(source.mutex_);
+    for (int r = 0; r < p; ++r) {
+      reachable[r] = source.checkpoints_[r];
+      for (const auto& [epoch, bytes] : source.buddy_replicas_[r])
+        reachable[r].emplace(epoch, bytes);  // primary wins when both exist
+      if (reachable[r].empty()) return std::nullopt;
+    }
+  }
+
+  // Candidate cuts: epochs present on every source rank, newest first.
+  std::vector<std::uint64_t> candidates;
+  for (auto it = reachable[0].rbegin(); it != reachable[0].rend(); ++it)
+    candidates.push_back(it->first);
+  for (int r = 1; r < p; ++r)
+    std::erase_if(candidates,
+                  [&](std::uint64_t e) { return !reachable[r].contains(e); });
+  for (const std::uint64_t epoch : candidates) {
+    std::vector<RankCheckpoint> olds;
+    olds.reserve(p);
+    bool usable = true;
+    for (int r = 0; r < p && usable; ++r) {
+      try {
+        olds.push_back(RankCheckpoint::deserialize(reachable[r].at(epoch)));
+      } catch (const std::exception&) {
+        usable = false;  // corrupt buffer: fall back to an older cut
+      }
+      if (usable && olds[r].alpha.size() != svmdata::block_range(num_samples, p, r).size())
+        usable = false;
+      if (usable && r > 0 && olds[r].iterations != olds[0].iterations)
+        usable = false;  // not actually a consistent cut
+    }
+    if (!usable) continue;
+
+    // Stitch the per-sample state back into global arrays...
+    std::vector<double> alpha(num_samples), gamma(num_samples);
+    std::vector<std::uint8_t> shrunk(num_samples), is_active(num_samples, 0);
+    for (int r = 0; r < p; ++r) {
+      const svmdata::BlockRange range = svmdata::block_range(num_samples, p, r);
+      std::copy(olds[r].alpha.begin(), olds[r].alpha.end(), alpha.begin() + range.begin);
+      std::copy(olds[r].gamma.begin(), olds[r].gamma.end(), gamma.begin() + range.begin);
+      std::copy(olds[r].shrunk.begin(), olds[r].shrunk.end(), shrunk.begin() + range.begin);
+      for (const std::uint32_t a : olds[r].active) is_active[range.begin + a] = 1;
+    }
+    // ...and re-slice along the target partition. Global scalars carry over
+    // verbatim; per-rank work counters are recomputed for the new block
+    // (samples_shrunk, min_active) or carried from rank 0 (pass counts).
+    for (int nr = 0; nr < s; ++nr) {
+      const svmdata::BlockRange range = svmdata::block_range(num_samples, s, nr);
+      RankCheckpoint c;
+      c.stage = olds[0].stage;
+      c.stalls = olds[0].stalls;
+      c.iterations = olds[0].iterations;
+      c.delta_counter = olds[0].delta_counter;
+      c.beta_up = olds[0].beta_up;
+      c.beta_low = olds[0].beta_low;
+      c.i_up = olds[0].i_up;
+      c.i_low = olds[0].i_low;
+      c.shrink_passes = olds[0].shrink_passes;
+      c.reconstructions = olds[0].reconstructions;
+      c.alpha.assign(alpha.begin() + range.begin, alpha.begin() + range.end);
+      c.gamma.assign(gamma.begin() + range.begin, gamma.begin() + range.end);
+      c.shrunk.assign(shrunk.begin() + range.begin, shrunk.begin() + range.end);
+      for (std::size_t i = 0; i < range.size(); ++i)
+        if (is_active[range.begin + i]) c.active.push_back(static_cast<std::uint32_t>(i));
+      c.samples_shrunk = static_cast<std::uint64_t>(
+          std::count_if(c.shrunk.begin(), c.shrunk.end(), [](std::uint8_t f) { return f != 0; }));
+      c.min_active = c.active.size();
+      target.save(nr, epoch, c);
+    }
+    return epoch;
+  }
+  return std::nullopt;
 }
 
 }  // namespace svmcore

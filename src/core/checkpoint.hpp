@@ -70,9 +70,19 @@ struct RankCheckpoint {
 /// solver construction and save() at checkpoint boundaries.
 class CheckpointStore {
  public:
-  explicit CheckpointStore(int num_ranks, std::string directory = {});
+  /// `buddy_replication` (on by default, no-op at num_ranks == 1) mirrors
+  /// every save of rank r into rank (r+1) mod p's memory as a buddy replica.
+  /// Replicas model survivor RAM: they are invisible to begin_restart()/
+  /// restore()/epochs()/saves(), are never spilled to disk, and are consumed
+  /// only by repartition_from_checkpoints() during an elastic shrink — the
+  /// one path that can reach another live rank's memory.
+  explicit CheckpointStore(int num_ranks, std::string directory = {},
+                           bool buddy_replication = true);
 
-  /// Reloads a file-backed store's contents from `directory`.
+  /// Reloads a file-backed store's contents from `directory`. A truncated or
+  /// corrupt checkpoint file (failed validation) is skipped with a warning on
+  /// stderr rather than poisoning the store — the restart then falls back to
+  /// an older epoch or a fresh start.
   [[nodiscard]] static CheckpointStore open(int num_ranks, const std::string& directory);
 
   /// Saves rank `rank`'s checkpoint for `epoch`, pruning epochs older than
@@ -89,6 +99,15 @@ class CheckpointStore {
   /// nullopt for a fresh start. Thread-safe (read-only after pinning).
   [[nodiscard]] std::optional<RankCheckpoint> restore(int rank) const;
 
+  /// Models the permanent loss of `rank`'s process memory: its in-memory
+  /// checkpoints are erased, as are the buddy replicas it was holding for
+  /// rank (rank-1) mod p. Disk spills survive (they are durable storage, not
+  /// process memory) and are re-read for a file-backed store — a cold
+  /// replacement process can read the dead rank's disk, but never its RAM.
+  /// The replica of `rank` held by its own buddy is untouched: that is what
+  /// keeps a memory-only store recoverable through an elastic shrink.
+  void mark_rank_lost(int rank);
+
   [[nodiscard]] int num_ranks() const noexcept { return num_ranks_; }
   /// Total save() calls, across all ranks and epochs.
   [[nodiscard]] std::uint64_t saves() const;
@@ -96,18 +115,42 @@ class CheckpointStore {
   [[nodiscard]] std::vector<std::uint64_t> epochs(int rank) const;
 
  private:
+  friend std::optional<std::uint64_t> repartition_from_checkpoints(const CheckpointStore& source,
+                                                                   std::size_t num_samples,
+                                                                   CheckpointStore& target);
+
   struct LoadFromDisk {};
   CheckpointStore(int num_ranks, std::string directory, LoadFromDisk);
 
   [[nodiscard]] std::string file_path(int rank, std::uint64_t epoch) const;
+  /// Reads and validates one spilled checkpoint file; false (with a stderr
+  /// warning) on a truncated/corrupt/unreadable file.
+  [[nodiscard]] static bool read_validated(const std::string& path, std::vector<std::byte>& out);
 
   int num_ranks_;
   std::string directory_;  ///< empty = in-memory only
+  bool buddy_ = true;
   mutable std::mutex mutex_;
   /// checkpoints_[rank]: epoch -> serialized state, at most 2 entries.
   std::vector<std::map<std::uint64_t, std::vector<std::byte>>> checkpoints_;
+  /// buddy_replicas_[rank]: rank's state mirrored in (rank+1) mod p's memory.
+  std::vector<std::map<std::uint64_t, std::vector<std::byte>>> buddy_replicas_;
   std::optional<std::uint64_t> restore_epoch_;
   std::uint64_t saves_ = 0;
 };
+
+/// Elastic-shrink state migration: finds the newest epoch for which EVERY
+/// source rank's checkpoint is reachable (primary copy, or the buddy replica
+/// when the primary was lost via mark_rank_lost), stitches the per-sample
+/// state back into global arrays using the source partition of `num_samples`,
+/// re-slices it along `target.num_ranks()`'s partition and save()s one
+/// checkpoint per target rank at that epoch. Global scalars (stage, stalls,
+/// iteration cursor, shrink counter, beta bounds, i_up/i_low) carry over
+/// verbatim — they are replica-consistent at a checkpoint boundary. Returns
+/// the migrated epoch (caller then calls target.begin_restart()), or nullopt
+/// when no fully-reachable consistent cut exists.
+std::optional<std::uint64_t> repartition_from_checkpoints(const CheckpointStore& source,
+                                                          std::size_t num_samples,
+                                                          CheckpointStore& target);
 
 }  // namespace svmcore

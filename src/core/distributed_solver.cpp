@@ -23,6 +23,11 @@ DistributedSolver::DistributedSolver(svmmpi::Comm& comm, const svmdata::Dataset&
       kernel_(config.params.kernel),
       engine_(kernel_, dataset.X, config.params.engine_backend, range_.begin, range_.end) {
   if (comm.rank() == 0) dataset.validate();
+  if (config_.checkpoint_store != nullptr &&
+      config_.checkpoint_store->num_ranks() != comm.size())
+    throw std::invalid_argument(
+        "DistributedSolver: checkpoint store sized for a different communicator (after an "
+        "elastic shrink, repartition into a store matching the surviving ranks)");
   const std::size_t local_n = range_.size();
   alpha_.assign(local_n, 0.0);
   gamma_.resize(local_n);

@@ -1,5 +1,9 @@
 #include "core/trainer.hpp"
 
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 
@@ -23,15 +27,74 @@ SvmModel build_model(const svmdata::Dataset& dataset, std::span<const double> al
 
 namespace {
 
+/// Stitches per-rank results into the TrainResult (model assembly, scalar
+/// plucking, counter aggregation). `results` is indexed by world rank; after
+/// an elastic shrink a dead rank's slot is a default RankResult (empty alpha)
+/// and is skipped — scalars then come from the first completed rank, and the
+/// surviving ranks' post-shrink block ranges cover every sample.
+void finish_result(const svmdata::Dataset& dataset, const DistributedConfig& config,
+                   const std::vector<RankResult>& results, TrainResult& out) {
+  const RankResult* first = nullptr;
+  for (const RankResult& r : results)
+    if (!r.alpha.empty()) {
+      first = &r;
+      break;
+    }
+  if (first == nullptr) throw std::logic_error("train: no rank produced a result");
+
+  // Stitch the block alphas back into one global vector for model assembly.
+  std::vector<double> alpha(dataset.size(), 0.0);
+  for (const RankResult& r : results)
+    for (std::size_t i = 0; i < r.alpha.size(); ++i) alpha[r.range.begin + i] = r.alpha[i];
+
+  out.beta = first->beta;
+  out.iterations = first->stats.iterations;
+  out.converged = first->stats.converged;
+  out.rank_stats.reserve(results.size());
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    const SolverStats& s = results[r].stats;
+    out.rank_stats.push_back(s);
+    out.total_kernel_evaluations += s.kernel_evaluations;
+    out.max_rank_kernel_evaluations =
+        std::max(out.max_rank_kernel_evaluations, s.kernel_evaluations);
+    out.samples_shrunk += s.samples_shrunk;
+    out.recon_kernel_evaluations += s.recon_kernel_evaluations;
+    out.engine_pair_evals += s.engine_pair_evals;
+    out.engine_scatter_builds += s.engine_scatter_builds;
+    out.engine_bytes_streamed += s.engine_bytes_streamed;
+    out.solve_seconds = std::max(out.solve_seconds, s.solve_seconds);
+    out.reconstruction_seconds =
+        std::max(out.reconstruction_seconds, s.reconstruction_seconds);
+  }
+  out.reconstructions = first->stats.reconstructions;
+  out.active_trace = first->stats.active_trace;
+
+  // Modeled time on the paper's testbed: per-rank kernel work (lambda per
+  // evaluation) plus the rank's modeled network time; take the slowest rank.
+  constexpr double kLambdaSeconds = 50e-9;  // ~50ns per sparse kernel eval
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    const double modeled =
+        static_cast<double>(results[r].stats.kernel_evaluations) * kLambdaSeconds +
+        out.rank_traffic[r].modeled_seconds;
+    out.modeled_seconds = std::max(out.modeled_seconds, modeled);
+  }
+
+  out.model = build_model(dataset, alpha, out.beta, config.params.kernel);
+}
+
+void validate_train_inputs(const svmdata::Dataset& dataset, const TrainOptions& options) {
+  if (options.num_ranks <= 0) throw std::invalid_argument("train: num_ranks must be positive");
+  if (static_cast<std::size_t>(options.num_ranks) > dataset.size())
+    throw std::invalid_argument("train: more ranks than samples");
+  dataset.validate();
+}
+
 /// Shared SPMD launch + result assembly used by both entry points. `config`
 /// carries the optional checkpoint wiring and `injector` the optional fault
 /// schedule; both may be null/disabled for a plain run.
 TrainResult train_impl(const svmdata::Dataset& dataset, const TrainOptions& options,
                        const DistributedConfig& config, svmmpi::FaultInjector* injector) {
-  if (options.num_ranks <= 0) throw std::invalid_argument("train: num_ranks must be positive");
-  if (static_cast<std::size_t>(options.num_ranks) > dataset.size())
-    throw std::invalid_argument("train: more ranks than samples");
-  dataset.validate();
+  validate_train_inputs(dataset, options);
 
   std::vector<RankResult> results(options.num_ranks);
 
@@ -51,45 +114,130 @@ TrainResult train_impl(const svmdata::Dataset& dataset, const TrainOptions& opti
       injector);
   out.wall_seconds = wall.seconds();
   out.traffic = total;
+  finish_result(dataset, config, results, out);
+  return out;
+}
 
-  // Stitch the block alphas back into one global vector for model assembly.
-  std::vector<double> alpha(dataset.size(), 0.0);
-  for (const RankResult& r : results)
-    for (std::size_t i = 0; i < r.alpha.size(); ++i) alpha[r.range.begin + i] = r.alpha[i];
+/// shrink_then_restart found no reachable consistent cut: thrown by every
+/// survivor to tear the elastic region down so the driver can relaunch the
+/// full world instead.
+struct EscalateToRestart : std::runtime_error {
+  EscalateToRestart()
+      : std::runtime_error(
+            "elastic recovery: no consistent cut reachable; escalating to a full restart") {}
+};
 
-  out.beta = results[0].beta;
-  out.iterations = results[0].stats.iterations;
-  out.converged = results[0].stats.converged;
-  out.rank_stats.reserve(results.size());
-  for (std::size_t r = 0; r < results.size(); ++r) {
-    const SolverStats& s = results[r].stats;
-    out.rank_stats.push_back(s);
-    out.total_kernel_evaluations += s.kernel_evaluations;
-    out.max_rank_kernel_evaluations =
-        std::max(out.max_rank_kernel_evaluations, s.kernel_evaluations);
-    out.samples_shrunk += s.samples_shrunk;
-    out.recon_kernel_evaluations += s.recon_kernel_evaluations;
-    out.engine_pair_evals += s.engine_pair_evals;
-    out.engine_scatter_builds += s.engine_scatter_builds;
-    out.engine_bytes_streamed += s.engine_bytes_streamed;
-    out.solve_seconds = std::max(out.solve_seconds, s.solve_seconds);
-    out.reconstruction_seconds =
-        std::max(out.reconstruction_seconds, s.reconstruction_seconds);
-  }
-  out.reconstructions = results[0].stats.reconstructions;
-  out.active_trace = results[0].stats.active_trace;
+/// Elastic shrink-world training: one SPMD region that survives permanent
+/// rank losses. Each rank's body is a retry loop: on the RankLost verdict the
+/// survivors shrink the communicator; the new leader models the memory loss
+/// in the generation's store, repartitions the reachable cut into a fresh
+/// store sized for the survivors and publishes it, and every survivor
+/// re-enters the solve on the shrunken communicator.
+TrainResult train_elastic(const svmdata::Dataset& dataset, const TrainOptions& options,
+                          const DistributedConfig& config, svmmpi::FaultInjector* injector,
+                          bool escalate_when_unrecoverable, RecoveryReport& rep) {
+  validate_train_inputs(dataset, options);
 
-  // Modeled time on the paper's testbed: per-rank kernel work (lambda per
-  // evaluation) plus the rank's modeled network time; take the slowest rank.
-  constexpr double kLambdaSeconds = 50e-9;  // ~50ns per sparse kernel eval
-  for (std::size_t r = 0; r < results.size(); ++r) {
-    const double modeled =
-        static_cast<double>(results[r].stats.kernel_evaluations) * kLambdaSeconds +
-        out.rank_traffic[r].modeled_seconds;
-    out.modeled_seconds = std::max(out.modeled_seconds, modeled);
-  }
+  std::vector<RankResult> results(options.num_ranks);
 
-  out.model = build_model(dataset, alpha, out.beta, config.params.kernel);
+  // Shrink-generation state, published by each generation's new leader.
+  struct Generation {
+    CheckpointStore* store = nullptr;  ///< store for the shrunken world
+    bool escalate = false;             ///< no reachable cut: abandon the region
+  };
+  std::mutex mutex;
+  std::condition_variable published_cv;
+  std::vector<Generation> published;
+  // Repartitioned stores must outlive the solvers reading them; the chain
+  // also keeps superseded generations alive for stragglers mid-recovery.
+  std::vector<std::unique_ptr<CheckpointStore>> chain;
+
+  TrainResult out;
+  svmutil::Timer wall;
+  svmmpi::ElasticReport elastic = svmmpi::run_spmd_elastic(
+      options.num_ranks,
+      [&](svmmpi::Comm& world_comm) {
+        svmmpi::Comm comm = world_comm;
+        CheckpointStore* gen_store = config.checkpoint_store;
+        std::size_t my_gen = 0;
+        for (;;) {
+          try {
+            DistributedConfig cfg = config;
+            cfg.checkpoint_store = gen_store;
+            DistributedSolver solver(comm, dataset, cfg);
+            results[world_comm.rank()] = solver.solve();
+            return;
+          } catch (const svmmpi::RankLost& lost) {
+            svmmpi::Comm next = comm.shrink();
+            if (next.rank() == 0) {
+              // This generation's new leader performs the repartition and
+              // publishes the outcome; survivors of the agree are guaranteed
+              // to reach this same generation, so the publish slot is unique.
+              std::lock_guard lock(mutex);
+              Generation gen;
+              for (const int world_rank : comm.dead_members())
+                if (std::find(rep.ranks_lost.begin(), rep.ranks_lost.end(), world_rank) ==
+                    rep.ranks_lost.end())
+                  rep.ranks_lost.push_back(world_rank);
+              rep.failures.push_back(lost.what());
+              if (gen_store != nullptr) {
+                // The dead ranks' process memory is gone: erase their primary
+                // copies (and the buddy replicas they held), then reach the
+                // newest consistent cut through the surviving replicas.
+                for (const int world_rank : comm.dead_members()) {
+                  const int old_rank = comm.comm_rank_of_world(world_rank);
+                  if (old_rank >= 0) gen_store->mark_rank_lost(old_rank);
+                }
+                auto fresh = std::make_unique<CheckpointStore>(next.size());
+                const std::optional<std::uint64_t> epoch =
+                    repartition_from_checkpoints(*gen_store, dataset.size(), *fresh);
+                if (epoch) {
+                  (void)fresh->begin_restart();
+                  gen.store = fresh.get();
+                  chain.push_back(std::move(fresh));
+                  ++rep.shrinks;
+                  rep.restore_epochs.push_back(*epoch);
+                } else if (escalate_when_unrecoverable) {
+                  gen.escalate = true;
+                } else {
+                  // No reachable cut: the shrunken world restarts from
+                  // scratch with a fresh (empty) store.
+                  gen.store = fresh.get();
+                  chain.push_back(std::move(fresh));
+                  ++rep.shrinks;
+                  rep.restore_epochs.push_back(0);
+                }
+              } else {
+                // Checkpointing disabled: resume from scratch, shrunken.
+                ++rep.shrinks;
+                rep.restore_epochs.push_back(0);
+              }
+              published.push_back(gen);
+              published_cv.notify_all();
+            }
+            Generation gen;
+            {
+              std::unique_lock lock(mutex);
+              published_cv.wait(lock, [&] { return published.size() > my_gen; });
+              gen = published[my_gen];
+            }
+            if (gen.escalate) throw EscalateToRestart{};
+            comm = next;
+            gen_store = gen.store;
+            ++my_gen;
+          }
+        }
+      },
+      options.net_model,
+      [&](const svmmpi::World& world) {
+        out.rank_traffic.reserve(options.num_ranks);
+        for (int r = 0; r < options.num_ranks; ++r) out.rank_traffic.push_back(world.stats(r));
+      },
+      injector);
+  out.wall_seconds = wall.seconds();
+  out.traffic = elastic.stats;
+  for (const auto& store : chain) rep.checkpoints_saved += store->saves();
+  finish_result(dataset, config, results, out);
   return out;
 }
 
@@ -107,6 +255,10 @@ TrainResult train_with_recovery(const svmdata::Dataset& dataset, const SolverPar
                                 RecoveryReport* report) {
   if (recovery.max_restarts < 0)
     throw std::invalid_argument("train_with_recovery: max_restarts must be non-negative");
+  if (recovery.policy != RecoveryPolicy::restart_world && options.net_model.timeout_s <= 0.0)
+    throw std::invalid_argument(
+        "train_with_recovery: shrink policies need net_model.timeout_s > 0 (deadline-driven "
+        "failure detection)");
 
   // One injector across all attempts: a fault already fired stays consumed,
   // so a crash event kills exactly one launch instead of every retry.
@@ -129,20 +281,45 @@ TrainResult train_with_recovery(const svmdata::Dataset& dataset, const SolverPar
   RecoveryReport& rep = report != nullptr ? *report : local_report;
   rep = RecoveryReport{};
 
+  // The elastic policies recover in-world; the driver loop only sees their
+  // unrecoverable outcomes (escalation, unexplained timeout) and relaunches
+  // the FULL world — by then any permanent losses are already modeled in the
+  // store, so a memory-only store restarts from whatever is still reachable
+  // by a cold process (nothing), and a file-backed one from its disk spills.
   for (int attempt = 0;; ++attempt) {
     try {
-      TrainResult out = train_impl(dataset, options, config, &injector);
-      rep.checkpoints_saved = store->saves();
+      TrainResult out =
+          recovery.policy == RecoveryPolicy::restart_world
+              ? train_impl(dataset, options, config, &injector)
+              : train_elastic(dataset, options, config, &injector,
+                              recovery.policy == RecoveryPolicy::shrink_then_restart, rep);
+      rep.checkpoints_saved += store->saves();
+      for (const std::uint64_t epoch : rep.restore_epochs)
+        rep.iterations_replayed += out.iterations - std::min(epoch, out.iterations);
       return out;
     } catch (const svmmpi::RankFailed& failure) {
       rep.failures.push_back(failure.what());
+      if (failure.permanent) {
+        // Permanent loss under restart_world: the rank's process memory is
+        // gone. Its disk spills (if any) survive; its in-memory checkpoints
+        // and the buddy replicas it held do not.
+        if (std::find(rep.ranks_lost.begin(), rep.ranks_lost.end(), failure.rank) ==
+            rep.ranks_lost.end())
+          rep.ranks_lost.push_back(failure.rank);
+        if (config.checkpoint_store != nullptr) store->mark_rank_lost(failure.rank);
+      }
       if (attempt == recovery.max_restarts) throw;
     } catch (const svmmpi::TimeoutError& failure) {
       rep.failures.push_back(failure.what());
       if (attempt == recovery.max_restarts) throw;
+    } catch (const EscalateToRestart& escalation) {
+      rep.failures.push_back(escalation.what());
+      if (attempt == recovery.max_restarts)
+        throw std::runtime_error(std::string("train_with_recovery: out of restarts after: ") +
+                                 escalation.what());
     }
     // Pin the newest consistent cut (single-threaded: the failed world has
-    // been fully joined by run_spmd before its exception reached us).
+    // been fully joined by the launcher before its exception reached us).
     const std::optional<std::uint64_t> epoch =
         config.checkpoint_store != nullptr ? store->begin_restart() : std::nullopt;
     rep.restore_epochs.push_back(epoch.value_or(0));

@@ -62,11 +62,33 @@ struct TrainResult {
 [[nodiscard]] TrainResult train(const svmdata::Dataset& dataset, const SolverParams& params,
                                 const TrainOptions& options = {});
 
+/// How train_with_recovery responds to a rank failure.
+enum class RecoveryPolicy {
+  /// Tear the world down and relaunch all `num_ranks` ranks from the last
+  /// consistent checkpoint cut. A PERMANENT loss (FaultPlan::die) erases the
+  /// dead rank's process memory first (CheckpointStore::mark_rank_lost): the
+  /// cold replacement can read disk spills but never the dead RAM, so a
+  /// memory-only store replays from scratch.
+  restart_world,
+  /// ULFM-style in-world recovery: survivors agree on the dead set, shrink
+  /// to a compacted communicator, the new leader repartitions the dead
+  /// rank's state onto the survivors (reaching it through the buddy replica
+  /// held in a survivor's memory) and training resumes on p-1 ranks from the
+  /// newest reachable cut. Requires net_model.timeout_s > 0. When no cut is
+  /// reachable (e.g. adjacent double failure) the shrunken world restarts
+  /// from scratch.
+  shrink_world,
+  /// shrink_world while a reachable cut exists; otherwise escalate to a full
+  /// restart_world attempt at the original rank count.
+  shrink_then_restart,
+};
+
 /// Fault-tolerant training: inject the given fault plan, checkpoint every
-/// `checkpoint_interval` iterations, and on a rank failure or timeout restart
-/// the SPMD region from the last consistent checkpoint cut.
+/// `checkpoint_interval` iterations, and on a rank failure or timeout recover
+/// per `policy` (restart the world, or shrink it and continue).
 struct RecoveryOptions {
   svmmpi::FaultPlan fault_plan{};  ///< faults to inject (empty = none)
+  RecoveryPolicy policy = RecoveryPolicy::restart_world;
   /// Checkpoint cadence in solver iterations; 0 disables checkpointing (every
   /// restart then replays from scratch).
   std::uint64_t checkpoint_interval = 64;
@@ -80,18 +102,27 @@ struct RecoveryOptions {
 };
 
 struct RecoveryReport {
-  int restarts = 0;                   ///< relaunches actually performed
+  int restarts = 0;                   ///< full-world relaunches performed
+  int shrinks = 0;                    ///< in-world shrink recoveries performed
   std::vector<std::string> failures;  ///< what() of each failure survived
+  std::vector<int> ranks_lost;        ///< world ranks whose memory was lost
   std::uint64_t checkpoints_saved = 0;
-  /// Epoch (iteration count) each restart resumed from; 0 = from scratch.
+  /// Epoch (iteration count) each recovery resumed from; 0 = from scratch.
   std::vector<std::uint64_t> restore_epochs;
+  /// Recovery cost: sum over recoveries of (final iteration count - resume
+  /// epoch), i.e. iterations the run had to execute again past each resume
+  /// point. Smaller = cheaper recovery; 0 = no failures.
+  std::uint64_t iterations_replayed = 0;
 };
 
-/// Runs train() under the fault plan in `recovery`, transparently restarting
-/// from checkpoints on svmmpi::RankFailed / svmmpi::TimeoutError until the
-/// solve completes or `max_restarts` is exhausted (then the last failure is
-/// rethrown). With a crash-only fault plan the returned model is
-/// bit-identical to a fault-free train() with the same options.
+/// Runs train() under the fault plan in `recovery`, transparently recovering
+/// per `recovery.policy` until the solve completes or `max_restarts` is
+/// exhausted (then the last failure is rethrown). With a crash-only fault
+/// plan under restart_world the returned model is bit-identical to a
+/// fault-free train() with the same options; the shrink policies resume the
+/// identical solver trajectory on the surviving ranks (same support-vector
+/// set, objective equal to ~1e-10 — the only float differences come from
+/// re-grouped ring/assembly summations).
 [[nodiscard]] TrainResult train_with_recovery(const svmdata::Dataset& dataset,
                                               const SolverParams& params,
                                               const TrainOptions& options,

@@ -1,5 +1,6 @@
 #include "mpisim/collective.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "mpisim/fault.hpp"
@@ -13,7 +14,11 @@ constexpr int kCollectivePeer = -2;
 }  // namespace
 
 CollectiveContext::CollectiveContext(int size, double timeout_s)
-    : size_(size), timeout_s_(timeout_s), contributions_(size) {}
+    : size_(size),
+      timeout_s_(timeout_s),
+      contributions_(size),
+      agree_arrived_(size, 0),
+      agree_values_(size) {}
 
 template <typename Predicate>
 void CollectiveContext::wait_or_timeout(std::unique_lock<std::mutex>& lock, int rank,
@@ -30,13 +35,18 @@ void CollectiveContext::wait_or_timeout(std::unique_lock<std::mutex>& lock, int 
 }
 
 std::vector<std::byte> CollectiveContext::run(int rank, std::vector<std::byte> contribution,
-                                              const Combine& combine) {
+                                              const Combine& combine,
+                                              const std::function<bool()>& interrupt) {
   std::unique_lock lock(mutex_);
+  bool interrupted = false;
+  const auto check_interrupt = [&] { return interrupted = interrupt && interrupt(); };
   // Wait for the previous round to fully drain before contributing.
   wait_or_timeout(
-      lock, rank, [&] { return aborted_ || phase_ == Phase::collecting; },
+      lock, rank,
+      [&] { return aborted_ || phase_ == Phase::collecting || check_interrupt(); },
       "collective rendezvous (previous round drain)");
   if (aborted_) throw WorldAborted{};
+  if (interrupted) throw RendezvousInterrupted{};
 
   contributions_[rank] = std::move(contribution);
   ++arrived_;
@@ -46,9 +56,13 @@ std::vector<std::byte> CollectiveContext::run(int rank, std::vector<std::byte> c
     turnstile_.notify_all();
   } else {
     wait_or_timeout(
-        lock, rank, [&] { return aborted_ || phase_ == Phase::distributing; },
+        lock, rank,
+        [&] { return aborted_ || phase_ == Phase::distributing || check_interrupt(); },
         "collective rendezvous");
     if (aborted_) throw WorldAborted{};
+    // A completed round always wins over the interrupt: if the member died
+    // after contributing, this round's result is still well-defined.
+    if (interrupted && phase_ != Phase::distributing) throw RendezvousInterrupted{};
   }
 
   std::vector<std::byte> out = result_;
@@ -64,11 +78,72 @@ std::vector<std::byte> CollectiveContext::run(int rank, std::vector<std::byte> c
   return out;
 }
 
+std::vector<int> CollectiveContext::agree(int rank, const std::vector<int>& values,
+                                          const std::function<std::vector<int>()>& dead_local,
+                                          const std::function<std::vector<int>()>& late_values) {
+  std::unique_lock lock(mutex_);
+  wait_or_timeout(
+      lock, rank, [&] { return aborted_ || agree_phase_ == Phase::collecting; },
+      "agreement (previous round drain)");
+  if (aborted_) throw WorldAborted{};
+
+  agree_arrived_[rank] = 1;
+  agree_values_[rank] = values;
+
+  // Complete once every rank has contributed or is known dead. The dead set
+  // is re-evaluated on every wake (World::mark_failed pokes this context), so
+  // a second failure during the agreement cannot wedge it.
+  const auto complete = [&] {
+    if (aborted_ || agree_phase_ == Phase::distributing) return true;
+    const std::vector<int> dead = dead_local();
+    for (int r = 0; r < size_; ++r) {
+      if (agree_arrived_[r]) continue;
+      if (std::find(dead.begin(), dead.end(), r) == dead.end()) return false;
+    }
+    return true;
+  };
+  wait_or_timeout(lock, rank, complete, "agreement rendezvous");
+  if (aborted_) throw WorldAborted{};
+
+  if (agree_phase_ != Phase::distributing) {
+    // First waker that observes completion finalizes the round for everyone.
+    std::vector<int> united;
+    for (int r = 0; r < size_; ++r)
+      united.insert(united.end(), agree_values_[r].begin(), agree_values_[r].end());
+    const std::vector<int> late = late_values();
+    united.insert(united.end(), late.begin(), late.end());
+    std::sort(united.begin(), united.end());
+    united.erase(std::unique(united.begin(), united.end()), united.end());
+    agree_result_ = std::move(united);
+    agree_phase_ = Phase::distributing;
+    turnstile_.notify_all();
+  }
+
+  std::vector<int> out = agree_result_;
+  ++agree_departed_;
+  int contributed = 0;
+  for (int r = 0; r < size_; ++r) contributed += agree_arrived_[r] ? 1 : 0;
+  if (agree_departed_ == contributed) {
+    std::fill(agree_arrived_.begin(), agree_arrived_.end(), 0);
+    for (auto& v : agree_values_) v.clear();
+    agree_result_.clear();
+    agree_departed_ = 0;
+    agree_phase_ = Phase::collecting;
+    turnstile_.notify_all();
+  }
+  return out;
+}
+
 void CollectiveContext::abort() {
   {
     std::lock_guard lock(mutex_);
     aborted_ = true;
   }
+  turnstile_.notify_all();
+}
+
+void CollectiveContext::poke() {
+  { std::lock_guard lock(mutex_); }
   turnstile_.notify_all();
 }
 

@@ -12,6 +12,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <vector>
@@ -30,11 +31,33 @@ class CollectiveContext {
 
   /// Collective rendezvous; every rank must call with the same combine
   /// semantics. Returns the combined result. Throws WorldAborted on abort
-  /// and TimeoutError when the rendezvous deadline elapses.
+  /// and TimeoutError when the rendezvous deadline elapses. When `interrupt`
+  /// is provided and becomes true while waiting (re-checked on poke()), run
+  /// throws RendezvousInterrupted — the elastic path wakes a rendezvous whose
+  /// member has been marked failed without waiting out the deadline. The
+  /// abandoned round's state is not recycled; after a failure the surviving
+  /// ranks continue on a fresh context (Comm::shrink), never this one.
   [[nodiscard]] std::vector<std::byte> run(int rank, std::vector<std::byte> contribution,
-                                           const Combine& combine);
+                                           const Combine& combine,
+                                           const std::function<bool()>& interrupt = {});
+
+  /// ULFM-style fault-tolerant agreement (MPI_Comm_agree): completes when
+  /// every rank has either contributed or is reported dead by `dead_local`
+  /// (group-local ranks; re-evaluated as failures are marked — see poke()).
+  /// Returns the sorted union of every contributor's `values`. Callers fold
+  /// the currently-known dead set into their own contribution, and the
+  /// finalizer adds `late_values()` (the dead set as of completion) so a rank
+  /// marked failed after the last survivor contributed is still agreed on.
+  /// Unlike run(), this never consults the fault injector — agreement is a
+  /// recovery operation, not a fault site.
+  [[nodiscard]] std::vector<int> agree(int rank, const std::vector<int>& values,
+                                       const std::function<std::vector<int>()>& dead_local,
+                                       const std::function<std::vector<int>()>& late_values);
 
   void abort();
+
+  /// Wakes all waiters so interrupt/dead-set predicates are re-evaluated.
+  void poke();
 
   [[nodiscard]] int size() const noexcept { return size_; }
 
@@ -56,6 +79,15 @@ class CollectiveContext {
   std::vector<std::vector<std::byte>> contributions_;
   std::vector<std::byte> result_;
   bool aborted_ = false;
+
+  // agree() rounds keep separate state so a dirty, abandoned run() round
+  // (survivors threw out of it when a member died) cannot wedge the
+  // agreement that follows it on the same context.
+  std::vector<std::uint8_t> agree_arrived_;
+  std::vector<std::vector<int>> agree_values_;
+  std::vector<int> agree_result_;
+  int agree_departed_ = 0;
+  Phase agree_phase_ = Phase::collecting;
 };
 
 }  // namespace svmmpi

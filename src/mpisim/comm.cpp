@@ -40,11 +40,51 @@ void Comm::send_bytes(std::vector<std::byte> payload, int destination, int tag) 
   s.modeled_seconds += world_->model().pt2pt(bytes);
 }
 
+std::vector<int> Comm::dead_members() const {
+  std::vector<int> dead;
+  if (!world_->any_failed()) return dead;
+  for (const int wr : *group_)
+    if (world_->is_failed(wr)) dead.push_back(wr);
+  std::sort(dead.begin(), dead.end());
+  return dead;
+}
+
+void Comm::throw_rank_lost() const {
+  std::vector<int> dead = dead_members();
+  if (dead.empty()) dead = world_->failed_ranks();
+  bool permanent = false;
+  for (const int wr : dead) permanent = permanent || world_->failure_is_permanent(wr);
+  throw RankLost(std::move(dead), permanent);
+}
+
+void Comm::convert_timeout(const TimeoutError& timeout) const {
+  constexpr int kGracePolls = 40;
+  for (int i = 0; i < kGracePolls; ++i) {
+    if (!dead_members().empty()) throw_rank_lost();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  throw timeout;
+}
+
 std::vector<std::byte> Comm::recv_bytes(int source, int tag, int* actual_source) {
   if (source != kAnySource && (source < 0 || source >= size()))
     throw std::out_of_range("svmmpi: recv source out of range");
   (void)faulted_op(FaultSite::recv);
-  Message m = world_->mailbox((*group_)[rank_]).pop(context_id_, source, tag);
+  // The awaited peer dying while we block surfaces as RankLost rather than a
+  // full deadline wait: World::mark_failed pokes the mailbox, the interrupt
+  // predicate fires, and the internal wake converts to the public verdict.
+  const auto interrupt = [this, source] {
+    if (source == kAnySource) return world_->any_failed() && !dead_members().empty();
+    return world_->is_failed((*group_)[source]);
+  };
+  Message m;
+  try {
+    m = world_->mailbox((*group_)[rank_]).pop(context_id_, source, tag, interrupt);
+  } catch (const RendezvousInterrupted&) {
+    throw_rank_lost();
+  } catch (const TimeoutError& timeout) {
+    convert_timeout(timeout);
+  }
   if (actual_source != nullptr) *actual_source = m.source;
   TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
   ++s.recvs;
@@ -57,7 +97,15 @@ std::vector<std::byte> Comm::collective(std::vector<std::byte> contribution,
                                         const CollectiveContext::Combine& combine,
                                         ModelAs model_as, std::size_t payload_bytes) {
   (void)faulted_op(FaultSite::collective);
-  auto result = world_->context(context_id_).run(rank_, std::move(contribution), combine);
+  const auto interrupt = [this] { return world_->any_failed() && !dead_members().empty(); };
+  std::vector<std::byte> result;
+  try {
+    result = world_->context(context_id_).run(rank_, std::move(contribution), combine, interrupt);
+  } catch (const RendezvousInterrupted&) {
+    throw_rank_lost();
+  } catch (const TimeoutError& timeout) {
+    convert_timeout(timeout);
+  }
   TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
   ++s.collectives;
   const int p = size();
@@ -143,6 +191,48 @@ std::vector<std::byte> detail::concat_with_sizes(
     offset += p.size();
   }
   return out;
+}
+
+int Comm::comm_rank_of_world(int world_rank) const {
+  for (int i = 0; i < size(); ++i)
+    if ((*group_)[i] == world_rank) return i;
+  return -1;
+}
+
+std::vector<int> Comm::agree(const std::vector<int>& values) {
+  // Fold the locally-known dead set into the contribution so agreement
+  // reflects every failure any survivor has observed so far; the finalizer's
+  // late_values picks up deaths marked while the agreement was in flight.
+  std::vector<int> mine = values;
+  const std::vector<int> dead_now = dead_members();
+  mine.insert(mine.end(), dead_now.begin(), dead_now.end());
+  const auto dead_local = [this] {
+    std::vector<int> local;
+    for (int i = 0; i < size(); ++i)
+      if (world_->is_failed((*group_)[i])) local.push_back(i);
+    return local;
+  };
+  const auto late_values = [this] { return dead_members(); };
+  return world_->context(context_id_).agree(rank_, mine, dead_local, late_values);
+}
+
+Comm Comm::shrink() {
+  const std::vector<int> dead = agree({});
+  auto new_group = std::make_shared<std::vector<int>>();
+  int new_rank = -1;
+  for (int i = 0; i < size(); ++i) {
+    const int wr = (*group_)[i];
+    if (std::binary_search(dead.begin(), dead.end(), wr)) continue;
+    if (i == rank_) new_rank = static_cast<int>(new_group->size());
+    new_group->push_back(wr);
+  }
+  if (new_rank < 0)
+    throw std::logic_error("svmmpi: shrink called by a rank in the agreed dead set");
+  // Agreement made the dead set — and hence the surviving group — identical
+  // on every survivor, so the memoized per-group context lookup yields the
+  // same context id everywhere without further communication.
+  const int context = world_->context_for_group(*new_group);
+  return Comm(world_, std::move(new_group), new_rank, context);
 }
 
 Comm Comm::split(int color, int key) const {

@@ -110,6 +110,9 @@ class Comm {
   [[nodiscard]] int size() const noexcept { return static_cast<int>(group_->size()); }
   [[nodiscard]] World& world() const noexcept { return *world_; }
   [[nodiscard]] int world_rank_of(int comm_rank) const { return (*group_)[comm_rank]; }
+  /// Inverse of world_rank_of: this comm's rank holding `world_rank`, or -1
+  /// if that world rank is not a member of this communicator.
+  [[nodiscard]] int comm_rank_of_world(int world_rank) const;
 
   // --- point to point ----------------------------------------------------
 
@@ -278,6 +281,26 @@ class Comm {
   /// ordered by (key, parent rank). Collective over this comm.
   [[nodiscard]] Comm split(int color, int key) const;
 
+  // --- elastic recovery (ULFM-style) -------------------------------------
+
+  /// Sorted world ranks of this comm's members currently marked failed.
+  [[nodiscard]] std::vector<int> dead_members() const;
+
+  /// Fault-tolerant agreement (MPI_Comm_agree): returns the sorted union of
+  /// every survivor's `values` plus the world ranks of every member known
+  /// dead by completion. Completes even while members are dying — a member's
+  /// arrival requirement is waived the moment it is marked failed. All
+  /// survivors receive the identical result. Must be called by every
+  /// surviving member.
+  [[nodiscard]] std::vector<int> agree(const std::vector<int>& values);
+
+  /// ULFM MPI_Comm_shrink: survivors agree on the dead set and return a
+  /// compacted communicator over the survivors, ranks renumbered 0..s-1 in
+  /// ascending world-rank order. The new collective context is derived
+  /// deterministically from the surviving group, so no post-agreement
+  /// communication is needed. Must be called by every surviving member.
+  [[nodiscard]] Comm shrink();
+
  private:
   enum class ModelAs { tree, ring, none };
 
@@ -291,6 +314,13 @@ class Comm {
   /// may sleep (delay) or throw RankFailed (crash). Returns true when the op
   /// must be suppressed (dropped send).
   [[nodiscard]] bool faulted_op(FaultSite site);
+
+  /// Raises the RankLost verdict for the currently-dead members.
+  [[noreturn]] void throw_rank_lost() const;
+  /// Deadline-driven detection: a timeout may race the failing rank's own
+  /// RankFailed by a hair, so grace-poll the failure registry briefly; if a
+  /// member death explains the stall, convert to RankLost, else rethrow.
+  [[noreturn]] void convert_timeout(const TimeoutError& timeout) const;
 
   World* world_;
   std::shared_ptr<const std::vector<int>> group_;

@@ -34,10 +34,10 @@ FaultAction FaultInjector::on_op(int rank, FaultSite site) {
     if (consumed_[e]) continue;
     const FaultEvent& ev = events_[e];
     if (ev.rank != rank || ev.op > op || !site_matches(ev.site, site)) continue;
-    if (ev.kind == FaultKind::crash) {
+    if (ev.kind == FaultKind::crash || ev.kind == FaultKind::die) {
       consumed_[e] = true;
       ++fired_;
-      throw RankFailed(rank, op);
+      throw RankFailed(rank, op, /*is_permanent=*/ev.kind == FaultKind::die);
     }
   }
   for (std::size_t e = 0; e < events_.size(); ++e) {

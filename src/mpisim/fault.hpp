@@ -19,18 +19,51 @@
 
 namespace svmmpi {
 
-/// Thrown at the faulted rank when a FaultPlan crash event fires. The SPMD
-/// launcher aborts the world (siblings observe WorldAborted) and rethrows
-/// this to the caller, modelling a process failure on a real cluster.
+/// Thrown at the faulted rank when a FaultPlan crash/die event fires. Under
+/// the classic launcher (run_spmd) the world is aborted (siblings observe
+/// WorldAborted) and this is rethrown to the caller, modelling a process
+/// failure on a real cluster. The elastic launcher (run_spmd_elastic) instead
+/// records the death in the World so surviving ranks can agree/shrink and
+/// keep going. `permanent` distinguishes a transient crash (the process can
+/// be relaunched with its rank's spilled state) from a permanent rank loss
+/// (the node is gone; its memory — including memory-only checkpoints — is
+/// unrecoverable except through a surviving buddy replica).
 struct RankFailed : std::runtime_error {
-  RankFailed(int failed_rank, std::uint64_t at_op)
+  RankFailed(int failed_rank, std::uint64_t at_op, bool is_permanent = false)
       : std::runtime_error("svmmpi: rank " + std::to_string(failed_rank) +
-                           " failed (injected crash at op " + std::to_string(at_op) + ")"),
+                           (is_permanent ? " lost (injected permanent failure at op "
+                                         : " failed (injected crash at op ") +
+                           std::to_string(at_op) + ")"),
         rank(failed_rank),
-        op(at_op) {}
+        op(at_op),
+        permanent(is_permanent) {}
 
   int rank;
   std::uint64_t op;
+  bool permanent;
+};
+
+/// The recoverable verdict of deadline-driven failure detection: a surviving
+/// rank's blocked operation was interrupted (or timed out) and the World has
+/// one or more ranks marked failed. Where a fatal TimeoutError/WorldAborted
+/// says "something is wrong", RankLost says "these specific ranks are dead;
+/// the survivors are consistent and may agree/shrink and continue". Thrown
+/// by Comm on behalf of survivors, never by the failed rank itself.
+struct RankLost : std::runtime_error {
+  RankLost(std::vector<int> dead_ranks, bool any_permanent)
+      : std::runtime_error("svmmpi: rank loss detected (" +
+                           [](const std::vector<int>& d) {
+                             std::string s;
+                             for (const int r : d)
+                               s += (s.empty() ? "rank " : ", ") + std::to_string(r);
+                             return s;
+                           }(dead_ranks) +
+                           "); survivors may shrink the world"),
+        dead(std::move(dead_ranks)),
+        permanent(any_permanent) {}
+
+  std::vector<int> dead;  ///< world ranks, ascending
+  bool permanent;         ///< true when any death was a permanent loss
 };
 
 /// Thrown instead of deadlocking when a blocking receive or collective
@@ -60,7 +93,7 @@ struct TimeoutError : std::runtime_error {
 /// no meaning — the message simply never arrives).
 enum class FaultSite : std::uint8_t { any, send, recv, collective };
 
-enum class FaultKind : std::uint8_t { delay, drop, crash };
+enum class FaultKind : std::uint8_t { delay, drop, crash, die };
 
 struct FaultEvent {
   FaultKind kind = FaultKind::delay;
@@ -77,6 +110,13 @@ class FaultPlan {
  public:
   FaultPlan& crash(int rank, std::uint64_t op, FaultSite site = FaultSite::any) {
     events_.push_back({FaultKind::crash, site, rank, op, 0.0});
+    return *this;
+  }
+  /// Permanent rank loss: like crash(), but RankFailed::permanent is set —
+  /// the rank's process memory (and any memory-only checkpoint it held) is
+  /// gone for good; only a buddy replica or a disk spill can recover it.
+  FaultPlan& die(int rank, std::uint64_t op, FaultSite site = FaultSite::any) {
+    events_.push_back({FaultKind::die, site, rank, op, 0.0});
     return *this;
   }
   FaultPlan& drop(int rank, std::uint64_t op) {

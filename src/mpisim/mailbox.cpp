@@ -28,10 +28,17 @@ bool Mailbox::find_match_locked(int context, int source, int tag, std::size_t& i
   return false;
 }
 
-Message Mailbox::pop(int context, int source, int tag) {
+Message Mailbox::pop(int context, int source, int tag, const std::function<bool()>& interrupt) {
   std::unique_lock lock(mutex_);
   std::size_t index = 0;
-  const auto ready = [&] { return aborted_ || find_match_locked(context, source, tag, index); };
+  bool interrupted = false;
+  // A queued matching message always wins over an interrupt: the peer's
+  // message was delivered before it died, exactly as on a real network.
+  const auto ready = [&] {
+    if (aborted_ || find_match_locked(context, source, tag, index)) return true;
+    interrupted = interrupt && interrupt();
+    return interrupted;
+  };
   if (timeout_s_ <= 0.0) {
     available_.wait(lock, ready);
   } else {
@@ -42,6 +49,8 @@ Message Mailbox::pop(int context, int source, int tag) {
       throw TimeoutError(owner_rank_, source, tag, timeout_s_, "blocking receive");
   }
   if (aborted_) throw WorldAborted{};
+  if (interrupted && !find_match_locked(context, source, tag, index))
+    throw RendezvousInterrupted{};
   Message result = std::move(queue_[index]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
   return result;
@@ -62,6 +71,13 @@ void Mailbox::abort() {
     std::lock_guard lock(mutex_);
     aborted_ = true;
   }
+  available_.notify_all();
+}
+
+void Mailbox::poke() {
+  // Take the lock so a poke cannot slip between a waiter's predicate check
+  // and its wait, which would lose the wakeup.
+  { std::lock_guard lock(mutex_); }
   available_.notify_all();
 }
 

@@ -7,6 +7,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -30,6 +31,16 @@ struct WorldAborted : std::exception {
   }
 };
 
+/// Thrown from a blocking wait whose `interrupt` predicate fired: the awaited
+/// peer (or a collective member) was marked failed while we waited. An
+/// internal wake signal — Comm converts it into the public RankLost verdict;
+/// it never escapes the mpisim layer.
+struct RendezvousInterrupted : std::exception {
+  [[nodiscard]] const char* what() const noexcept override {
+    return "svmmpi: blocking operation interrupted by a peer failure";
+  }
+};
+
 class Mailbox {
  public:
   /// `owner_rank` names this mailbox's rank in errors; `timeout_s` > 0 turns
@@ -44,14 +55,23 @@ class Mailbox {
   /// removes it. Wildcards kAnySource/kAnyTag match anything; context always
   /// matches exactly. Throws WorldAborted if abort() is called while waiting,
   /// and TimeoutError naming (rank, source, tag) once the configured deadline
-  /// elapses with no matching message.
-  [[nodiscard]] Message pop(int context, int source, int tag);
+  /// elapses with no matching message. When `interrupt` is provided and
+  /// becomes true while waiting (re-checked whenever poke() fires), pop
+  /// throws RendezvousInterrupted — the elastic path uses this to wake a
+  /// receiver whose awaited peer has been marked failed, without waiting for
+  /// the full deadline.
+  [[nodiscard]] Message pop(int context, int source, int tag,
+                            const std::function<bool()>& interrupt = {});
 
   /// Non-blocking variant; returns false if no matching message is queued.
   [[nodiscard]] bool try_pop(int context, int source, int tag, Message& out);
 
   /// Wakes all waiters; subsequent/pending blocking pops throw WorldAborted.
   void abort();
+
+  /// Wakes all waiters so they re-evaluate their interrupt predicates (e.g.
+  /// after a rank is marked failed). Does not change mailbox state.
+  void poke();
 
   [[nodiscard]] std::size_t pending() const;
 

@@ -40,4 +40,50 @@ TrafficStats run_spmd(int num_ranks, const std::function<void(Comm&)>& body, Net
   return world.total_stats();
 }
 
+ElasticReport run_spmd_elastic(int num_ranks, const std::function<void(Comm&)>& body,
+                               NetModel model, const std::function<void(const World&)>& inspect,
+                               FaultInjector* injector) {
+  if (model.timeout_s <= 0.0)
+    throw std::invalid_argument(
+        "svmmpi: elastic SPMD needs model.timeout_s > 0 (deadline-driven failure detection)");
+  World world(num_ranks, model, injector);
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto rank_main = [&](int rank) {
+    try {
+      Comm comm = world.world_comm(rank);
+      body(comm);
+    } catch (const RankFailed& failure) {
+      // The injected death of THIS rank: record it and exit quietly. The
+      // mark wakes every survivor blocked on this rank so they observe
+      // RankLost promptly instead of waiting out the deadline.
+      world.mark_failed(rank, failure.permanent);
+    } catch (const WorldAborted&) {
+      // Secondary failure caused by another rank's abort; ignore.
+    } catch (...) {
+      {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      world.abort();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_ranks);
+  for (int r = 0; r < num_ranks; ++r) threads.emplace_back(rank_main, r);
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  ElasticReport report;
+  report.failed_ranks = world.failed_ranks();
+  for (const int wr : report.failed_ranks)
+    report.any_permanent = report.any_permanent || world.failure_is_permanent(wr);
+  if (inspect) inspect(world);
+  report.stats = world.total_stats();
+  return report;
+}
+
 }  // namespace svmmpi

@@ -22,4 +22,25 @@ TrafficStats run_spmd(int num_ranks, const std::function<void(Comm&)>& body,
                       const std::function<void(const World&)>& inspect = nullptr,
                       FaultInjector* injector = nullptr);
 
+/// What happened to the world during an elastic SPMD region.
+struct ElasticReport {
+  TrafficStats stats;
+  std::vector<int> failed_ranks;  ///< world ranks that died, ascending
+  bool any_permanent = false;     ///< true when any death was permanent
+};
+
+/// Elastic SPMD launcher: a rank throwing RankFailed is marked dead in the
+/// World (permanent flag preserved) and its thread exits WITHOUT aborting
+/// the siblings. Survivors' blocked operations are woken and surface the
+/// recoverable RankLost verdict; the body is expected to catch it, call
+/// Comm::shrink(), repartition and continue — ranks that do so run to
+/// completion on the shrunken communicator. Any other exception (including
+/// RankLost escaping an unrecovering body) aborts the world and is rethrown,
+/// exactly like run_spmd. Requires model.timeout_s > 0: deadline-driven
+/// detection is the backstop when a rank dies outside any rendezvous.
+ElasticReport run_spmd_elastic(int num_ranks, const std::function<void(Comm&)>& body,
+                               NetModel model = {},
+                               const std::function<void(const World&)>& inspect = nullptr,
+                               FaultInjector* injector = nullptr);
+
 }  // namespace svmmpi

@@ -1,5 +1,6 @@
 #include "mpisim/world.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
@@ -29,6 +30,60 @@ void World::abort() {
   for (auto& box : mailboxes_) box->abort();
   std::lock_guard lock(registry_mutex_);
   for (auto& [id, ctx] : contexts_) ctx->abort();
+}
+
+void World::mark_failed(int world_rank, bool permanent) {
+  if (world_rank < 0 || world_rank >= size_)
+    throw std::out_of_range("svmmpi: rank out of range");
+  {
+    std::lock_guard lock(failed_mutex_);
+    if (permanent) {
+      const auto pit =
+          std::lower_bound(failed_permanent_.begin(), failed_permanent_.end(), world_rank);
+      if (pit == failed_permanent_.end() || *pit != world_rank)
+        failed_permanent_.insert(pit, world_rank);
+    }
+    const auto it = std::lower_bound(failed_.begin(), failed_.end(), world_rank);
+    if (it != failed_.end() && *it == world_rank) return;
+    failed_.insert(it, world_rank);
+  }
+  // Poke OUTSIDE failed_mutex_: agree()'s dead_local predicate runs under a
+  // context mutex and calls failed_ranks(); holding failed_mutex_ here while
+  // taking the context mutex inside poke() would invert that order.
+  for (auto& box : mailboxes_) box->poke();
+  std::lock_guard lock(registry_mutex_);
+  for (auto& [id, ctx] : contexts_) ctx->poke();
+}
+
+bool World::is_failed(int world_rank) const {
+  std::lock_guard lock(failed_mutex_);
+  return std::binary_search(failed_.begin(), failed_.end(), world_rank);
+}
+
+bool World::any_failed() const {
+  std::lock_guard lock(failed_mutex_);
+  return !failed_.empty();
+}
+
+bool World::failure_is_permanent(int world_rank) const {
+  std::lock_guard lock(failed_mutex_);
+  return std::binary_search(failed_permanent_.begin(), failed_permanent_.end(), world_rank);
+}
+
+std::vector<int> World::failed_ranks() const {
+  std::lock_guard lock(failed_mutex_);
+  return failed_;
+}
+
+int World::context_for_group(const std::vector<int>& group) {
+  std::lock_guard lock(registry_mutex_);
+  const auto it = group_contexts_.find(group);
+  if (it != group_contexts_.end()) return it->second;
+  const int id = next_context_id_++;
+  contexts_.emplace(id, std::make_unique<CollectiveContext>(
+                            static_cast<int>(group.size()), model_.timeout_s));
+  group_contexts_.emplace(group, id);
+  return id;
 }
 
 TrafficStats World::total_stats() const {

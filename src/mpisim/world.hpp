@@ -40,6 +40,25 @@ class World {
   void abort();
   [[nodiscard]] bool aborted() const noexcept { return aborted_.load(); }
 
+  // --- failure registry (elastic recovery) ------------------------------
+  /// Records `world_rank` as dead, then wakes every blocked mailbox pop and
+  /// collective rendezvous so interrupt predicates are re-evaluated. Unlike
+  /// abort(), survivors keep running: their blocked ops surface RankLost (via
+  /// Comm) instead of WorldAborted. `permanent` records whether the rank's
+  /// process memory is unrecoverable (RankFailed::permanent). Idempotent.
+  void mark_failed(int world_rank, bool permanent = true);
+  [[nodiscard]] bool is_failed(int world_rank) const;
+  [[nodiscard]] bool any_failed() const;
+  /// True when `world_rank` was marked failed with permanent = true.
+  [[nodiscard]] bool failure_is_permanent(int world_rank) const;
+  /// Sorted snapshot of the dead set.
+  [[nodiscard]] std::vector<int> failed_ranks() const;
+
+  /// Memoized context allocation keyed by the (sorted) surviving group:
+  /// every survivor calling with the same group gets the same context id
+  /// without communicating — the shrink protocol's "communicator creation".
+  [[nodiscard]] int context_for_group(const std::vector<int>& group);
+
   /// Per-rank statistics. Only rank `r`'s thread writes stats(r), so reads
   /// are race-free after the SPMD region joins.
   [[nodiscard]] const TrafficStats& stats(int rank) const { return stats_[rank]; }
@@ -64,7 +83,12 @@ class World {
 
   std::mutex registry_mutex_;
   std::map<int, std::unique_ptr<CollectiveContext>> contexts_;
+  std::map<std::vector<int>, int> group_contexts_;
   int next_context_id_ = 0;
+
+  mutable std::mutex failed_mutex_;
+  std::vector<int> failed_;            ///< sorted world ranks marked dead
+  std::vector<int> failed_permanent_;  ///< sorted subset with permanent loss
 };
 
 }  // namespace svmmpi
