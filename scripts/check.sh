@@ -2,10 +2,11 @@
 # Tier-1 verification plus sanitizer passes over the layers that need them.
 # Run from the repo root:
 #
-#   scripts/check.sh            # full: tier-1 build+ctest, ASan kernel tests, TSan chaos tests
+#   scripts/check.sh            # full: tier-1 build+ctest, ASan kernel tests, TSan chaos tests, perf smoke
 #   scripts/check.sh --tier1    # only the tier-1 build + full ctest suite
 #   scripts/check.sh --asan     # only the ASan kernel/engine/cache tests
 #   scripts/check.sh --tsan     # only the TSan chaos/fault-tolerance tests
+#   scripts/check.sh --perf     # only the pipelined-reconstruction perf smoke
 #
 # The ASan pass rebuilds the kernel-layer tests under -DSVM_SANITIZE=address
 # in a separate build tree (build-asan/) and runs the binaries directly; it
@@ -24,12 +25,14 @@ cd "$(dirname "$0")/.."
 run_tier1=true
 run_asan=true
 run_tsan=true
+run_perf=true
 case "${1:-}" in
-  --tier1) run_asan=false; run_tsan=false ;;
-  --asan) run_tier1=false; run_tsan=false ;;
-  --tsan) run_tier1=false; run_asan=false ;;
+  --tier1) run_asan=false; run_tsan=false; run_perf=false ;;
+  --asan) run_tier1=false; run_tsan=false; run_perf=false ;;
+  --tsan) run_tier1=false; run_asan=false; run_perf=false ;;
+  --perf) run_tier1=false; run_asan=false; run_tsan=false ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--tier1|--asan|--tsan]" >&2; exit 2 ;;
+  *) echo "usage: scripts/check.sh [--tier1|--asan|--tsan|--perf]" >&2; exit 2 ;;
 esac
 
 if $run_tier1; then
@@ -54,8 +57,18 @@ if $run_tsan; then
   echo "=== tsan: chaos/fault-tolerance tests under -fsanitize=thread ==="
   cmake -B build-tsan -S . -DSVM_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target \
-    test_mpisim_fault test_chaos_recovery test_elastic_shrink
+    test_mpisim_fault test_chaos_recovery test_elastic_shrink test_gradrecon_pipeline
   (cd build-tsan && ctest -L chaos --output-on-failure -j "$(nproc)")
+fi
+
+if $run_perf; then
+  echo "=== perf smoke: pipelined reconstruction must not regress serial at p=4 ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target bench_fig8_gradrecon
+  # --assert makes the bench exit nonzero if the pipelined ring's
+  # reconstruction wall time exceeds the serial ring's, if the modeled
+  # network seconds fail to drop, or if bitwise model parity breaks.
+  (cd build && ./bench/bench_fig8_gradrecon --quick --ranks 4 --assert)
 fi
 
 echo "ALL CHECKS PASSED"

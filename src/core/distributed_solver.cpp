@@ -197,6 +197,14 @@ PackedSamples DistributedSolver::fetch_pair(std::int64_t g_up, std::int64_t g_lo
   return PackedSamples::unpack(bytes);
 }
 
+DistributedSolver::PhaseExit DistributedSolver::phase_exit(PhaseExit exit) noexcept {
+  // min_active is tracked at shrink passes, but a phase can also end between
+  // passes (converged/stalled/capped) or without ever shrinking; sample the
+  // exit-time active-set size so the reported minimum covers every boundary.
+  stats_.min_active = std::min(stats_.min_active, active_.size());
+  return exit;
+}
+
 DistributedSolver::PhaseExit DistributedSolver::run_phase(double tolerance, bool shrinking) {
   while (true) {
     // Loop tops are the checkpoint boundaries: state is replica-consistent
@@ -206,10 +214,11 @@ DistributedSolver::PhaseExit DistributedSolver::run_phase(double tolerance, bool
     if (i_up_ == std::numeric_limits<std::int64_t>::max() ||
         i_low_ == std::numeric_limits<std::int64_t>::max()) {
       // Active set lost one side entirely; only reconstruction can help.
-      return PhaseExit::converged;
+      return phase_exit(PhaseExit::converged);
     }
-    if (beta_up_ + tolerance >= beta_low_) return PhaseExit::converged;
-    if (stats_.iterations >= config_.params.max_iterations) return PhaseExit::iteration_cap;
+    if (beta_up_ + tolerance >= beta_low_) return phase_exit(PhaseExit::converged);
+    if (stats_.iterations >= config_.params.max_iterations)
+      return phase_exit(PhaseExit::iteration_cap);
 
     // Both violators arrive in one message + one Bcast (sample 0 = up,
     // sample 1 = low).
@@ -236,7 +245,7 @@ DistributedSolver::PhaseExit DistributedSolver::run_phase(double tolerance, bool
     if (!updated.progress) {
       SVM_LOG_WARN << "distributed solver: stalled pair at gap "
                    << (beta_low_ - beta_up_) << "; ending phase";
-      return PhaseExit::stalled;
+      return phase_exit(PhaseExit::stalled);
     }
     const double delta_up = updated.alpha_up - pair.alpha(0);
     const double delta_low = updated.alpha_low - pair.alpha(1);

@@ -43,6 +43,16 @@ struct DistributedConfig {
   /// iterations into SolverStats::active_trace (rank 0 only). Costs one
   /// Allreduce per sample point; used by the figure benches.
   std::uint64_t trace_active_interval = 0;
+  /// Double-buffered pipelined reconstruction ring (the tentpole of
+  /// Algorithm 3's fast path): each ring step posts the Isend/Irecv of the
+  /// next block before computing on the current one and Waitalls at the step
+  /// boundary, so the exchange is charged max(compute, comm) modeled seconds
+  /// instead of their sum (Comm::credit_overlap). The compute itself goes
+  /// through KernelEngine::eval_block_rows with adaptive orientation.
+  /// Bit-identical to the serial ring — a performance knob, never a results
+  /// knob; `false` keeps the blocking exchange-after-compute path for
+  /// before/after benchmarking.
+  bool pipelined_reconstruction = true;
   /// Checkpoint/restart: when both are set, every rank serializes its solver
   /// state into `checkpoint_store` at iteration multiples of
   /// `checkpoint_interval` (purely local — no extra communication), and a
@@ -76,6 +86,10 @@ class DistributedSolver {
   /// One SMO phase: iterate until beta_up + tolerance >= beta_low over the
   /// active set. `shrinking` enables the Eq. (9) elimination logic.
   PhaseExit run_phase(double tolerance, bool shrinking);
+
+  /// Samples stats_.min_active at a phase's exit (not only at shrink passes,
+  /// which a phase can end without reaching) and forwards the verdict.
+  PhaseExit phase_exit(PhaseExit exit) noexcept;
 
   /// Algorithm 3 (gradient_reconstruction.cpp): repairs gamma of shrunk
   /// samples via the ring exchange, reactivates all samples and refreshes

@@ -1,17 +1,43 @@
 // Algorithm 3: distributed gradient reconstruction. Every rank's samples
 // with alpha > 0 circulate the ring (MPI_Isend/Irecv/Waitall of CSR data in
-// the paper; the sendrecv building block here); each rank accumulates the
-// kernel contributions into the gamma of its previously shrunk samples. The
-// paper cannot use MPI_Allgatherv because the collective would need a buffer
-// holding the whole dataset — the ring keeps the footprint at one block.
+// the paper); each rank accumulates the kernel contributions into the gamma
+// of its previously shrunk samples. The paper cannot use MPI_Allgatherv
+// because the collective would need a buffer holding the whole dataset — the
+// ring keeps the footprint at one block.
+//
+// The default path is the double-buffered pipelined ring: step k posts the
+// Isend of the current block and the Irecv of block k+1 BEFORE computing on
+// block k, then Waitalls at the step boundary. The exchange rides behind the
+// compute, so the overlap accounting charges the step max(compute, comm)
+// modeled seconds instead of their sum (Comm::credit_overlap moves the
+// hidden min(compute, comm) into TrafficStats::overlapped_seconds). The
+// compute itself is one KernelEngine::eval_block_rows call per step —
+// min(|omega|, |block|) query scatters via the adaptive orientation instead
+// of one per stale sample — and is bit-identical to the serial per-sample
+// query loop, so pipelined and serial reconstruction produce byte-equal
+// models.
+//
+// Crash safety: gamma_ is only written after the full ring completes;
+// gamma_accum and the circulating buffers are locals. A rank failure at any
+// point of the pipeline (post, compute, wait) unwinds without touching
+// solver state, so checkpoint replay re-enters reconstruction from the last
+// run_phase boundary and reproduces it deterministically.
+#include <algorithm>
+
 #include "core/distributed_solver.hpp"
 #include "util/timer.hpp"
 
 namespace svmcore {
 
+namespace {
+constexpr int kTagRing = 13;  ///< reconstruction ring exchanges
+}  // namespace
+
 void DistributedSolver::reconstruct_gradients() {
   svmutil::Timer timer;
   const std::uint64_t kernel_evals_before = kernel_.evaluations();
+  const std::uint64_t scatter_before = engine_.stats().scatter_builds;
+  const std::uint64_t bytes_before = engine_.stats().bytes_streamed;
   ++stats_.reconstructions;
 
   // omega_q: local samples whose gamma went stale when they were shrunk.
@@ -42,26 +68,98 @@ void DistributedSolver::reconstruct_gradients() {
     const int to = (comm_.rank() + 1) % p;
     const int from = (comm_.rank() - 1 + p) % p;
 
-    std::vector<std::byte> circulating = mine.pack();
-    for (int step = 0; step < p; ++step) {
-      const PackedSamples block =
-          step == 0 ? std::move(mine) : PackedSamples::unpack(circulating);
-      for (std::size_t w = 0; w < omega.size(); ++w) {
-        const std::uint32_t i = omega[w];
-        const std::size_t g = range_.begin + i;
-        // Engine query scope: the stale row is scattered once, then the
-        // whole circulating block streams against it.
-        engine_.begin_query(data_.X.row(g), engine_.sq_norm(g));
-        double sum = 0.0;
-        for (std::size_t j = 0; j < block.size(); ++j)
-          sum += block.alpha(j) * block.y(j) *
-                 engine_.query_row(block.row(j), block.sq_norm(j));
-        engine_.end_query();
-        gamma_accum[w] += sum;
+    // Double buffers + one unpacked block, reused across every ring step:
+    // once payload sizes stabilize, the steady state allocates nothing.
+    std::vector<std::byte> circulating;
+    std::vector<std::byte> incoming;
+    mine.pack_into(circulating);
+    PackedSamples block;
+    const auto current_block = [&](int step) -> const PackedSamples& {
+      if (step == 0) return mine;
+      PackedSamples::unpack_into(circulating, block);
+      return block;
+    };
+
+    if (config_.pipelined_reconstruction) {
+      // eval_block_rows argument scratch, reused across steps.
+      std::vector<std::span<const svmdata::Feature>> rows;
+      std::vector<double> sq_norms;
+      std::vector<double> coeffs;
+
+      for (int step = 0; step < p; ++step) {
+        ++stats_.recon_ring_steps;
+        // Post block k+1's exchange before computing on block k. isend is
+        // buffered-eager (it snapshots `circulating`), and the Irecv defers
+        // its blocking pop to the wait, so posting order is deadlock-free.
+        const bool exchanging = step + 1 < p;
+        svmmpi::Request recv_req;
+        svmmpi::Request send_req;
+        double comm_before = 0.0;
+        if (exchanging) {
+          comm_before = comm_.traffic().modeled_seconds;
+          recv_req = comm_.irecv_into(incoming, from, kTagRing);
+          send_req = comm_.isend(std::span<const std::byte>(circulating), to, kTagRing);
+        }
+
+        const PackedSamples& b = current_block(step);
+        svmutil::Timer compute_timer;
+        rows.clear();
+        sq_norms.clear();
+        coeffs.clear();
+        rows.reserve(b.size());
+        sq_norms.reserve(b.size());
+        coeffs.reserve(b.size());
+        for (std::size_t j = 0; j < b.size(); ++j) {
+          rows.push_back(b.row(j));
+          sq_norms.push_back(b.sq_norm(j));
+          coeffs.push_back(b.alpha(j) * b.y(j));
+        }
+        engine_.eval_block_rows(rows, sq_norms, coeffs, omega, range_.begin, gamma_accum,
+                                config_.openmp_gamma);
+        if (engine_.backend() != svmkernel::EngineBackend::reference)
+          stats_.recon_scatter_builds_saved +=
+              omega.size() - std::min(omega.size(), b.size());
+        const double compute_s = compute_timer.seconds();
+
+        if (exchanging) {
+          // Waitall at the step boundary, then swap the double buffers.
+          recv_req.wait();
+          send_req.wait();
+          const double comm_s = comm_.traffic().modeled_seconds - comm_before;
+          stats_.recon_comm_seconds += comm_s;
+          stats_.recon_overlapped_seconds += comm_.credit_overlap(compute_s, comm_s);
+          ++stats_.recon_overlapped_steps;
+          circulating.swap(incoming);
+        }
       }
-      // After p-1 exchanges every block has visited every rank.
-      if (step + 1 < p)
-        circulating = comm_.sendrecv(std::span<const std::byte>(circulating), to, from);
+    } else {
+      // Serial reference ring: blocking exchange strictly after the compute,
+      // one engine query scope per stale sample. Kept for before/after
+      // benchmarking; byte-equal results to the pipelined path.
+      for (int step = 0; step < p; ++step) {
+        ++stats_.recon_ring_steps;
+        const PackedSamples& b = current_block(step);
+        for (std::size_t w = 0; w < omega.size(); ++w) {
+          const std::uint32_t i = omega[w];
+          const std::size_t g = range_.begin + i;
+          // Engine query scope: the stale row is scattered once, then the
+          // whole circulating block streams against it.
+          engine_.begin_query(data_.X.row(g), engine_.sq_norm(g));
+          double sum = 0.0;
+          for (std::size_t j = 0; j < b.size(); ++j)
+            sum += b.alpha(j) * b.y(j) * engine_.query_row(b.row(j), b.sq_norm(j));
+          engine_.end_query();
+          gamma_accum[w] += sum;
+        }
+        // After p-1 exchanges every block has visited every rank.
+        if (step + 1 < p) {
+          const double comm_before = comm_.traffic().modeled_seconds;
+          comm_.sendrecv_into(std::span<const std::byte>(circulating), incoming, to, from,
+                              kTagRing);
+          stats_.recon_comm_seconds += comm_.traffic().modeled_seconds - comm_before;
+          circulating.swap(incoming);
+        }
+      }
     }
 
     for (std::size_t w = 0; w < omega.size(); ++w) {
@@ -80,6 +178,8 @@ void DistributedSolver::reconstruct_gradients() {
 
   stats_.reconstruction_seconds += timer.seconds();
   stats_.recon_kernel_evaluations += kernel_.evaluations() - kernel_evals_before;
+  stats_.recon_scatter_builds += engine_.stats().scatter_builds - scatter_before;
+  stats_.recon_bytes_streamed += engine_.stats().bytes_streamed - bytes_before;
 }
 
 }  // namespace svmcore

@@ -24,7 +24,27 @@ std::vector<T> consume(std::span<const std::byte>& bytes, std::size_t count) {
   return data;
 }
 
+/// consume() into an existing vector, reusing its capacity.
+template <typename T>
+void consume_into(std::span<const std::byte>& bytes, std::size_t count, std::vector<T>& out) {
+  const std::size_t want = count * sizeof(T);
+  if (bytes.size() < want) throw std::runtime_error("PackedSamples: truncated buffer");
+  out.resize(count);
+  if (want != 0) std::memcpy(out.data(), bytes.data(), want);
+  bytes = bytes.subspan(want);
+}
+
 }  // namespace
+
+void PackedSamples::clear() noexcept {
+  index_.clear();
+  y_.clear();
+  alpha_.clear();
+  sq_norm_.clear();
+  offsets_.clear();
+  offsets_.push_back(0);
+  features_.clear();
+}
 
 void PackedSamples::reserve(std::size_t samples, std::size_t features) {
   index_.reserve(samples);
@@ -53,6 +73,12 @@ std::size_t PackedSamples::packed_bytes() const noexcept {
 
 std::vector<std::byte> PackedSamples::pack() const {
   std::vector<std::byte> out;
+  pack_into(out);
+  return out;
+}
+
+void PackedSamples::pack_into(std::vector<std::byte>& out) const {
+  out.clear();
   out.reserve(packed_bytes());
   const std::uint64_t header[2] = {index_.size(), features_.size()};
   append(out, std::span<const std::uint64_t>(header, 2));
@@ -62,24 +88,32 @@ std::vector<std::byte> PackedSamples::pack() const {
   append(out, std::span<const double>(sq_norm_));
   append(out, std::span<const std::uint64_t>(offsets_));
   append(out, std::span<const svmdata::Feature>(features_));
-  return out;
 }
 
 PackedSamples PackedSamples::unpack(std::span<const std::byte> bytes) {
-  const auto header = consume<std::uint64_t>(bytes, 2);
-  const std::size_t samples = header[0];
-  const std::size_t features = header[1];
   PackedSamples out;
-  out.index_ = consume<std::int64_t>(bytes, samples);
-  out.y_ = consume<double>(bytes, samples);
-  out.alpha_ = consume<double>(bytes, samples);
-  out.sq_norm_ = consume<double>(bytes, samples);
-  out.offsets_ = consume<std::uint64_t>(bytes, samples + 1);
-  out.features_ = consume<svmdata::Feature>(bytes, features);
-  if (!bytes.empty()) throw std::runtime_error("PackedSamples: trailing bytes");
-  if (out.offsets_.front() != 0 || out.offsets_.back() != features)
-    throw std::runtime_error("PackedSamples: corrupt offsets");
+  unpack_into(bytes, out);
   return out;
+}
+
+void PackedSamples::unpack_into(std::span<const std::byte> bytes, PackedSamples& out) {
+  try {
+    const auto header = consume<std::uint64_t>(bytes, 2);
+    const std::size_t samples = header[0];
+    const std::size_t features = header[1];
+    consume_into(bytes, samples, out.index_);
+    consume_into(bytes, samples, out.y_);
+    consume_into(bytes, samples, out.alpha_);
+    consume_into(bytes, samples, out.sq_norm_);
+    consume_into(bytes, samples + 1, out.offsets_);
+    consume_into(bytes, features, out.features_);
+    if (!bytes.empty()) throw std::runtime_error("PackedSamples: trailing bytes");
+    if (out.offsets_.front() != 0 || out.offsets_.back() != features)
+      throw std::runtime_error("PackedSamples: corrupt offsets");
+  } catch (...) {
+    out.clear();  // never leave a half-written block behind
+    throw;
+  }
 }
 
 }  // namespace svmcore

@@ -20,6 +20,10 @@ class PackedSamples {
 
   void reserve(std::size_t samples, std::size_t features);
 
+  /// Empties the block but keeps every internal buffer's capacity, so a
+  /// block reused across ring steps stops allocating once sizes stabilize.
+  void clear() noexcept;
+
   void add(std::int64_t global_index, double y, double alpha, double sq_norm,
            std::span<const svmdata::Feature> features);
 
@@ -40,8 +44,17 @@ class PackedSamples {
 
   [[nodiscard]] std::vector<std::byte> pack() const;
 
+  /// pack() into a caller-owned buffer, reusing its capacity; `out` is
+  /// resized to exactly packed_bytes(). The reconstruction ring packs into
+  /// the same circulating buffer every round instead of allocating.
+  void pack_into(std::vector<std::byte>& out) const;
+
   /// Inverse of pack(); throws std::runtime_error on malformed buffers.
   [[nodiscard]] static PackedSamples unpack(std::span<const std::byte> bytes);
+
+  /// unpack() into a caller-owned block, reusing its vectors' capacity.
+  /// `out` is fully overwritten; on a malformed buffer it is left cleared.
+  static void unpack_into(std::span<const std::byte> bytes, PackedSamples& out);
 
  private:
   std::vector<std::int64_t> index_;

@@ -62,11 +62,19 @@ void finish_result(const svmdata::Dataset& dataset, const DistributedConfig& con
     out.engine_pair_evals += s.engine_pair_evals;
     out.engine_scatter_builds += s.engine_scatter_builds;
     out.engine_bytes_streamed += s.engine_bytes_streamed;
+    out.recon_comm_seconds = std::max(out.recon_comm_seconds, s.recon_comm_seconds);
+    out.recon_overlapped_seconds =
+        std::max(out.recon_overlapped_seconds, s.recon_overlapped_seconds);
+    out.recon_scatter_builds += s.recon_scatter_builds;
+    out.recon_bytes_streamed += s.recon_bytes_streamed;
+    out.recon_scatter_builds_saved += s.recon_scatter_builds_saved;
     out.solve_seconds = std::max(out.solve_seconds, s.solve_seconds);
     out.reconstruction_seconds =
         std::max(out.reconstruction_seconds, s.reconstruction_seconds);
   }
   out.reconstructions = first->stats.reconstructions;
+  out.recon_ring_steps = first->stats.recon_ring_steps;
+  out.recon_overlapped_steps = first->stats.recon_overlapped_steps;
   out.active_trace = first->stats.active_trace;
 
   // Modeled time on the paper's testbed: per-rank kernel work (lambda per
@@ -245,8 +253,12 @@ TrainResult train_elastic(const svmdata::Dataset& dataset, const TrainOptions& o
 
 TrainResult train(const svmdata::Dataset& dataset, const SolverParams& params,
                   const TrainOptions& options) {
-  const DistributedConfig config{params, options.heuristic, options.permanent_shrink,
-                                 options.openmp_gamma, options.trace_active_interval};
+  const DistributedConfig config{params,
+                                 options.heuristic,
+                                 options.permanent_shrink,
+                                 options.openmp_gamma,
+                                 options.trace_active_interval,
+                                 options.pipelined_reconstruction};
   return train_impl(dataset, options, config, /*injector=*/nullptr);
 }
 
@@ -272,8 +284,12 @@ TrainResult train_with_recovery(const svmdata::Dataset& dataset, const SolverPar
     throw std::invalid_argument("train_with_recovery: store num_ranks mismatch");
   }
 
-  DistributedConfig config{params, options.heuristic, options.permanent_shrink,
-                           options.openmp_gamma, options.trace_active_interval};
+  DistributedConfig config{params,
+                           options.heuristic,
+                           options.permanent_shrink,
+                           options.openmp_gamma,
+                           options.trace_active_interval,
+                           options.pipelined_reconstruction};
   config.checkpoint_interval = recovery.checkpoint_interval;
   config.checkpoint_store = recovery.checkpoint_interval > 0 ? store : nullptr;
 

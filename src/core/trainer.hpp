@@ -26,6 +26,9 @@ struct TrainOptions {
   bool permanent_shrink = false;  ///< CA-SVM ablation; see DistributedConfig
   bool openmp_gamma = false;      ///< hybrid MPI+OpenMP gamma updates
   std::uint64_t trace_active_interval = 0;  ///< see DistributedConfig
+  /// Double-buffered compute-overlapped reconstruction ring; bit-identical
+  /// results either way — see DistributedConfig::pipelined_reconstruction.
+  bool pipelined_reconstruction = true;
 };
 
 struct TrainResult {
@@ -48,6 +51,17 @@ struct TrainResult {
   std::uint64_t engine_pair_evals = 0;         ///< summed over ranks
   std::uint64_t engine_scatter_builds = 0;     ///< summed over ranks
   std::uint64_t engine_bytes_streamed = 0;     ///< summed over ranks
+  // Reconstruction-pipeline aggregates (see SolverStats): ring steps and
+  // overlapped steps are rank-invariant counts from the first completed
+  // rank; seconds are max over ranks (the slowest rank paces the ring);
+  // engine counters and scatter savings are summed over ranks.
+  std::uint64_t recon_ring_steps = 0;
+  std::uint64_t recon_overlapped_steps = 0;
+  double recon_comm_seconds = 0.0;
+  double recon_overlapped_seconds = 0.0;
+  std::uint64_t recon_scatter_builds = 0;      ///< summed over ranks
+  std::uint64_t recon_bytes_streamed = 0;      ///< summed over ranks
+  std::uint64_t recon_scatter_builds_saved = 0;  ///< summed over ranks
   double solve_seconds = 0.0;           ///< max over ranks
   double reconstruction_seconds = 0.0;  ///< max over ranks
   double wall_seconds = 0.0;            ///< around the whole SPMD region

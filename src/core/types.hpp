@@ -68,6 +68,20 @@ struct SolverStats {
   double solve_seconds = 0.0;            ///< total wall time in the solver
   double reconstruction_seconds = 0.0;   ///< wall time inside Algorithm 3
   std::uint64_t recon_kernel_evaluations = 0;  ///< kernel evals inside Algorithm 3
+  // Pipelined-reconstruction accounting (see gradient_reconstruction.cpp):
+  // ring steps executed, how many overlapped an exchange with compute, the
+  // modeled comm seconds of the ring exchanges (gross, before crediting),
+  // the portion hidden behind compute (max(compute, comm) charging), the
+  // engine counters attributable to reconstruction, and how many query-row
+  // scatters the adaptive orientation avoided versus the one-per-stale-
+  // sample streaming path.
+  std::uint64_t recon_ring_steps = 0;
+  std::uint64_t recon_overlapped_steps = 0;
+  double recon_comm_seconds = 0.0;
+  double recon_overlapped_seconds = 0.0;
+  std::uint64_t recon_scatter_builds = 0;
+  std::uint64_t recon_bytes_streamed = 0;
+  std::uint64_t recon_scatter_builds_saved = 0;
   double final_beta_up = std::numeric_limits<double>::quiet_NaN();
   double final_beta_low = std::numeric_limits<double>::quiet_NaN();
   std::size_t active_at_end = 0;         ///< active (non-shrunk) samples at exit

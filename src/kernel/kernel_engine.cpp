@@ -217,6 +217,119 @@ void KernelEngine::eval_rows(std::span<const svmdata::Feature> query, double sq_
   unscatter(query, 0, 1);
 }
 
+void KernelEngine::eval_block_rows(
+    std::span<const std::span<const svmdata::Feature>> block_rows,
+    std::span<const double> block_sq_norms, std::span<const double> block_coeffs,
+    std::span<const std::uint32_t> rows, std::size_t base, std::span<double> accum,
+    bool parallel) {
+  const std::size_t stale = rows.size();
+  const std::size_t block = block_rows.size();
+  stats_.single_evals += stale * block;
+
+  if (backend_ == EngineBackend::reference) {
+    // Ground truth: per stale sample, one ordered merge-join sweep over the
+    // block — exactly the begin_query/query_row loop this call batches.
+    for (std::size_t w = 0; w < stale; ++w) {
+      const std::size_t g = base + rows[w];
+      const auto stale_row = X_.row(g);
+      const double sq_stale = sq_norm(g);
+      stats_.bytes_streamed += block * stale_row.size() * sizeof(svmdata::Feature);
+      double partial = 0.0;
+      for (std::size_t j = 0; j < block; ++j)
+        partial += block_coeffs[j] *
+                   kernel_.eval(block_rows[j], stale_row, block_sq_norms[j], sq_stale);
+      accum[w] += partial;
+    }
+    return;
+  }
+
+  ensure_dense(1);
+  // Adaptive orientation: scatter whichever side is smaller. Ties go to the
+  // block side, whose orientation parallelizes the (per-element independent)
+  // stale dimension instead of needing a K-value scratch pass.
+  if (block <= stale) {
+    // Scatter each circulating block row once; stream all stale rows
+    // against it. Outer j loop is serial, so accum[w]'s additions happen in
+    // increasing j order via the partials buffer.
+    block_partials_.assign(stale, 0.0);
+    const auto last = static_cast<std::ptrdiff_t>(stale);
+    for (std::size_t j = 0; j < block; ++j) {
+      scatter(block_rows[j], 0, 1);
+      stats_.scatter_builds += 1;
+      const double coeff = block_coeffs[j];
+      const double sq_block = block_sq_norms[j];
+      const auto add_row = [&](std::size_t w) {
+        const std::size_t g = base + rows[w];
+        double d = 0.0;
+        for (const svmdata::Feature& f : X_.row(g))
+          d += f.value * dense_[static_cast<std::size_t>(f.index)];
+        block_partials_[w] += coeff * kernel_.finish_from_dot(d, sq_block, sq_norm(g));
+      };
+      if (parallel) {
+#pragma omp parallel for schedule(static)
+        for (std::ptrdiff_t k = 0; k < last; ++k) add_row(static_cast<std::size_t>(k));
+      } else {
+        // No pragma on the sequential path: entering an OpenMP region with a
+        // one-thread team is measurable overhead at ring-step granularity.
+        for (std::size_t w = 0; w < stale; ++w) add_row(w);
+      }
+      unscatter(block_rows[j], 0, 1);
+    }
+    for (std::size_t w = 0; w < stale; ++w) {
+      stats_.bytes_streamed += block * X_.row(base + rows[w]).size() * sizeof(svmdata::Feature);
+      accum[w] += block_partials_[w];
+    }
+  } else {
+    // Scatter each stale row once; stream the whole block against it —
+    // exactly the streaming query-scope orientation, batched. Circulating
+    // rows may be wider than this rank's matrix; features beyond cols cannot
+    // intersect the scattered query (same exactness argument as query_row).
+    std::uint64_t block_bytes = 0;
+    for (std::size_t j = 0; j < block; ++j)
+      block_bytes += block_rows[j].size() * sizeof(svmdata::Feature);
+    const std::size_t cols = X_.cols();
+    const auto last = static_cast<std::ptrdiff_t>(block);
+    const auto dot_row = [&](std::size_t j) {
+      double d = 0.0;
+      for (const svmdata::Feature& f : block_rows[j]) {
+        const auto idx = static_cast<std::size_t>(f.index);
+        if (idx < cols) d += f.value * dense_[idx];
+      }
+      return d;
+    };
+    for (std::size_t w = 0; w < stale; ++w) {
+      const std::size_t g = base + rows[w];
+      const auto stale_row = X_.row(g);
+      const double sq_stale = sq_norm(g);
+      scatter(stale_row, 0, 1);
+      stats_.scatter_builds += 1;
+      stats_.bytes_streamed += block_bytes;
+      double partial = 0.0;
+      if (parallel) {
+        // K values land in a scratch in parallel, then the coefficient
+        // reduction walks them serially in increasing j order so the partial
+        // matches the sequential loop bitwise.
+        block_kvals_.resize(block);
+#pragma omp parallel for schedule(static)
+        for (std::ptrdiff_t k = 0; k < last; ++k) {
+          const auto j = static_cast<std::size_t>(k);
+          block_kvals_[j] = kernel_.finish_from_dot(dot_row(j), block_sq_norms[j], sq_stale);
+        }
+        for (std::size_t j = 0; j < block; ++j) partial += block_coeffs[j] * block_kvals_[j];
+      } else {
+        // Fused single pass, same accumulation order (and bit pattern) as
+        // the scratch variant without its extra memory sweep.
+        for (std::size_t j = 0; j < block; ++j)
+          partial +=
+              block_coeffs[j] * kernel_.finish_from_dot(dot_row(j), block_sq_norms[j], sq_stale);
+      }
+      unscatter(stale_row, 0, 1);
+      accum[w] += partial;
+    }
+  }
+  kernel_.note_evaluations(stale * block);
+}
+
 void KernelEngine::begin_query(std::span<const svmdata::Feature> query, double sq_query) {
   query_ = query;
   query_sq_ = sq_query;

@@ -130,6 +130,31 @@ class KernelEngine {
                  std::size_t begin, std::size_t end, std::span<double> out,
                  bool parallel = false);
 
+  // --- multi-query block batch (reconstruction ring steps) -----------------
+
+  /// One ring step of gradient reconstruction in a single call: for every
+  /// stale sample w,
+  ///   accum[w] += sum_j block_coeffs[j] * K(block_rows[j], X.row(base + rows[w]))
+  /// where block_rows are the circulating remote samples (their squared
+  /// norms passed in block_sq_norms) and the j-sum is evaluated in
+  /// increasing j order into a fresh +0.0 partial before the single += —
+  /// BIT-IDENTICAL to the per-sample begin_query/query_row loop it replaces
+  /// (the dot is orientation-symmetric: the merge join and both scatter
+  /// directions accumulate the index-intersection products in the same
+  /// increasing-index order, and IEEE add/mul are commutative).
+  ///
+  /// The dense backends scatter whichever side is SMALLER — the adaptive
+  /// kernel orientation: min(rows.size(), block_rows.size()) scatter builds
+  /// instead of the one-per-stale-sample of the streaming-scope path — and
+  /// `parallel` OpenMP-parallelizes the streamed side (safe: the dense
+  /// buffer is read-only while worker threads stream, and per-w partials
+  /// keep the accumulation order fixed).
+  void eval_block_rows(std::span<const std::span<const svmdata::Feature>> block_rows,
+                       std::span<const double> block_sq_norms,
+                       std::span<const double> block_coeffs,
+                       std::span<const std::uint32_t> rows, std::size_t base,
+                       std::span<double> accum, bool parallel = false);
+
   // --- streaming one-query scope -----------------------------------------
   // begin_query scatters (or, for the reference backend, remembers) the
   // query row; query_row then evaluates arbitrary rows against it — rows
@@ -186,6 +211,10 @@ class KernelEngine {
 
   std::vector<double> scale_;
   std::vector<float> row_scratch_;
+  // eval_block_rows scratch, reused across ring steps: per-stale-sample
+  // partial sums and (scatter-stale orientation) per-block kernel values.
+  std::vector<double> block_partials_;
+  std::vector<double> block_kvals_;
   std::unique_ptr<KernelRowCache> cache_;
 
   EngineStats stats_;

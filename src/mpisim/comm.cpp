@@ -66,7 +66,7 @@ void Comm::convert_timeout(const TimeoutError& timeout) const {
   throw timeout;
 }
 
-std::vector<std::byte> Comm::recv_bytes(int source, int tag, int* actual_source) {
+Message Comm::recv_message(int source, int tag) {
   if (source != kAnySource && (source < 0 || source >= size()))
     throw std::out_of_range("svmmpi: recv source out of range");
   (void)faulted_op(FaultSite::recv);
@@ -85,12 +85,34 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag, int* actual_source)
   } catch (const TimeoutError& timeout) {
     convert_timeout(timeout);
   }
-  if (actual_source != nullptr) *actual_source = m.source;
   TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
   ++s.recvs;
   s.bytes_received += m.payload.size();
   s.modeled_seconds += world_->model().pt2pt(m.payload.size());
+  return m;
+}
+
+std::vector<std::byte> Comm::recv_bytes(int source, int tag, int* actual_source) {
+  Message m = recv_message(source, tag);
+  if (actual_source != nullptr) *actual_source = m.source;
   return std::move(m.payload);
+}
+
+void Comm::recv_bytes_into(std::vector<std::byte>& out, int source, int tag,
+                           int* actual_source) {
+  Message m = recv_message(source, tag);
+  if (actual_source != nullptr) *actual_source = m.source;
+  // assign() reuses out's capacity: steady-state ring steps whose payloads
+  // have stabilized in size perform no receive-side allocation.
+  out.assign(m.payload.begin(), m.payload.end());
+}
+
+double Comm::credit_overlap(double compute_s, double comm_s) {
+  const double credit = std::min(std::max(compute_s, 0.0), std::max(comm_s, 0.0));
+  TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
+  s.overlapped_seconds += credit;
+  s.modeled_seconds -= credit;
+  return credit;
 }
 
 std::vector<std::byte> Comm::collective(std::vector<std::byte> contribution,

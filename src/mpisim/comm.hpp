@@ -153,6 +153,13 @@ class Comm {
     return Request([this, &out, source, tag] { out = recv<T>(source, tag); });
   }
 
+  /// Deferred receive into a reusable buffer: the payload is copied into
+  /// `out`, reusing its capacity — steady-state ring steps allocate nothing
+  /// on the receive side (the double-buffered reconstruction pipeline).
+  [[nodiscard]] Request irecv_into(std::vector<std::byte>& out, int source, int tag = 0) {
+    return Request([this, &out, source, tag] { recv_bytes_into(out, source, tag, nullptr); });
+  }
+
   static void wait_all(std::span<Request> requests) {
     for (Request& r : requests) r.wait();
   }
@@ -165,6 +172,15 @@ class Comm {
     std::vector<T> incoming = recv<T>(source, tag);
     s.wait();
     return incoming;
+  }
+
+  /// Buffer-reusing sendrecv: the incoming payload is copied into `incoming`
+  /// (capacity reused) instead of a freshly allocated vector per exchange.
+  void sendrecv_into(std::span<const std::byte> outgoing, std::vector<std::byte>& incoming,
+                     int destination, int source, int tag = 0) {
+    Request s = isend(outgoing, destination, tag);
+    recv_bytes_into(incoming, source, tag, nullptr);
+    s.wait();
   }
 
   // --- collectives ---------------------------------------------------------
@@ -301,11 +317,32 @@ class Comm {
   /// communication is needed. Must be called by every surviving member.
   [[nodiscard]] Comm shrink();
 
+  // --- overlap accounting --------------------------------------------------
+
+  /// This rank's traffic counters; snapshot modeled_seconds around a
+  /// pipelined step to meter the step's modeled communication cost.
+  [[nodiscard]] const TrafficStats& traffic() const {
+    return world_->stats((*group_)[rank_]);
+  }
+
+  /// Applies the pipelined charging rule to one compute-overlapped step: the
+  /// step's transfers were posted before `compute_s` seconds of local work,
+  /// so of the `comm_s` modeled network seconds already charged for them,
+  /// min(compute, comm) was hidden behind the compute. That portion moves
+  /// from modeled_seconds into overlapped_seconds, leaving the step charged
+  /// max(compute, comm) overall (compute wall time + the uncovered network
+  /// remainder). Returns the credited (hidden) seconds.
+  double credit_overlap(double compute_s, double comm_s);
+
  private:
   enum class ModelAs { tree, ring, none };
 
   void send_bytes(std::vector<std::byte> payload, int destination, int tag);
   [[nodiscard]] std::vector<std::byte> recv_bytes(int source, int tag, int* actual_source);
+  /// recv_bytes variant that copies the payload into `out` (capacity reuse).
+  void recv_bytes_into(std::vector<std::byte>& out, int source, int tag, int* actual_source);
+  /// Shared receive core: validated, fault-checked, interrupt-aware pop.
+  [[nodiscard]] Message recv_message(int source, int tag);
   [[nodiscard]] std::vector<std::byte> collective(std::vector<std::byte> contribution,
                                                   const CollectiveContext::Combine& combine,
                                                   ModelAs model_as, std::size_t payload_bytes);

@@ -49,6 +49,15 @@ struct NetModel {
 
 /// Per-rank communication accounting. `modeled_seconds` accumulates NetModel
 /// costs; the byte/message counters are exact for the executed pattern.
+///
+/// Overlap accounting: a pipelined code region that posts its transfers
+/// before computing (Isend/Irecv ... compute ... Waitall) hides network time
+/// behind kernel work, so such a step costs max(compute, comm) rather than
+/// compute + comm. Comm::credit_overlap implements that charging rule by
+/// moving the hidden portion min(compute, comm) out of `modeled_seconds`
+/// into `overlapped_seconds`; `modeled_seconds` then holds only the network
+/// time the rank actually had to wait for, while modeled_seconds +
+/// overlapped_seconds remains the gross (un-overlapped) network cost.
 struct TrafficStats {
   std::uint64_t sends = 0;
   std::uint64_t recvs = 0;
@@ -56,6 +65,7 @@ struct TrafficStats {
   std::uint64_t bytes_received = 0;
   std::uint64_t collectives = 0;
   double modeled_seconds = 0.0;
+  double overlapped_seconds = 0.0;  ///< modeled network time hidden behind compute
 
   TrafficStats& operator+=(const TrafficStats& other) noexcept {
     sends += other.sends;
@@ -64,6 +74,7 @@ struct TrafficStats {
     bytes_received += other.bytes_received;
     collectives += other.collectives;
     modeled_seconds += other.modeled_seconds;
+    overlapped_seconds += other.overlapped_seconds;
     return *this;
   }
 };
