@@ -18,6 +18,8 @@
 #include "baseline/libsvm_like.hpp"
 #include "core/trainer.hpp"
 #include "data/zoo.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -30,14 +32,20 @@ struct BenchArgs {
   std::vector<int> ranks;      ///< override rank sweep (empty = bench default)
   bool quick = false;          ///< shrink everything for smoke runs
   double eps = 1e-3;
+  std::string trace_out;       ///< --trace-out: Chrome trace of the runs
+  std::string metrics_out;     ///< --metrics-out: run report of every config
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
-  const svmutil::CliFlags flags(argc, argv, {"scale", "ranks", "quick!", "eps"});
+  const svmutil::CliFlags flags(argc, argv,
+                                svmutil::with_obs_flags({"scale", "ranks", "quick!", "eps"}));
+  const svmutil::ObsPaths obs = svmutil::apply_obs_flags(flags);
   BenchArgs args;
   args.scale = flags.get_double("scale", 1.0);
   args.quick = flags.get_bool("quick");
   args.eps = flags.get_double("eps", 1e-3);
+  args.trace_out = obs.trace_out;
+  args.metrics_out = obs.metrics_out;
   if (flags.has("ranks")) {
     const std::string list = flags.get("ranks", "");
     std::size_t at = 0;
@@ -75,10 +83,13 @@ struct ScalingRow {
 };
 
 /// Runs {Default, Shrinking(Best)=Multi5pc, Shrinking(Worst)=Single50pc}
-/// across `rank_list` — the three bars of Figures 3-7.
+/// across `rank_list` — the three bars of Figures 3-7. When `reports` is
+/// non-null a run report per configuration is appended (named
+/// "<label>/p<ranks>"), ready for svmobs::write_reports.
 inline std::vector<ScalingRow> run_scaling(const svmdata::Dataset& train,
                                            const svmcore::SolverParams& params,
-                                           const std::vector<int>& rank_list) {
+                                           const std::vector<int>& rank_list,
+                                           std::vector<svmobs::RunReport>* reports = nullptr) {
   const struct {
     const char* label;
     const char* heuristic;
@@ -92,6 +103,10 @@ inline std::vector<ScalingRow> run_scaling(const svmdata::Dataset& train,
       options.num_ranks = p;
       options.heuristic = svmcore::Heuristic::parse(config.heuristic);
       rows.push_back(ScalingRow{config.label, p, svmcore::train(train, params, options)});
+      if (reports != nullptr)
+        reports->push_back(svmcore::run_report(rows.back().result, options,
+                                               std::string(config.label) + "/p" +
+                                                   std::to_string(p)));
     }
   }
   return rows;
@@ -165,7 +180,25 @@ inline int run_figure_bench(const std::string& figure, const std::string& datase
               train.size(), train.dim(), 100.0 * train.X.density(), entry.C, entry.sigma_sq);
 
   const std::vector<int> rank_list = args.ranks.empty() ? default_ranks : args.ranks;
-  const auto rows = run_scaling(train, params_for(entry, args.eps), rank_list);
+  // Every configuration of the sweep lands on one trace timeline (separated
+  // by "solve" spans) and one run-report file, so a figure's whole sweep can
+  // be inspected in Perfetto / diffed as JSON in one artifact each.
+  if (!args.trace_out.empty()) {
+    svmobs::trace_reset();
+    svmobs::trace_enable();
+  }
+  std::vector<svmobs::RunReport> reports;
+  const auto rows = run_scaling(train, params_for(entry, args.eps), rank_list,
+                                args.metrics_out.empty() ? nullptr : &reports);
+  if (!args.trace_out.empty()) {
+    svmobs::trace_disable();
+    svmobs::trace_write(args.trace_out);
+    std::printf("trace -> %s\n", args.trace_out.c_str());
+  }
+  if (!args.metrics_out.empty()) {
+    svmobs::write_reports(args.metrics_out, reports);
+    std::printf("metrics -> %s\n", args.metrics_out.c_str());
+  }
   print_scaling_table(rows);
   std::printf("\n");
 

@@ -37,6 +37,7 @@ int usage(const char* program) {
       "  %s train    <data> <model-out> [--c C] [--sigma-sq S] [--gamma G] [--eps E]\n"
       "              [--ranks P] [--heuristic H] [--kernel K] [--baseline]\n"
       "              [--w-pos W] [--w-neg W]\n"
+      "              [--log-level L] [--trace-out trace.json] [--metrics-out m.json]\n"
       "  %s predict  <data> <model-in> [--out predictions.txt]\n"
       "  %s cv       <data> [--folds K] [--c-grid a,b,..] [--gamma-grid a,b,..]\n"
       "  %s regress  <data> <model-out> [--c C] [--tube T] [--sigma-sq S]\n"
@@ -68,6 +69,7 @@ std::vector<double> parse_grid(const std::string& list) {
 }
 
 int run_train(const svmutil::CliFlags& flags) {
+  const svmutil::ObsPaths obs = svmutil::apply_obs_flags(flags);
   const svmdata::Dataset train = svmdata::read_libsvm_file(flags.positional()[1]);
   const std::string model_path = flags.positional()[2];
   const svmkernel::KernelParams kernel = kernel_from(flags);
@@ -97,7 +99,11 @@ int run_train(const svmutil::CliFlags& flags) {
     svmcore::TrainOptions options;
     options.num_ranks = static_cast<int>(flags.get_int("ranks", 4));
     options.heuristic = svmcore::Heuristic::parse(flags.get("heuristic", "Multi5pc"));
+    options.trace_path = obs.trace_out;
+    options.metrics_path = obs.metrics_out;
     const auto result = svmcore::train(train, params, options);
+    if (!obs.trace_out.empty()) std::printf("trace -> %s\n", obs.trace_out.c_str());
+    if (!obs.metrics_out.empty()) std::printf("metrics -> %s\n", obs.metrics_out.c_str());
     std::printf("%s on %d ranks: %llu iterations, %llu samples shrunk, %llu reconstructions\n",
                 options.heuristic.name().c_str(), options.num_ranks,
                 static_cast<unsigned long long>(result.iterations),
@@ -224,8 +230,9 @@ int main(int argc, char** argv) {
   try {
     const svmutil::CliFlags flags(
         argc, argv,
-        {"c", "sigma-sq", "gamma", "eps", "ranks", "heuristic", "kernel", "baseline!", "out",
-         "w-pos", "w-neg", "folds", "c-grid", "gamma-grid", "tube", "nu"});
+        svmutil::with_obs_flags({"c", "sigma-sq", "gamma", "eps", "ranks", "heuristic", "kernel",
+                                 "baseline!", "out", "w-pos", "w-neg", "folds", "c-grid",
+                                 "gamma-grid", "tube", "nu"}));
     if (flags.positional().size() < 2) return usage(argv[0]);
     const std::string& mode = flags.positional()[0];
     if (mode == "cv") return run_cv(flags);

@@ -2,11 +2,12 @@
 # Tier-1 verification plus sanitizer passes over the layers that need them.
 # Run from the repo root:
 #
-#   scripts/check.sh            # full: tier-1 build+ctest, ASan kernel tests, TSan chaos tests, perf smoke
+#   scripts/check.sh            # full: tier-1 build+ctest, ASan kernel tests, TSan chaos tests, perf smoke, obs
 #   scripts/check.sh --tier1    # only the tier-1 build + full ctest suite
 #   scripts/check.sh --asan     # only the ASan kernel/engine/cache tests
-#   scripts/check.sh --tsan     # only the TSan chaos/fault-tolerance tests
+#   scripts/check.sh --tsan     # only the TSan chaos/fault-tolerance + obs tests
 #   scripts/check.sh --perf     # only the pipelined-reconstruction perf smoke
+#   scripts/check.sh --obs      # only the observability end-to-end checks
 #
 # The ASan pass rebuilds the kernel-layer tests under -DSVM_SANITIZE=address
 # in a separate build tree (build-asan/) and runs the binaries directly; it
@@ -14,11 +15,20 @@
 # KernelEngine scatter buffers that a plain run cannot see.
 #
 # The TSan pass rebuilds under -DSVM_SANITIZE=thread (build-tsan/) and runs
-# the `chaos`-labelled ctest suite: the fault-injection, checkpoint/restart
-# and elastic shrink-world tests. Failure detection, World::mark_failed
-# poking, Comm::agree and the generation hand-off in the elastic trainer are
-# all cross-thread rendezvous under the simulated MPI world — exactly the
-# code a data-race would corrupt silently in a plain run.
+# the `chaos`- and `obs`-labelled ctest suites: the fault-injection,
+# checkpoint/restart and elastic shrink-world tests plus the trace-recorder
+# concurrency tests. Failure detection, World::mark_failed poking,
+# Comm::agree, the generation hand-off in the elastic trainer and the
+# lock-free per-thread trace rings are all cross-thread rendezvous under the
+# simulated MPI world — exactly the code a data-race would corrupt silently
+# in a plain run.
+#
+# The obs pass trains a small synthetic problem at p=4 with tracing and
+# metrics enabled, validates the artifacts with tools/trace_validate
+# (well-formed Chrome JSON, monotonic per-rank timestamps, balanced spans,
+# all four instrumentation layers present, >= 2 counter tracks), validates
+# the run report a bench emits, and runs the tracing-disabled overhead guard
+# (< 2% on an SMO-shaped hot loop).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,13 +36,15 @@ run_tier1=true
 run_asan=true
 run_tsan=true
 run_perf=true
+run_obs=true
 case "${1:-}" in
-  --tier1) run_asan=false; run_tsan=false; run_perf=false ;;
-  --asan) run_tier1=false; run_tsan=false; run_perf=false ;;
-  --tsan) run_tier1=false; run_asan=false; run_perf=false ;;
-  --perf) run_tier1=false; run_asan=false; run_tsan=false ;;
+  --tier1) run_asan=false; run_tsan=false; run_perf=false; run_obs=false ;;
+  --asan) run_tier1=false; run_tsan=false; run_perf=false; run_obs=false ;;
+  --tsan) run_tier1=false; run_asan=false; run_perf=false; run_obs=false ;;
+  --perf) run_tier1=false; run_asan=false; run_tsan=false; run_obs=false ;;
+  --obs) run_tier1=false; run_asan=false; run_tsan=false; run_perf=false ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--tier1|--asan|--tsan|--perf]" >&2; exit 2 ;;
+  *) echo "usage: scripts/check.sh [--tier1|--asan|--tsan|--perf|--obs]" >&2; exit 2 ;;
 esac
 
 if $run_tier1; then
@@ -57,8 +69,8 @@ if $run_tsan; then
   echo "=== tsan: chaos/fault-tolerance tests under -fsanitize=thread ==="
   cmake -B build-tsan -S . -DSVM_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target \
-    test_mpisim_fault test_chaos_recovery test_elastic_shrink test_gradrecon_pipeline
-  (cd build-tsan && ctest -L chaos --output-on-failure -j "$(nproc)")
+    test_mpisim_fault test_chaos_recovery test_elastic_shrink test_gradrecon_pipeline test_obs
+  (cd build-tsan && ctest -L 'chaos|obs' --output-on-failure -j "$(nproc)")
 fi
 
 if $run_perf; then
@@ -69,6 +81,29 @@ if $run_perf; then
   # reconstruction wall time exceeds the serial ring's, if the modeled
   # network seconds fail to drop, or if bitwise model parity breaks.
   (cd build && ./bench/bench_fig8_gradrecon --quick --ranks 4 --assert)
+fi
+
+if $run_obs; then
+  echo "=== obs: traced training run + artifact validation + overhead guard ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target \
+    parallel_training trace_validate bench_trace_active bench_micro_mpisim
+  obs_dir=$(mktemp -d)
+  trap 'rm -rf "$obs_dir"' EXIT
+  # A p=4 traced run must produce a Chrome trace with spans from all four
+  # layers (mpisim collective, kernel-engine batch, solver phase,
+  # reconstruction ring step) and at least two counter tracks.
+  ./build/examples/parallel_training --ranks 4 --n 800 \
+    --trace-out "$obs_dir/trace.json" --metrics-out "$obs_dir/metrics.json"
+  ./build/tools/trace_validate "$obs_dir/trace.json" \
+    --require-span solve,phase,smo_batch,allreduce,bcast,engine_pair_batch,ring_step,reconstruction \
+    --min-counter-tracks 2
+  ./build/tools/trace_validate --metrics "$obs_dir/metrics.json"
+  # A bench's run report must validate too (active-set trajectory bench).
+  ./build/bench/bench_trace_active --quick --metrics-out "$obs_dir/bench_metrics.json" >/dev/null
+  ./build/tools/trace_validate --metrics "$obs_dir/bench_metrics.json"
+  # Tracing disabled must cost < 2% on an SMO-shaped hot loop.
+  ./build/bench/bench_micro_mpisim --assert-obs-overhead
 fi
 
 echo "ALL CHECKS PASSED"

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/pair_update.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -12,6 +13,10 @@ namespace svmcore {
 namespace {
 constexpr int kTagSampleToRoot = 11;  ///< owner -> rank 0 (Algorithm 2 lines 4-9)
 constexpr double kInf = std::numeric_limits<double>::infinity();
+// One "smo_batch" trace span per this many SMO iterations: batches keep the
+// timeline readable (and the ring buffer roomy) where per-iteration spans
+// would drown it.
+constexpr std::uint64_t kIterationsPerBatchSpan = 256;
 }  // namespace
 
 DistributedSolver::DistributedSolver(svmmpi::Comm& comm, const svmdata::Dataset& dataset,
@@ -21,7 +26,13 @@ DistributedSolver::DistributedSolver(svmmpi::Comm& comm, const svmdata::Dataset&
       config_(config),
       range_(svmdata::block_range(dataset.size(), comm.size(), comm.rank())),
       kernel_(config.params.kernel),
-      engine_(kernel_, dataset.X, config.params.engine_backend, range_.begin, range_.end) {
+      engine_(kernel_, dataset.X, config.params.engine_backend, range_.begin, range_.end),
+      iterations_(metrics_.counter("solver.iterations")),
+      shrink_passes_(metrics_.counter("solver.shrink_passes")),
+      samples_shrunk_(metrics_.counter("solver.samples_shrunk")),
+      reconstructions_(metrics_.counter("recon.reconstructions")),
+      recon_ring_steps_(metrics_.counter("recon.ring_steps")),
+      recon_overlapped_steps_(metrics_.counter("recon.overlapped_steps")) {
   if (comm.rank() == 0) dataset.validate();
   if (config_.checkpoint_store != nullptr &&
       config_.checkpoint_store->num_ranks() != comm.size())
@@ -57,14 +68,15 @@ void DistributedSolver::maybe_restore() {
   i_up_ = c->i_up;
   i_low_ = c->i_low;
   delta_counter_ = c->delta_counter;
-  stats_.iterations = c->iterations;
-  stats_.shrink_passes = c->shrink_passes;
-  stats_.samples_shrunk = c->samples_shrunk;
-  stats_.reconstructions = c->reconstructions;
+  iterations_.set(c->iterations);
+  shrink_passes_.set(c->shrink_passes);
+  samples_shrunk_.set(c->samples_shrunk);
+  reconstructions_.set(c->reconstructions);
   stats_.min_active = c->min_active;
   resume_stage_ = c->stage;
   resume_stalls_ = c->stalls;
   restored_ = true;
+  svmobs::trace_instant("checkpoint_restore", "ckpt");
   // The restore epoch is a boundary the replay will hit again; skip the
   // redundant (byte-identical) re-save there.
   last_checkpoint_iteration_ = c->iterations;
@@ -72,28 +84,30 @@ void DistributedSolver::maybe_restore() {
 
 void DistributedSolver::maybe_checkpoint() {
   if (config_.checkpoint_store == nullptr || config_.checkpoint_interval == 0) return;
-  if (stats_.iterations % config_.checkpoint_interval != 0 ||
-      stats_.iterations == last_checkpoint_iteration_)
+  if (iterations_.value() % config_.checkpoint_interval != 0 ||
+      iterations_.value() == last_checkpoint_iteration_)
     return;
+  svmobs::TraceSpan span("checkpoint_save", "ckpt");
   RankCheckpoint c;
   c.stage = stage_;
   c.stalls = stage_stalls_;
-  c.iterations = stats_.iterations;
+  c.iterations = iterations_.value();
   c.delta_counter = delta_counter_;
   c.beta_up = beta_up_;
   c.beta_low = beta_low_;
   c.i_up = i_up_;
   c.i_low = i_low_;
-  c.shrink_passes = stats_.shrink_passes;
-  c.samples_shrunk = stats_.samples_shrunk;
-  c.reconstructions = stats_.reconstructions;
+  c.shrink_passes = shrink_passes_.value();
+  c.samples_shrunk = samples_shrunk_.value();
+  c.reconstructions = reconstructions_.value();
   c.min_active = stats_.min_active;
   c.alpha = alpha_;
   c.gamma = gamma_;
   c.shrunk = shrunk_;
   c.active = active_;
-  config_.checkpoint_store->save(comm_.rank(), stats_.iterations, c);
-  last_checkpoint_iteration_ = stats_.iterations;
+  config_.checkpoint_store->save(comm_.rank(), iterations_.value(), c);
+  last_checkpoint_iteration_ = iterations_.value();
+  metrics_.counter("ckpt.saves").add();
 }
 
 void DistributedSolver::select_violators() {
@@ -115,6 +129,9 @@ void DistributedSolver::select_violators() {
   i_low_ = global_low.index;
   stats_.final_beta_up = beta_up_;
   stats_.final_beta_low = beta_low_;
+  // The convergence gap as a counter track: rank 0 only, since the value is
+  // identical on every rank after the Allreduce pair.
+  if (comm_.rank() == 0) svmobs::trace_counter("gap", beta_low_ - beta_up_);
 }
 
 void DistributedSolver::pack_local_sample(PackedSamples& out, std::int64_t global) {
@@ -206,7 +223,21 @@ DistributedSolver::PhaseExit DistributedSolver::phase_exit(PhaseExit exit) noexc
 }
 
 DistributedSolver::PhaseExit DistributedSolver::run_phase(double tolerance, bool shrinking) {
+  svmobs::TraceSpan phase_span("phase", "solver");
+  // SMO iterations are spanned in batches of kIterationsPerBatchSpan; the
+  // RAII guard closes the open batch on every exit path (returns, faults).
+  struct BatchGuard {
+    bool open = false;
+    ~BatchGuard() {
+      if (open) svmobs::trace_end("smo_batch", "solver");
+    }
+  } batch;
   while (true) {
+    if (svmobs::trace_enabled() && iterations_.value() % kIterationsPerBatchSpan == 0) {
+      if (batch.open) svmobs::trace_end("smo_batch", "solver");
+      svmobs::trace_begin("smo_batch", "solver");
+      batch.open = true;
+    }
     // Loop tops are the checkpoint boundaries: state is replica-consistent
     // here and a replay from any saved boundary is deterministic.
     maybe_checkpoint();
@@ -217,7 +248,7 @@ DistributedSolver::PhaseExit DistributedSolver::run_phase(double tolerance, bool
       return phase_exit(PhaseExit::converged);
     }
     if (beta_up_ + tolerance >= beta_low_) return phase_exit(PhaseExit::converged);
-    if (stats_.iterations >= config_.params.max_iterations)
+    if (iterations_.value() >= config_.params.max_iterations)
       return phase_exit(PhaseExit::iteration_cap);
 
     // Both violators arrive in one message + one Bcast (sample 0 = up,
@@ -290,7 +321,7 @@ DistributedSolver::PhaseExit DistributedSolver::run_phase(double tolerance, bool
         const bool at_bound_low = set == IndexSet::I1 || set == IndexSet::I2;
         if ((at_bound_up && gamma_[i] < beta_up_) || (at_bound_low && gamma_[i] > beta_low_)) {
           shrunk_[i] = 1;  // eliminated (Eq. 9); gamma/alpha frozen from here
-          ++stats_.samples_shrunk;
+          samples_shrunk_.add();
           continue;
         }
         active_[kept++] = i;
@@ -299,8 +330,9 @@ DistributedSolver::PhaseExit DistributedSolver::run_phase(double tolerance, bool
     }
 
     if (shrink_now) {
-      ++stats_.shrink_passes;
+      shrink_passes_.add();
       stats_.min_active = std::min(stats_.min_active, active_.size());
+      svmobs::trace_counter("active_local", static_cast<double>(active_.size()));
       // Subsequent threshold (§IV-A.2): the global active-set size, or the
       // initial threshold again under the fixed-threshold ablation.
       const auto local_active = static_cast<std::int64_t>(active_.size());
@@ -312,20 +344,24 @@ DistributedSolver::PhaseExit DistributedSolver::run_phase(double tolerance, bool
       if (delta_counter_ == 0) delta_counter_ = 1;
     }
 
-    ++stats_.iterations;
+    iterations_.add();
     maybe_trace_active();
   }
 }
 
 void DistributedSolver::maybe_trace_active() {
   if (config_.trace_active_interval == 0 ||
-      stats_.iterations % config_.trace_active_interval != 0)
+      iterations_.value() % config_.trace_active_interval != 0)
     return;
   const auto local_active = static_cast<std::int64_t>(active_.size());
   const std::int64_t global_active = comm_.allreduce(local_active, svmmpi::ReduceOp::sum);
-  if (comm_.rank() == 0)
-    stats_.active_trace.emplace_back(stats_.iterations,
+  if (comm_.rank() == 0) {
+    stats_.active_trace.emplace_back(iterations_.value(),
                                      static_cast<std::uint64_t>(global_active));
+    // The same sample lands on a trace counter track (satellite of the
+    // field, not a replacement: bench_trace_active reads the vector).
+    svmobs::trace_counter("active_set", static_cast<double>(global_active));
+  }
 }
 
 void DistributedSolver::refresh_bounds_all_samples() {
@@ -349,7 +385,40 @@ void DistributedSolver::refresh_bounds_all_samples() {
   stats_.final_beta_low = beta_low_;
 }
 
+void DistributedSolver::snapshot_stats() {
+  stats_.iterations = iterations_.value();
+  stats_.shrink_passes = shrink_passes_.value();
+  stats_.samples_shrunk = samples_shrunk_.value();
+  stats_.reconstructions = reconstructions_.value();
+  stats_.recon_ring_steps = recon_ring_steps_.value();
+  stats_.recon_overlapped_steps = recon_overlapped_steps_.value();
+  stats_.recon_kernel_evaluations = metrics_.counter("recon.kernel_evaluations").value();
+  stats_.recon_scatter_builds = metrics_.counter("recon.scatter_builds").value();
+  stats_.recon_bytes_streamed = metrics_.counter("recon.bytes_streamed").value();
+  stats_.recon_scatter_builds_saved = metrics_.counter("recon.scatter_builds_saved").value();
+  stats_.recon_comm_seconds = metrics_.gauge("recon.comm_s").value();
+  stats_.recon_overlapped_seconds = metrics_.gauge("recon.overlapped_s").value();
+  stats_.reconstruction_seconds = metrics_.gauge("recon.total_s").value();
+
+  // Engine- and kernel-level totals flow through the registry too, so a run
+  // report carries the full picture without touching SolverStats.
+  metrics_.counter("kernel.evaluations").set(kernel_.evaluations());
+  metrics_.counter("engine.pair_evals").set(engine_.stats().pair_evals);
+  metrics_.counter("engine.single_evals").set(engine_.stats().single_evals);
+  metrics_.counter("engine.scatter_builds").set(engine_.stats().scatter_builds);
+  metrics_.counter("engine.bytes_streamed").set(engine_.stats().bytes_streamed);
+  metrics_.gauge("solver.final_gap").set(beta_low_ - beta_up_);
+  metrics_.gauge("solver.active_at_end").set(static_cast<double>(active_.size()));
+  metrics_.gauge("solver.min_active").set(static_cast<double>(stats_.min_active));
+  metrics_.counter("solver.converged").set(stats_.converged ? 1 : 0);
+  stats_.kernel_evaluations = kernel_.evaluations();
+  stats_.engine_pair_evals = engine_.stats().pair_evals;
+  stats_.engine_scatter_builds = engine_.stats().scatter_builds;
+  stats_.engine_bytes_streamed = engine_.stats().bytes_streamed;
+}
+
 RankResult DistributedSolver::solve() {
+  svmobs::TraceSpan span("solve", "solver");
   svmutil::Timer total;
   const double two_eps = 2.0 * config_.params.eps;
   const bool shrinking = config_.heuristic.shrinking_enabled();
@@ -440,17 +509,16 @@ RankResult DistributedSolver::solve() {
   const double beta = global_count > 0 ? global_sum / static_cast<double>(global_count)
                                        : 0.5 * (beta_low_ + beta_up_);
 
-  stats_.kernel_evaluations = kernel_.evaluations();
-  stats_.engine_pair_evals = engine_.stats().pair_evals;
-  stats_.engine_scatter_builds = engine_.stats().scatter_builds;
-  stats_.engine_bytes_streamed = engine_.stats().bytes_streamed;
   stats_.solve_seconds = total.seconds();
+  metrics_.gauge("solver.solve_s").set(stats_.solve_seconds);
+  snapshot_stats();
 
   RankResult result;
   result.range = range_;
   result.alpha = alpha_;
   result.beta = beta;
   result.stats = stats_;
+  result.metrics = metrics_;
   return result;
 }
 

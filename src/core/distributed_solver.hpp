@@ -26,6 +26,7 @@
 #include "data/sparse.hpp"
 #include "kernel/kernel_engine.hpp"
 #include "mpisim/comm.hpp"
+#include "obs/metrics.hpp"
 
 namespace svmcore {
 
@@ -68,7 +69,10 @@ struct RankResult {
   svmdata::BlockRange range{};
   std::vector<double> alpha;  ///< local block's multipliers
   double beta = 0.0;          ///< hyperplane threshold (identical on all ranks)
-  SolverStats stats;          ///< this rank's counters and timings
+  SolverStats stats;          ///< this rank's counters and timings (snapshot)
+  /// The registry the solver's counters live in; `stats` is derived from it
+  /// at solve() end. Feeds run reports (obs/report.hpp).
+  svmobs::MetricsRegistry metrics;
 };
 
 class DistributedSolver {
@@ -116,6 +120,10 @@ class DistributedSolver {
 
   /// Records the global active-set size when tracing is enabled.
   void maybe_trace_active();
+
+  /// Derives the legacy SolverStats snapshot from the metrics registry (the
+  /// counters live there now; every pre-registry consumer keeps working).
+  void snapshot_stats();
 
   /// Restores solver state from the store's pinned epoch, if any.
   void maybe_restore();
@@ -178,6 +186,19 @@ class DistributedSolver {
   std::uint32_t resume_stalls_ = 0;
   bool restored_ = false;
   std::uint64_t last_checkpoint_iteration_ = ~0ULL;
+
+  // The solver's counters live in the metrics registry; the hot ones are
+  // bound once as references (map nodes are stable) so the SMO loop pays a
+  // single add on a plain word, same as the struct fields they replace.
+  // `stats_` keeps only what the registry does not model (exit flags,
+  // bounds, the active-set trace) and is completed by snapshot_stats().
+  svmobs::MetricsRegistry metrics_;
+  svmobs::Counter& iterations_;
+  svmobs::Counter& shrink_passes_;
+  svmobs::Counter& samples_shrunk_;
+  svmobs::Counter& reconstructions_;
+  svmobs::Counter& recon_ring_steps_;
+  svmobs::Counter& recon_overlapped_steps_;
 
   SolverStats stats_;
 };

@@ -25,6 +25,7 @@
 #include <algorithm>
 
 #include "core/distributed_solver.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace svmcore {
@@ -34,11 +35,14 @@ constexpr int kTagRing = 13;  ///< reconstruction ring exchanges
 }  // namespace
 
 void DistributedSolver::reconstruct_gradients() {
+  svmobs::TraceSpan reconstruction_span("reconstruction", "recon");
   svmutil::Timer timer;
   const std::uint64_t kernel_evals_before = kernel_.evaluations();
   const std::uint64_t scatter_before = engine_.stats().scatter_builds;
   const std::uint64_t bytes_before = engine_.stats().bytes_streamed;
-  ++stats_.reconstructions;
+  reconstructions_.add();
+  svmobs::Gauge& comm_s_gauge = metrics_.gauge("recon.comm_s");
+  svmobs::Gauge& overlapped_s_gauge = metrics_.gauge("recon.overlapped_s");
 
   // omega_q: local samples whose gamma went stale when they were shrunk.
   std::vector<std::uint32_t> omega;
@@ -87,7 +91,8 @@ void DistributedSolver::reconstruct_gradients() {
       std::vector<double> coeffs;
 
       for (int step = 0; step < p; ++step) {
-        ++stats_.recon_ring_steps;
+        svmobs::TraceSpan step_span("ring_step", "recon");
+        recon_ring_steps_.add();
         // Post block k+1's exchange before computing on block k. isend is
         // buffered-eager (it snapshots `circulating`), and the Irecv defers
         // its blocking pop to the wait, so posting order is deadlock-free.
@@ -96,6 +101,7 @@ void DistributedSolver::reconstruct_gradients() {
         svmmpi::Request send_req;
         double comm_before = 0.0;
         if (exchanging) {
+          svmobs::TraceSpan post_span("ring_post", "recon");
           comm_before = comm_.traffic().modeled_seconds;
           recv_req = comm_.irecv_into(incoming, from, kTagRing);
           send_req = comm_.isend(std::span<const std::byte>(circulating), to, kTagRing);
@@ -117,18 +123,22 @@ void DistributedSolver::reconstruct_gradients() {
         engine_.eval_block_rows(rows, sq_norms, coeffs, omega, range_.begin, gamma_accum,
                                 config_.openmp_gamma);
         if (engine_.backend() != svmkernel::EngineBackend::reference)
-          stats_.recon_scatter_builds_saved +=
-              omega.size() - std::min(omega.size(), b.size());
+          metrics_.counter("recon.scatter_builds_saved")
+              .add(omega.size() - std::min(omega.size(), b.size()));
         const double compute_s = compute_timer.seconds();
 
         if (exchanging) {
-          // Waitall at the step boundary, then swap the double buffers.
+          // Waitall at the step boundary, then swap the double buffers. The
+          // wait span is what the overlap looks like on the timeline: the
+          // posted Isend/Irecv rode behind the engine_block_batch span above,
+          // so a short ring_wait means the exchange was fully hidden.
+          svmobs::TraceSpan wait_span("ring_wait", "recon");
           recv_req.wait();
           send_req.wait();
           const double comm_s = comm_.traffic().modeled_seconds - comm_before;
-          stats_.recon_comm_seconds += comm_s;
-          stats_.recon_overlapped_seconds += comm_.credit_overlap(compute_s, comm_s);
-          ++stats_.recon_overlapped_steps;
+          comm_s_gauge.add(comm_s);
+          overlapped_s_gauge.add(comm_.credit_overlap(compute_s, comm_s));
+          recon_overlapped_steps_.add();
           circulating.swap(incoming);
         }
       }
@@ -137,7 +147,8 @@ void DistributedSolver::reconstruct_gradients() {
       // one engine query scope per stale sample. Kept for before/after
       // benchmarking; byte-equal results to the pipelined path.
       for (int step = 0; step < p; ++step) {
-        ++stats_.recon_ring_steps;
+        svmobs::TraceSpan step_span("ring_step", "recon");
+        recon_ring_steps_.add();
         const PackedSamples& b = current_block(step);
         for (std::size_t w = 0; w < omega.size(); ++w) {
           const std::uint32_t i = omega[w];
@@ -153,10 +164,11 @@ void DistributedSolver::reconstruct_gradients() {
         }
         // After p-1 exchanges every block has visited every rank.
         if (step + 1 < p) {
+          svmobs::TraceSpan exchange_span("ring_exchange", "recon");
           const double comm_before = comm_.traffic().modeled_seconds;
           comm_.sendrecv_into(std::span<const std::byte>(circulating), incoming, to, from,
                               kTagRing);
-          stats_.recon_comm_seconds += comm_.traffic().modeled_seconds - comm_before;
+          comm_s_gauge.add(comm_.traffic().modeled_seconds - comm_before);
           circulating.swap(incoming);
         }
       }
@@ -176,10 +188,10 @@ void DistributedSolver::reconstruct_gradients() {
   // Lines 7-12: recompute the global bounds over the full sample set.
   refresh_bounds_all_samples();
 
-  stats_.reconstruction_seconds += timer.seconds();
-  stats_.recon_kernel_evaluations += kernel_.evaluations() - kernel_evals_before;
-  stats_.recon_scatter_builds += engine_.stats().scatter_builds - scatter_before;
-  stats_.recon_bytes_streamed += engine_.stats().bytes_streamed - bytes_before;
+  metrics_.gauge("recon.total_s").add(timer.seconds());
+  metrics_.counter("recon.kernel_evaluations").add(kernel_.evaluations() - kernel_evals_before);
+  metrics_.counter("recon.scatter_builds").add(engine_.stats().scatter_builds - scatter_before);
+  metrics_.counter("recon.bytes_streamed").add(engine_.stats().bytes_streamed - bytes_before);
 }
 
 }  // namespace svmcore

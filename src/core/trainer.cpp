@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "mpisim/spmd.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace svmcore {
@@ -76,6 +78,26 @@ void finish_result(const svmdata::Dataset& dataset, const DistributedConfig& con
   out.recon_ring_steps = first->stats.recon_ring_steps;
   out.recon_overlapped_steps = first->stats.recon_overlapped_steps;
   out.active_trace = first->stats.active_trace;
+
+  // Per-rank metric registries: the solver's registry completed with the
+  // rank's communication traffic, then folded into the cross-rank aggregate.
+  out.rank_metrics.reserve(results.size());
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    svmobs::MetricsRegistry m = results[r].metrics;
+    if (r < out.rank_traffic.size()) {
+      const svmmpi::TrafficStats& t = out.rank_traffic[r];
+      m.counter("net.sends").set(t.sends);
+      m.counter("net.recvs").set(t.recvs);
+      m.counter("net.bytes_sent").set(t.bytes_sent);
+      m.counter("net.bytes_received").set(t.bytes_received);
+      m.counter("net.collectives").set(t.collectives);
+      m.gauge("net.modeled_s").set(t.modeled_seconds);
+      m.gauge("net.overlapped_s").set(t.overlapped_seconds);
+    }
+    out.rank_metrics.push_back(std::move(m));
+  }
+  out.metrics = svmobs::MetricsRegistry();
+  for (const svmobs::MetricsRegistry& m : out.rank_metrics) out.metrics.aggregate_from(m);
 
   // Modeled time on the paper's testbed: per-rank kernel work (lambda per
   // evaluation) plus the rank's modeled network time; take the slowest rank.
@@ -230,6 +252,9 @@ TrainResult train_elastic(const svmdata::Dataset& dataset, const TrainOptions& o
               gen = published[my_gen];
             }
             if (gen.escalate) throw EscalateToRestart{};
+            // Marks the start of the next recovery generation on this
+            // survivor's trace track.
+            svmobs::trace_instant("world_shrink", "fault");
             comm = next;
             gen_store = gen.store;
             ++my_gen;
@@ -249,7 +274,57 @@ TrainResult train_elastic(const svmdata::Dataset& dataset, const TrainOptions& o
   return out;
 }
 
+/// Scoped trace recording for one train() call: reset + enable on entry,
+/// disable + flush-to-file on EVERY exit — a failing run unwinds through
+/// here with its rank threads already joined (the SPMD launcher joins before
+/// rethrowing), so the partial trace is complete and race-free.
+class TraceSession {
+ public:
+  explicit TraceSession(const TrainOptions& options)
+      : path_(options.trace_path), active_(!options.trace_path.empty()) {
+    if (!active_) return;
+    svmobs::trace_reset();
+    svmobs::trace_enable(options.trace_buffer_events);
+  }
+  ~TraceSession() {
+    if (!active_) return;
+    svmobs::trace_disable();
+    try {
+      svmobs::trace_write(path_);
+    } catch (const std::exception& e) {
+      SVM_LOG_WARN << "trace flush failed: " << e.what();
+    }
+  }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::string path_;
+  bool active_;
+};
+
+void maybe_write_metrics(const TrainResult& result, const TrainOptions& options) {
+  if (options.metrics_path.empty()) return;
+  svmobs::write_reports(options.metrics_path, {run_report(result, options)});
+}
+
 }  // namespace
+
+svmobs::RunReport run_report(const TrainResult& result, const TrainOptions& options,
+                             std::string name) {
+  svmobs::RunReport report;
+  report.name = std::move(name);
+  report.info.emplace_back("ranks", std::to_string(options.num_ranks));
+  report.info.emplace_back("heuristic", options.heuristic.name());
+  report.info.emplace_back("iterations", std::to_string(result.iterations));
+  report.info.emplace_back("support_vectors", std::to_string(result.num_support_vectors()));
+  report.info.emplace_back("converged", result.converged ? "true" : "false");
+  report.ranks = result.rank_metrics;
+  report.aggregate = result.metrics;
+  report.aggregate.gauge("wall_s").set(result.wall_seconds);
+  report.aggregate.gauge("modeled_s").set(result.modeled_seconds);
+  return report;
+}
 
 TrainResult train(const svmdata::Dataset& dataset, const SolverParams& params,
                   const TrainOptions& options) {
@@ -259,7 +334,10 @@ TrainResult train(const svmdata::Dataset& dataset, const SolverParams& params,
                                  options.openmp_gamma,
                                  options.trace_active_interval,
                                  options.pipelined_reconstruction};
-  return train_impl(dataset, options, config, /*injector=*/nullptr);
+  TraceSession trace(options);
+  TrainResult out = train_impl(dataset, options, config, /*injector=*/nullptr);
+  maybe_write_metrics(out, options);
+  return out;
 }
 
 TrainResult train_with_recovery(const svmdata::Dataset& dataset, const SolverParams& params,
@@ -297,6 +375,10 @@ TrainResult train_with_recovery(const svmdata::Dataset& dataset, const SolverPar
   RecoveryReport& rep = report != nullptr ? *report : local_report;
   rep = RecoveryReport{};
 
+  // One trace session across every attempt, so restarts and recovery
+  // generations land on one timeline (marked by the instants below).
+  TraceSession trace(options);
+
   // The elastic policies recover in-world; the driver loop only sees their
   // unrecoverable outcomes (escalation, unexplained timeout) and relaunches
   // the FULL world — by then any permanent losses are already modeled in the
@@ -312,6 +394,7 @@ TrainResult train_with_recovery(const svmdata::Dataset& dataset, const SolverPar
       rep.checkpoints_saved += store->saves();
       for (const std::uint64_t epoch : rep.restore_epochs)
         rep.iterations_replayed += out.iterations - std::min(epoch, out.iterations);
+      maybe_write_metrics(out, options);
       return out;
     } catch (const svmmpi::RankFailed& failure) {
       rep.failures.push_back(failure.what());
@@ -340,6 +423,7 @@ TrainResult train_with_recovery(const svmdata::Dataset& dataset, const SolverPar
         config.checkpoint_store != nullptr ? store->begin_restart() : std::nullopt;
     rep.restore_epochs.push_back(epoch.value_or(0));
     ++rep.restarts;
+    svmobs::trace_instant("world_restart", "fault");
   }
 }
 

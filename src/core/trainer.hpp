@@ -16,6 +16,7 @@
 #include "data/sparse.hpp"
 #include "mpisim/fault.hpp"
 #include "mpisim/netmodel.hpp"
+#include "obs/report.hpp"
 
 namespace svmcore {
 
@@ -29,6 +30,21 @@ struct TrainOptions {
   /// Double-buffered compute-overlapped reconstruction ring; bit-identical
   /// results either way — see DistributedConfig::pipelined_reconstruction.
   bool pipelined_reconstruction = true;
+
+  // --- observability (src/obs) ---------------------------------------------
+  /// When non-empty, the trace recorder is enabled for this run and Chrome
+  /// trace-event JSON is written here when the run ends — INCLUDING failed
+  /// runs: faults unwind as exceptions, so the partial trace flushes with
+  /// balanced spans (view at ui.perfetto.dev). Empty (the default) keeps the
+  /// recorder fully disabled: results are bit-identical and the per-event
+  /// cost is a single relaxed load.
+  std::string trace_path;
+  /// When non-empty, a machine-readable run report (schema
+  /// svmobs.run_report.v1: per-rank metric registries + cross-rank
+  /// aggregate) is written here after a successful run.
+  std::string metrics_path;
+  /// Per-thread trace ring capacity in events; overflow drops the oldest.
+  std::size_t trace_buffer_events = 1u << 16;
 };
 
 struct TrainResult {
@@ -41,6 +57,10 @@ struct TrainResult {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> active_trace;
   std::vector<svmmpi::TrafficStats> rank_traffic;
   svmmpi::TrafficStats traffic;                  ///< totals over ranks
+  /// Per-rank metric registries (solver counters + net.* traffic), indexed
+  /// by rank, plus the cross-rank aggregate; feeds run_report().
+  std::vector<svmobs::MetricsRegistry> rank_metrics;
+  svmobs::MetricsRegistry metrics;
 
   /// Aggregates across ranks: summed work counters, max wall times.
   std::uint64_t total_kernel_evaluations = 0;
@@ -147,5 +167,12 @@ struct RecoveryReport {
 [[nodiscard]] SvmModel build_model(const svmdata::Dataset& dataset,
                                    std::span<const double> alpha, double beta,
                                    const svmkernel::KernelParams& kernel);
+
+/// Packages a finished run as an svmobs run report (per-rank registries +
+/// aggregate + run descriptors). Callers append reports from several runs
+/// and hand them to svmobs::write_reports.
+[[nodiscard]] svmobs::RunReport run_report(const TrainResult& result,
+                                           const TrainOptions& options,
+                                           std::string name = "train");
 
 }  // namespace svmcore

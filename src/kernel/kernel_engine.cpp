@@ -2,7 +2,17 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace svmkernel {
+
+namespace {
+
+// One cache-hit-rate counter sample per kCacheCounterStride k_row_floats
+// calls: frequent enough to plot warm-up, cheap enough for traced runs.
+constexpr std::uint64_t kCacheCounterStride = 1024;
+
+}  // namespace
 
 std::string to_string(EngineBackend backend) {
   switch (backend) {
@@ -95,6 +105,7 @@ void KernelEngine::eval_pair_rows(std::span<const svmdata::Feature> up, double s
                                   std::span<const std::uint32_t> rows, std::size_t base,
                                   std::span<double> out_up, std::span<double> out_low,
                                   bool parallel) {
+  svmobs::TraceSpan span("engine_pair_batch", "kernel");
   const auto count = static_cast<std::ptrdiff_t>(rows.size());
   stats_.pair_evals += rows.size();
   stats_.bytes_streamed += payload_bytes(rows, base);
@@ -143,6 +154,7 @@ void KernelEngine::eval_pair_range(std::span<const svmdata::Feature> up, double 
                                    std::size_t begin, std::size_t end,
                                    std::span<double> out_up, std::span<double> out_low,
                                    bool parallel) {
+  svmobs::TraceSpan span("engine_pair_batch", "kernel");
   const auto first = static_cast<std::ptrdiff_t>(begin);
   const auto last = static_cast<std::ptrdiff_t>(end);
   stats_.pair_evals += end - begin;
@@ -187,6 +199,7 @@ void KernelEngine::eval_pair_range(std::span<const svmdata::Feature> up, double 
 void KernelEngine::eval_rows(std::span<const svmdata::Feature> query, double sq_query,
                              std::size_t begin, std::size_t end, std::span<double> out,
                              bool parallel) {
+  svmobs::TraceSpan span("engine_row_batch", "kernel");
   const auto first = static_cast<std::ptrdiff_t>(begin);
   const auto last = static_cast<std::ptrdiff_t>(end);
   stats_.single_evals += end - begin;
@@ -222,6 +235,7 @@ void KernelEngine::eval_block_rows(
     std::span<const double> block_sq_norms, std::span<const double> block_coeffs,
     std::span<const std::uint32_t> rows, std::size_t base, std::span<double> accum,
     bool parallel) {
+  svmobs::TraceSpan span("engine_block_batch", "kernel");
   const std::size_t stale = rows.size();
   const std::size_t block = block_rows.size();
   stats_.single_evals += stale * block;
@@ -408,6 +422,8 @@ void KernelEngine::fill_k_row(std::size_t i, std::size_t len, bool parallel, flo
 
 std::span<const float> KernelEngine::k_row_floats(std::size_t i, std::size_t len,
                                                   bool parallel) {
+  if (svmobs::trace_enabled() && ++k_row_calls_ % kCacheCounterStride == 0 && cache_)
+    svmobs::trace_counter("kernel_cache_hit_rate", cache_->hit_rate());
   if (cache_) {
     const std::span<const float> hit = cache_->lookup(i);
     if (hit.size() >= len) return hit.first(len);

@@ -216,6 +216,7 @@ class KernelEngine {
   std::vector<double> block_partials_;
   std::vector<double> block_kvals_;
   std::unique_ptr<KernelRowCache> cache_;
+  std::uint64_t k_row_calls_ = 0;  ///< trace counter-track sampling stride
 
   EngineStats stats_;
 };

@@ -5,6 +5,8 @@
 #include <thread>
 #include <tuple>
 
+#include "obs/trace.hpp"
+
 namespace svmmpi {
 
 namespace {
@@ -12,6 +14,16 @@ namespace {
 // Internal tag space for runtime protocol messages (context distribution
 // during split); user tags must stay below this.
 constexpr int kSplitContextTag = 1 << 28;
+
+// Counter-track samples are rate-limited: one every kNetCounterStride
+// collectives (plus every overlap credit) keeps traced runs readable while
+// still plotting modeled vs overlapped network seconds over time.
+constexpr std::uint64_t kNetCounterStride = 64;
+
+void trace_net_seconds(const TrafficStats& s) {
+  svmobs::trace_counter("net_modeled_s", s.modeled_seconds);
+  svmobs::trace_counter("net_overlapped_s", s.overlapped_seconds);
+}
 
 }  // namespace
 
@@ -69,6 +81,9 @@ void Comm::convert_timeout(const TimeoutError& timeout) const {
 Message Comm::recv_message(int source, int tag) {
   if (source != kAnySource && (source < 0 || source >= size()))
     throw std::out_of_range("svmmpi: recv source out of range");
+  // Spans the blocking wait (and any fault-injected delay); a RankLost /
+  // TimeoutError unwind closes it, so stalls show up as long recv spans.
+  svmobs::TraceSpan span("recv", "net");
   (void)faulted_op(FaultSite::recv);
   // The awaited peer dying while we block surfaces as RankLost rather than a
   // full deadline wait: World::mark_failed pokes the mailbox, the interrupt
@@ -112,12 +127,15 @@ double Comm::credit_overlap(double compute_s, double comm_s) {
   TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
   s.overlapped_seconds += credit;
   s.modeled_seconds -= credit;
+  if (svmobs::trace_enabled()) trace_net_seconds(s);
   return credit;
 }
 
 std::vector<std::byte> Comm::collective(std::vector<std::byte> contribution,
                                         const CollectiveContext::Combine& combine,
-                                        ModelAs model_as, std::size_t payload_bytes) {
+                                        ModelAs model_as, std::size_t payload_bytes,
+                                        const char* label) {
+  svmobs::TraceSpan span(label, "collective");
   (void)faulted_op(FaultSite::collective);
   const auto interrupt = [this] { return world_->any_failed() && !dead_members().empty(); };
   std::vector<std::byte> result;
@@ -139,13 +157,14 @@ std::vector<std::byte> Comm::collective(std::vector<std::byte> contribution,
       break;
     case ModelAs::none: break;
   }
+  if (svmobs::trace_enabled() && s.collectives % kNetCounterStride == 0) trace_net_seconds(s);
   return result;
 }
 
 void Comm::barrier() {
   (void)collective(
       {}, [](const std::vector<std::vector<std::byte>>&) { return std::vector<std::byte>{}; },
-      ModelAs::tree, 0);
+      ModelAs::tree, 0, "barrier");
 }
 
 namespace {
@@ -184,13 +203,13 @@ std::vector<std::byte> combine_maxloc(const std::vector<std::vector<std::byte>>&
 
 DoubleInt Comm::allreduce_minloc(DoubleInt mine) {
   auto out = collective(detail::to_bytes(std::span<const DoubleInt>(&mine, 1)), combine_minloc,
-                        ModelAs::tree, sizeof(DoubleInt));
+                        ModelAs::tree, sizeof(DoubleInt), "allreduce_minloc");
   return detail::from_bytes<DoubleInt>(out)[0];
 }
 
 DoubleInt Comm::allreduce_maxloc(DoubleInt mine) {
   auto out = collective(detail::to_bytes(std::span<const DoubleInt>(&mine, 1)), combine_maxloc,
-                        ModelAs::tree, sizeof(DoubleInt));
+                        ModelAs::tree, sizeof(DoubleInt), "allreduce_maxloc");
   return detail::from_bytes<DoubleInt>(out)[0];
 }
 

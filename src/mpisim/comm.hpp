@@ -195,7 +195,7 @@ class Comm {
     auto out = collective(
         std::move(mine),
         [root](const std::vector<std::vector<std::byte>>& parts) { return parts[root]; },
-        /*modeled=*/ModelAs::tree, data.size() * sizeof(T));
+        /*modeled=*/ModelAs::tree, data.size() * sizeof(T), "bcast");
     data = detail::from_bytes<T>(out);
   }
 
@@ -221,7 +221,7 @@ class Comm {
           }
           return detail::to_bytes(std::span<const T>(acc));
         },
-        ModelAs::tree, data.size_bytes());
+        ModelAs::tree, data.size_bytes(), "allreduce");
     return detail::from_bytes<T>(out);
   }
 
@@ -252,7 +252,7 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<std::vector<T>> allgatherv(std::span<const T> mine) {
     auto out = collective(detail::to_bytes(mine), detail::concat_with_sizes, ModelAs::ring,
-                          mine.size_bytes());
+                          mine.size_bytes(), "allgatherv");
     return detail::split_concatenated<T>(out);
   }
 
@@ -343,9 +343,11 @@ class Comm {
   void recv_bytes_into(std::vector<std::byte>& out, int source, int tag, int* actual_source);
   /// Shared receive core: validated, fault-checked, interrupt-aware pop.
   [[nodiscard]] Message recv_message(int source, int tag);
+  /// `label` names the collective on the trace timeline (string literal).
   [[nodiscard]] std::vector<std::byte> collective(std::vector<std::byte> contribution,
                                                   const CollectiveContext::Combine& combine,
-                                                  ModelAs model_as, std::size_t payload_bytes);
+                                                  ModelAs model_as, std::size_t payload_bytes,
+                                                  const char* label);
 
   /// Consults the world's FaultInjector (if any) before a communication op;
   /// may sleep (delay) or throw RankFailed (crash). Returns true when the op

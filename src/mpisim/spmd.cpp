@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace svmmpi {
 
 TrafficStats run_spmd(int num_ranks, const std::function<void(Comm&)>& body, NetModel model,
@@ -16,7 +18,9 @@ TrafficStats run_spmd(int num_ranks, const std::function<void(Comm&)>& body, Net
   std::mutex error_mutex;
 
   auto rank_main = [&](int rank) {
+    svmobs::trace_set_thread_rank(rank);
     try {
+      svmobs::TraceSpan span("rank_main", "spmd");
       Comm comm = world.world_comm(rank);
       body(comm);
     } catch (const WorldAborted&) {
@@ -52,13 +56,16 @@ ElasticReport run_spmd_elastic(int num_ranks, const std::function<void(Comm&)>& 
   std::mutex error_mutex;
 
   auto rank_main = [&](int rank) {
+    svmobs::trace_set_thread_rank(rank);
     try {
+      svmobs::TraceSpan span("rank_main", "spmd");
       Comm comm = world.world_comm(rank);
       body(comm);
     } catch (const RankFailed& failure) {
       // The injected death of THIS rank: record it and exit quietly. The
       // mark wakes every survivor blocked on this rank so they observe
       // RankLost promptly instead of waiting out the deadline.
+      svmobs::trace_instant("rank_failed", "fault");
       world.mark_failed(rank, failure.permanent);
     } catch (const WorldAborted&) {
       // Secondary failure caused by another rank's abort; ignore.

@@ -1,0 +1,315 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace svmobs {
+
+// --- writer ----------------------------------------------------------------
+
+void JsonWriter::comma() {
+  if (first_.empty()) return;
+  if (first_.back())
+    first_.back() = false;
+  else
+    out_ += ',';
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  first_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  first_.pop_back();
+}
+
+void JsonWriter::key(std::string_view name) {
+  comma();
+  out_ += '"';
+  escape_into(out_, name);
+  out_ += "\":";
+  // The upcoming value must not emit a comma of its own.
+  first_.push_back(true);
+  // end of value is implicit: pop happens in value()/begin_*; to keep the
+  // stack balanced we instead mark this level consumed immediately.
+  first_.pop_back();
+  if (!first_.empty()) first_.back() = true;
+}
+
+void JsonWriter::value(std::string_view text) {
+  comma();
+  out_ += '"';
+  escape_into(out_, text);
+  out_ += '"';
+}
+
+void JsonWriter::value(double number) {
+  comma();
+  if (!std::isfinite(number)) {  // JSON has no Inf/NaN; clamp to null
+    out_ += "null";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+  out_ += buffer;
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  comma();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(std::int64_t number) {
+  comma();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(bool flag) {
+  comma();
+  out_ += flag ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  comma();
+  out_ += "null";
+}
+
+void JsonWriter::raw(std::string_view json) {
+  comma();
+  out_ += json;
+}
+
+void JsonWriter::escape_into(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// --- parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (at_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error("json parse error at byte " + std::to_string(at_) + ": " + message);
+  }
+
+  void skip_ws() {
+    while (at_ < text_.size() && (text_[at_] == ' ' || text_[at_] == '\t' ||
+                                  text_[at_] == '\n' || text_[at_] == '\r'))
+      ++at_;
+  }
+
+  char peek() {
+    if (at_ >= text_.size()) fail("unexpected end of input");
+    return text_[at_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++at_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(at_, lit.size()) != lit) return false;
+    at_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonType::string;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      JsonValue v;
+      v.type = JsonType::boolean;
+      if (consume_literal("true"))
+        v.boolean = true;
+      else if (consume_literal("false"))
+        v.boolean = false;
+      else
+        fail("bad literal");
+      return v;
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      return JsonValue{};
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonType::object;
+    skip_ws();
+    if (peek() == '}') {
+      ++at_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string k = parse_string();
+      skip_ws();
+      expect(':');
+      v.object[std::move(k)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++at_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonType::array;
+    skip_ws();
+    if (peek() == ']') {
+      ++at_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++at_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (at_ >= text_.size()) fail("unterminated string");
+      const char c = text_[at_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[at_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (at_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[at_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code += h - '0';
+            else if (h >= 'a' && h <= 'f')
+              code += 10 + h - 'a';
+            else if (h >= 'A' && h <= 'F')
+              code += 10 + h - 'A';
+            else
+              fail("bad \\u escape digit");
+          }
+          // Minimal UTF-8 encoding; surrogate pairs not needed for our data.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = at_;
+    if (peek() == '-') ++at_;
+    while (at_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[at_])) || text_[at_] == '.' ||
+            text_[at_] == 'e' || text_[at_] == 'E' || text_[at_] == '+' || text_[at_] == '-'))
+      ++at_;
+    if (at_ == start) fail("expected a value");
+    JsonValue v;
+    v.type = JsonType::number;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + at_, v.number);
+    if (ec != std::errc{} || ptr != text_.data() + at_) fail("malformed number");
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace svmobs

@@ -1,0 +1,82 @@
+// Minimal JSON support for the observability subsystem: a streaming writer
+// (used by the trace exporter, the metrics registry and the run-report
+// emitter) and a small recursive-descent parser (used by trace/metrics
+// validation — tools/trace_validate and the obs tests). Deliberately tiny:
+// no external dependency, no allocation tricks, just enough JSON.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace svmobs {
+
+// --- writer ----------------------------------------------------------------
+
+/// Streaming JSON writer with automatic comma placement. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name"); w.value("solve");
+///   w.key("ts");   w.value(12.5);
+///   w.end_object();
+///   std::string out = w.str();
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  /// Writes an object key (must be inside an object, before its value).
+  void key(std::string_view name);
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(double number);
+  void value(std::uint64_t number);
+  void value(std::int64_t number);
+  void value(int number) { value(static_cast<std::int64_t>(number)); }
+  void value(bool flag);
+  void null();
+  /// Splices pre-rendered JSON (trusted) as one value.
+  void raw(std::string_view json);
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+  static void escape_into(std::string& out, std::string_view text);
+
+ private:
+  void comma();
+  std::string out_;
+  std::vector<bool> first_;  ///< per nesting level: no element written yet
+};
+
+// --- parsed value ----------------------------------------------------------
+
+enum class JsonType : std::uint8_t { null, boolean, number, string, array, object };
+
+/// Owned JSON tree. Object keys keep insertion order is NOT guaranteed
+/// (std::map); validation never depends on order.
+struct JsonValue {
+  JsonType type = JsonType::null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is(JsonType t) const noexcept { return type == t; }
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& k) const {
+    if (type != JsonType::object) return nullptr;
+    const auto it = object.find(k);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+/// Parses `text`; throws std::runtime_error with a byte offset on malformed
+/// input (trailing non-whitespace is an error).
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace svmobs

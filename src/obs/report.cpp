@@ -1,0 +1,62 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace svmobs {
+
+void RunReport::finalize_aggregate() {
+  if (ranks.empty()) return;
+  aggregate = MetricsRegistry();
+  for (const MetricsRegistry& rank : ranks) aggregate.aggregate_from(rank);
+}
+
+std::string reports_json(const std::vector<RunReport>& runs) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(std::string_view("svmobs.run_report.v1"));
+  w.key("runs");
+  w.begin_array();
+  for (const RunReport& run : runs) {
+    w.begin_object();
+    w.key("name");
+    w.value(std::string_view(run.name));
+    w.key("info");
+    w.begin_object();
+    for (const auto& [k, v] : run.info) {
+      w.key(k);
+      w.value(std::string_view(v));
+    }
+    w.end_object();
+    w.key("ranks");
+    w.begin_array();
+    for (std::size_t rank = 0; rank < run.ranks.size(); ++rank) {
+      w.begin_object();
+      w.key("rank");
+      w.value(static_cast<std::uint64_t>(rank));
+      w.key("metrics");
+      run.ranks[rank].to_json(w);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("aggregate");
+    run.aggregate.to_json(w);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void write_reports(const std::string& path, const std::vector<RunReport>& runs) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("svmobs: cannot open metrics output file " + path);
+  const std::string json = reports_json(runs);
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!out) throw std::runtime_error("svmobs: failed writing metrics to " + path);
+}
+
+}  // namespace svmobs

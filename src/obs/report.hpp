@@ -1,0 +1,36 @@
+// Machine-readable run reports: one JSON document per run (or per batch of
+// runs, for benches) containing per-rank metric registries plus a
+// cross-rank aggregate. Written next to the trace when TrainOptions /
+// --metrics-out asks for it; scripts/check.sh --obs validates the schema.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace svmobs {
+
+/// One logical run: a training solve, a bench configuration, a CV fold.
+struct RunReport {
+  std::string name;
+  /// Free-form run descriptors ("ranks" -> "4", "kernel" -> "gaussian", ...).
+  std::vector<std::pair<std::string, std::string>> info;
+  /// Per-rank registries, index == rank. May be empty for single-process runs.
+  std::vector<MetricsRegistry> ranks;
+  /// Cross-rank aggregate (counters summed, gauges maxed). Fill directly or
+  /// via finalize_aggregate().
+  MetricsRegistry aggregate;
+
+  /// Rebuilds `aggregate` from `ranks` (no-op if `ranks` is empty).
+  void finalize_aggregate();
+};
+
+/// Renders {"schema":"svmobs.run_report.v1","runs":[...]} .
+[[nodiscard]] std::string reports_json(const std::vector<RunReport>& runs);
+
+/// reports_json() to a file; throws std::runtime_error on I/O failure.
+void write_reports(const std::string& path, const std::vector<RunReport>& runs);
+
+}  // namespace svmobs

@@ -1,0 +1,226 @@
+#include "obs/validate.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace svmobs {
+
+namespace {
+
+std::string describe_track(std::int64_t pid, std::int64_t tid) {
+  return "track(pid=" + std::to_string(pid) + ",tid=" + std::to_string(tid) + ")";
+}
+
+const JsonValue* get(const JsonValue& object, const char* key) {
+  return object.is(JsonType::object) ? object.find(key) : nullptr;
+}
+
+}  // namespace
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("failed reading " + path);
+  return buffer.str();
+}
+
+ValidationResult validate_trace(const std::string& json,
+                                const std::vector<std::string>& required_spans,
+                                std::size_t min_counter_tracks) {
+  ValidationResult result;
+  JsonValue root;
+  try {
+    root = parse_json(json);
+  } catch (const std::exception& e) {
+    result.errors.emplace_back(e.what());
+    return result;
+  }
+  if (!root.is(JsonType::object)) {
+    result.errors.emplace_back("top level is not an object");
+    return result;
+  }
+  const JsonValue* other = get(root, "otherData");
+  const JsonValue* schema = other != nullptr ? get(*other, "schema") : nullptr;
+  if (schema == nullptr || !schema->is(JsonType::string) || schema->string != "svmobs.trace.v1")
+    result.errors.emplace_back("otherData.schema is not \"svmobs.trace.v1\"");
+  const JsonValue* events = get(root, "traceEvents");
+  if (events == nullptr || !events->is(JsonType::array)) {
+    result.errors.emplace_back("traceEvents missing or not an array");
+    return result;
+  }
+
+  struct TrackState {
+    double last_ts = -1.0;
+    std::vector<std::string> open;  ///< names of open B spans, in nest order
+  };
+  std::map<std::pair<std::int64_t, std::int64_t>, TrackState> tracks;
+  std::set<std::string> counter_names;
+  std::set<std::string> span_names;
+
+  for (const JsonValue& e : events->array) {
+    if (!e.is(JsonType::object)) {
+      result.errors.emplace_back("traceEvents entry is not an object");
+      continue;
+    }
+    const JsonValue* ph = get(e, "ph");
+    const JsonValue* name = get(e, "name");
+    const JsonValue* pid = get(e, "pid");
+    const JsonValue* tid = get(e, "tid");
+    if (ph == nullptr || !ph->is(JsonType::string) || name == nullptr ||
+        !name->is(JsonType::string) || pid == nullptr || !pid->is(JsonType::number) ||
+        tid == nullptr || !tid->is(JsonType::number)) {
+      result.errors.emplace_back("event missing ph/name/pid/tid");
+      continue;
+    }
+    if (ph->string == "M") continue;  // metadata events carry no ts
+
+    ++result.events;
+    const auto track_key = std::make_pair(static_cast<std::int64_t>(pid->number),
+                                          static_cast<std::int64_t>(tid->number));
+    TrackState& track = tracks[track_key];
+
+    const JsonValue* ts = get(e, "ts");
+    if (ts == nullptr || !ts->is(JsonType::number)) {
+      result.errors.emplace_back("event \"" + name->string + "\" has no numeric ts");
+      continue;
+    }
+    if (ts->number < track.last_ts && result.errors.size() < 32)
+      result.errors.emplace_back(describe_track(track_key.first, track_key.second) +
+                                 ": timestamps not monotonic at event \"" + name->string + "\"");
+    track.last_ts = std::max(track.last_ts, ts->number);
+
+    if (ph->string == "B") {
+      track.open.push_back(name->string);
+      span_names.insert(name->string);
+    } else if (ph->string == "E") {
+      if (track.open.empty()) {
+        if (result.errors.size() < 32)
+          result.errors.emplace_back(describe_track(track_key.first, track_key.second) +
+                                     ": end \"" + name->string + "\" with no open span");
+      } else {
+        if (track.open.back() != name->string && result.errors.size() < 32)
+          result.errors.emplace_back(describe_track(track_key.first, track_key.second) +
+                                     ": end \"" + name->string + "\" does not match open span \"" +
+                                     track.open.back() + "\"");
+        track.open.pop_back();
+        ++result.spans;
+      }
+    } else if (ph->string == "C") {
+      const JsonValue* args = get(e, "args");
+      const JsonValue* value = args != nullptr ? get(*args, "value") : nullptr;
+      if (value == nullptr || !value->is(JsonType::number)) {
+        if (result.errors.size() < 32)
+          result.errors.emplace_back("counter \"" + name->string + "\" has no args.value");
+      }
+      counter_names.insert(name->string);
+    } else if (ph->string != "i") {
+      if (result.errors.size() < 32)
+        result.errors.emplace_back("unknown phase \"" + ph->string + "\"");
+    }
+  }
+
+  for (const auto& [key, track] : tracks)
+    for (const std::string& name : track.open)
+      result.errors.emplace_back(describe_track(key.first, key.second) +
+                                 ": span \"" + name + "\" never ends");
+
+  for (const std::string& required : required_spans)
+    if (span_names.count(required) == 0)
+      result.errors.emplace_back("required span \"" + required + "\" not found");
+
+  result.tracks = tracks.size();
+  result.counter_tracks = counter_names.size();
+  if (counter_names.size() < min_counter_tracks)
+    result.errors.emplace_back("expected >= " + std::to_string(min_counter_tracks) +
+                               " counter tracks, found " + std::to_string(counter_names.size()));
+  return result;
+}
+
+namespace {
+
+void check_registry(const JsonValue& metrics, const std::string& where,
+                    ValidationResult& result) {
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const JsonValue* v = get(metrics, section);
+    if (v == nullptr || !v->is(JsonType::object)) {
+      result.errors.emplace_back(where + ": metrics." + section + " missing or not an object");
+      return;
+    }
+    for (const auto& [name, entry] : v->object) {
+      if (std::string(section) == "histograms") {
+        const JsonValue* bounds = get(entry, "bounds");
+        const JsonValue* counts = get(entry, "counts");
+        if (bounds == nullptr || !bounds->is(JsonType::array) || counts == nullptr ||
+            !counts->is(JsonType::array) || counts->array.size() != bounds->array.size() + 1)
+          result.errors.emplace_back(where + ": histogram \"" + name +
+                                     "\" bounds/counts malformed");
+      } else if (!entry.is(JsonType::number)) {
+        result.errors.emplace_back(where + ": " + section + " \"" + name + "\" is not a number");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ValidationResult validate_metrics(const std::string& json) {
+  ValidationResult result;
+  JsonValue root;
+  try {
+    root = parse_json(json);
+  } catch (const std::exception& e) {
+    result.errors.emplace_back(e.what());
+    return result;
+  }
+  const JsonValue* schema = get(root, "schema");
+  if (schema == nullptr || !schema->is(JsonType::string) ||
+      schema->string != "svmobs.run_report.v1")
+    result.errors.emplace_back("schema is not \"svmobs.run_report.v1\"");
+  const JsonValue* runs = get(root, "runs");
+  if (runs == nullptr || !runs->is(JsonType::array)) {
+    result.errors.emplace_back("runs missing or not an array");
+    return result;
+  }
+  for (const JsonValue& run : runs->array) {
+    ++result.runs;
+    const JsonValue* name = get(run, "name");
+    const std::string run_name =
+        (name != nullptr && name->is(JsonType::string)) ? name->string : "";
+    if (run_name.empty()) {
+      result.errors.emplace_back("run entry has no name");
+      continue;
+    }
+    const JsonValue* ranks = get(run, "ranks");
+    if (ranks == nullptr || !ranks->is(JsonType::array)) {
+      result.errors.emplace_back("run \"" + run_name + "\": ranks missing or not an array");
+      continue;
+    }
+    for (const JsonValue& rank : ranks->array) {
+      const JsonValue* rank_id = get(rank, "rank");
+      const JsonValue* metrics = get(rank, "metrics");
+      if (rank_id == nullptr || !rank_id->is(JsonType::number) || metrics == nullptr) {
+        result.errors.emplace_back("run \"" + run_name + "\": malformed rank entry");
+        continue;
+      }
+      check_registry(*metrics, "run \"" + run_name + "\" rank " +
+                                   std::to_string(static_cast<int>(rank_id->number)),
+                     result);
+    }
+    const JsonValue* aggregate = get(run, "aggregate");
+    if (aggregate == nullptr)
+      result.errors.emplace_back("run \"" + run_name + "\": aggregate missing");
+    else
+      check_registry(*aggregate, "run \"" + run_name + "\" aggregate", result);
+  }
+  return result;
+}
+
+}  // namespace svmobs

@@ -1,0 +1,45 @@
+// Structural validation for the artifacts svmobs emits. Shared by the
+// tools/trace_validate CLI and the obs test suite so both enforce the same
+// contract:
+//
+//  trace:   parses as JSON, schema tag matches, per-track (pid,tid)
+//           timestamps are monotonic non-decreasing, every track's B/E spans
+//           balance and nest properly, all required span names are present,
+//           and at least `min_counter_tracks` distinct counter tracks exist.
+//  metrics: parses as JSON, schema tag matches, every run has a name, every
+//           rank entry carries counters/gauges/histograms objects, histogram
+//           counts arrays are bounds.size()+1 long.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace svmobs {
+
+struct ValidationResult {
+  std::vector<std::string> errors;
+  // Summary facts for reporting / assertions.
+  std::size_t events = 0;          ///< trace: total events seen
+  std::size_t tracks = 0;          ///< trace: distinct (pid,tid) tracks
+  std::size_t counter_tracks = 0;  ///< trace: distinct counter names
+  std::size_t spans = 0;           ///< trace: matched begin/end pairs
+  std::size_t runs = 0;            ///< metrics: run entries
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Validates Chrome trace-event JSON produced by trace_json().
+/// `required_spans`: names that must appear as at least one B/E span
+/// somewhere in the trace (e.g. the four layer-coverage spans).
+/// `min_counter_tracks`: minimum number of distinct counter-track names.
+[[nodiscard]] ValidationResult validate_trace(const std::string& json,
+                                              const std::vector<std::string>& required_spans = {},
+                                              std::size_t min_counter_tracks = 0);
+
+/// Validates a run-report JSON document produced by reports_json().
+[[nodiscard]] ValidationResult validate_metrics(const std::string& json);
+
+/// Reads a whole file; throws std::runtime_error when unreadable.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+}  // namespace svmobs

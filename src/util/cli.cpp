@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/logging.hpp"
+
 namespace svmutil {
 
 CliFlags::CliFlags(int argc, const char* const* argv, std::vector<std::string> known) {
@@ -63,6 +65,18 @@ bool CliFlags::get_bool(const std::string& name, bool fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> with_obs_flags(std::vector<std::string> known) {
+  known.emplace_back("log-level");
+  known.emplace_back("trace-out");
+  known.emplace_back("metrics-out");
+  return known;
+}
+
+ObsPaths apply_obs_flags(const CliFlags& flags) {
+  if (flags.has("log-level")) set_log_level(log_level_from_string(flags.get("log-level", "")));
+  return ObsPaths{flags.get("trace-out", ""), flags.get("metrics-out", "")};
 }
 
 }  // namespace svmutil

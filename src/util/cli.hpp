@@ -35,4 +35,20 @@ class CliFlags {
   std::vector<std::string> positional_;
 };
 
+/// Observability flag values shared by every tool that trains: output paths
+/// for the Chrome trace and the metrics run report (empty = disabled).
+struct ObsPaths {
+  std::string trace_out;    ///< --trace-out: Chrome trace-event JSON
+  std::string metrics_out;  ///< --metrics-out: svmobs.run_report.v1 JSON
+};
+
+/// Appends the standard observability flags ("log-level", "trace-out",
+/// "metrics-out") to a known-flags list, so tools opt in with one call.
+[[nodiscard]] std::vector<std::string> with_obs_flags(std::vector<std::string> known);
+
+/// Reads the flags added by with_obs_flags: applies --log-level to the global
+/// logger immediately (throws on an invalid name) and returns the output
+/// paths. Defaults leave logging and tracing untouched.
+ObsPaths apply_obs_flags(const CliFlags& flags);
+
 }  // namespace svmutil

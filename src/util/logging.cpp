@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <stdexcept>
 
 namespace svmutil {
 
@@ -26,6 +27,16 @@ std::mutex g_write_mutex;
 void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(level)); }
 
 LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
+
+LogLevel log_level_from_string(std::string_view name) {
+  if (name == "debug") return LogLevel::debug;
+  if (name == "info") return LogLevel::info;
+  if (name == "warn") return LogLevel::warn;
+  if (name == "error") return LogLevel::error;
+  if (name == "off") return LogLevel::off;
+  throw std::invalid_argument("unknown log level: " + std::string(name) +
+                              " (expected debug|info|warn|error|off)");
+}
 
 void log_line(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < g_level.load()) return;

@@ -16,6 +16,11 @@ enum class LogLevel : int { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
+/// Parses "debug"/"info"/"warn"/"error"/"off" (the names printed in log
+/// lines). Throws std::invalid_argument on anything else, so a typo in
+/// --log-level fails loudly instead of silently keeping the default.
+[[nodiscard]] LogLevel log_level_from_string(std::string_view name);
+
 /// Writes one formatted line ("[level] message\n") to stderr under a mutex.
 void log_line(LogLevel level, std::string_view message);
 

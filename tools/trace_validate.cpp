@@ -1,0 +1,68 @@
+// Structural validator for svmobs artifacts; exits non-zero when a file
+// violates the contract (see src/obs/validate.hpp for the checks).
+//
+//   trace_validate trace.json [trace2.json ...]
+//       [--require-span NAME[,NAME...]]   span names that must be present
+//       [--min-counter-tracks N]          distinct counter tracks required
+//   trace_validate --metrics report.json [report2.json ...]
+//
+// Used by scripts/check.sh --obs to gate the traced training run: a trace
+// must be valid Chrome trace-event JSON with monotonic per-rank timestamps,
+// balanced begin/end spans, every required span and enough counter tracks.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/validate.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    const svmutil::CliFlags flags(argc, argv,
+                                  {"metrics!", "require-span", "min-counter-tracks"});
+    if (flags.positional().empty()) {
+      std::fprintf(stderr,
+                   "usage: %s [--metrics] [--require-span a,b,..] [--min-counter-tracks N] "
+                   "file.json...\n",
+                   flags.program().c_str());
+      return 2;
+    }
+
+    std::vector<std::string> required_spans;
+    const std::string spans_list = flags.get("require-span", "");
+    std::size_t at = 0;
+    while (at < spans_list.size()) {
+      const std::size_t comma = spans_list.find(',', at);
+      required_spans.push_back(spans_list.substr(at, comma - at));
+      if (comma == std::string::npos) break;
+      at = comma + 1;
+    }
+    const auto min_counters = static_cast<std::size_t>(flags.get_int("min-counter-tracks", 0));
+
+    bool all_ok = true;
+    for (const std::string& path : flags.positional()) {
+      const std::string json = svmobs::read_file(path);
+      const svmobs::ValidationResult result =
+          flags.get_bool("metrics")
+              ? svmobs::validate_metrics(json)
+              : svmobs::validate_trace(json, required_spans, min_counters);
+      if (result.ok()) {
+        if (flags.get_bool("metrics"))
+          std::printf("%s: OK (%zu runs)\n", path.c_str(), result.runs);
+        else
+          std::printf("%s: OK (%zu events, %zu tracks, %zu spans, %zu counter tracks)\n",
+                      path.c_str(), result.events, result.tracks, result.spans,
+                      result.counter_tracks);
+      } else {
+        all_ok = false;
+        std::fprintf(stderr, "%s: INVALID (%zu errors)\n", path.c_str(), result.errors.size());
+        for (const std::string& error : result.errors)
+          std::fprintf(stderr, "  %s\n", error.c_str());
+      }
+    }
+    return all_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
