@@ -1,0 +1,70 @@
+// Multi-tenant training service in ~60 lines: two tenants share one rank
+// pool — a batch tenant sweeping a small hyper-parameter grid and an
+// interactive tenant lowering a 3-class problem to one-vs-one pair jobs at
+// higher priority. A permanent rank death is injected mid-run: the affected
+// job shrinks onto its surviving ranks and completes, every other job is
+// untouched, and the freed ranks are reallocated to the queue.
+//
+//   ./scheduler_demo [--pool 6] [--n 240]
+#include <cstdio>
+
+#include "data/synthetic.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workload.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const svmutil::CliFlags flags(argc, argv, {"pool", "n"});
+  const int pool = static_cast<int>(flags.get_int("pool", 6));
+  const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 240));
+
+  // Tenant 1: batch grid search over (C, gamma).
+  const auto grid_data = std::make_shared<const svmdata::Dataset>(
+      svmdata::synthetic::gaussian_blobs({.n = n, .d = 8, .separation = 2.2, .seed = 7}));
+  svmsched::JobDefaults batch;
+  batch.tenant = "batch-grid";
+  batch.ranks = 2;
+  std::vector<svmsched::JobSpec> jobs = svmsched::grid_search_jobs(
+      grid_data, {1.0, 8.0}, {0.25, 1.0}, svmcore::SolverParams{}, batch);
+
+  // Tenant 2: interactive one-vs-one multiclass, higher priority.
+  const svmdata::MultiClassData multi =
+      svmdata::synthetic::multiclass_blobs({.n = n, .d = 8, .classes = 3, .seed = 8});
+  svmsched::JobDefaults interactive;
+  interactive.tenant = "interactive-ovo";
+  interactive.ranks = 2;
+  interactive.priority = 5;
+  const auto ovo = svmsched::one_vs_one_jobs(multi, svmcore::SolverParams{}, interactive,
+                                             static_cast<int>(jobs.size()));
+  jobs.insert(jobs.end(), ovo.begin(), ovo.end());
+  svmsched::assign_bursty_arrivals(jobs, {.seed = 3, .mean_gap_s = 0.003});
+
+  svmsched::SchedulerOptions options;
+  options.pool_ranks = pool;
+  options.net_model.timeout_s = 10.0;
+  options.fault_plan.die(1, 400);  // permanent death mid-way through a solve
+
+  const svmsched::SchedulerReport report = svmsched::run_scheduler(jobs, options);
+
+  svmutil::TextTable table({"job", "tenant", "state", "gang", "attempts", "shrinks", "SVs",
+                            "iters", "wait s", "latency s"});
+  for (const svmsched::JobRecord& rec : report.jobs)
+    table.add_row({rec.spec.name, rec.spec.tenant, svmsched::to_string(rec.state),
+                   svmutil::TextTable::integer(rec.gang_size),
+                   svmutil::TextTable::integer(rec.attempts),
+                   svmutil::TextTable::integer(rec.shrinks),
+                   svmutil::TextTable::integer(static_cast<long long>(
+                       rec.state == svmsched::JobState::completed ? rec.model.num_support_vectors()
+                                                                  : 0)),
+                   svmutil::TextTable::integer(static_cast<long long>(rec.iterations)),
+                   svmutil::TextTable::num(rec.queue_wait_s, 3),
+                   svmutil::TextTable::num(rec.latency_s, 3)});
+  table.print();
+  std::printf(
+      "\nmakespan %.3fs; %d completed, %d lost; %d requeue(s), %d shrink(s), "
+      "%zu pool rank(s) permanently lost\n",
+      report.makespan_s, report.completed, report.lost, report.requeues, report.shrinks,
+      report.pool_ranks_lost.size());
+  return report.completed == static_cast<int>(report.jobs.size()) ? 0 : 1;
+}

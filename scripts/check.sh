@@ -8,6 +8,7 @@
 #   scripts/check.sh --tsan     # only the TSan chaos/fault-tolerance + obs tests
 #   scripts/check.sh --perf     # only the pipelined-reconstruction perf smoke
 #   scripts/check.sh --obs      # only the observability end-to-end checks
+#   scripts/check.sh --sched    # only the multi-tenant scheduler checks
 #
 # The ASan pass rebuilds the kernel-layer tests under -DSVM_SANITIZE=address
 # in a separate build tree (build-asan/) and runs the binaries directly; it
@@ -23,6 +24,13 @@
 # simulated MPI world — exactly the code a data-race would corrupt silently
 # in a plain run.
 #
+# The sched pass rebuilds the scheduler chaos suite under TSan and runs it
+# (the dispatcher, watchdog, gang hand-off and pool-exit paths are all
+# cross-thread rendezvous), then runs bench_scheduler --quick with tracing
+# on, validates the per-job spans and the run report, and gates the emitted
+# BENCH_scheduler.json against itself with tools/bench_diff (a self-diff
+# must report zero regressions; a perturbed copy must be caught).
+#
 # The obs pass trains a small synthetic problem at p=4 with tracing and
 # metrics enabled, validates the artifacts with tools/trace_validate
 # (well-formed Chrome JSON, monotonic per-rank timestamps, balanced spans,
@@ -37,14 +45,16 @@ run_asan=true
 run_tsan=true
 run_perf=true
 run_obs=true
+run_sched=true
 case "${1:-}" in
-  --tier1) run_asan=false; run_tsan=false; run_perf=false; run_obs=false ;;
-  --asan) run_tier1=false; run_tsan=false; run_perf=false; run_obs=false ;;
-  --tsan) run_tier1=false; run_asan=false; run_perf=false; run_obs=false ;;
-  --perf) run_tier1=false; run_asan=false; run_tsan=false; run_obs=false ;;
-  --obs) run_tier1=false; run_asan=false; run_tsan=false; run_perf=false ;;
+  --tier1) run_asan=false; run_tsan=false; run_perf=false; run_obs=false; run_sched=false ;;
+  --asan) run_tier1=false; run_tsan=false; run_perf=false; run_obs=false; run_sched=false ;;
+  --tsan) run_tier1=false; run_asan=false; run_perf=false; run_obs=false; run_sched=false ;;
+  --perf) run_tier1=false; run_asan=false; run_tsan=false; run_obs=false; run_sched=false ;;
+  --obs) run_tier1=false; run_asan=false; run_tsan=false; run_perf=false; run_sched=false ;;
+  --sched) run_tier1=false; run_asan=false; run_tsan=false; run_perf=false; run_obs=false ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--tier1|--asan|--tsan|--perf|--obs]" >&2; exit 2 ;;
+  *) echo "usage: scripts/check.sh [--tier1|--asan|--tsan|--perf|--obs|--sched]" >&2; exit 2 ;;
 esac
 
 if $run_tier1; then
@@ -104,6 +114,31 @@ if $run_obs; then
   ./build/tools/trace_validate --metrics "$obs_dir/bench_metrics.json"
   # Tracing disabled must cost < 2% on an SMO-shaped hot loop.
   ./build/bench/bench_micro_mpisim --assert-obs-overhead
+fi
+
+if $run_sched; then
+  echo "=== sched: TSan scheduler chaos suite + bench artifact gate ==="
+  cmake -B build-tsan -S . -DSVM_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target test_scheduler
+  (cd build-tsan && ctest -R test_scheduler --output-on-failure)
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target bench_scheduler bench_diff trace_validate
+  sched_dir=$(mktemp -d)
+  # Re-arm rather than replace the obs step's cleanup (full runs set both).
+  trap 'rm -rf "${obs_dir:-}" "${sched_dir:-}"' EXIT
+  # bench_scheduler exits nonzero if any regime loses accepted work; the
+  # low-fault regime carries the trace/metrics artifacts.
+  (cd "$sched_dir" && "$OLDPWD"/build/bench/bench_scheduler --quick     --trace-out "$sched_dir/trace.json" --metrics-out "$sched_dir/metrics.json")
+  ./build/tools/trace_validate "$sched_dir/trace.json" --require-span job,solve
+  ./build/tools/trace_validate --metrics "$sched_dir/metrics.json"
+  # The regression gate must be quiet on a self-diff and loud on a
+  # perturbed candidate.
+  ./build/tools/bench_diff "$sched_dir/BENCH_scheduler.json" "$sched_dir/BENCH_scheduler.json"
+  sed 's/"jobs_lost": 0/"jobs_lost": 9/' "$sched_dir/BENCH_scheduler.json"     > "$sched_dir/BENCH_regressed.json"
+  if ./build/tools/bench_diff "$sched_dir/BENCH_scheduler.json"       "$sched_dir/BENCH_regressed.json" > /dev/null; then
+    echo "bench_diff failed to flag an injected regression" >&2
+    exit 1
+  fi
 fi
 
 echo "ALL CHECKS PASSED"

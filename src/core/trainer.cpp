@@ -1,11 +1,14 @@
 #include "core/trainer.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include "mpisim/spmd.hpp"
 #include "obs/trace.hpp"
@@ -165,7 +168,8 @@ struct EscalateToRestart : std::runtime_error {
 /// re-enters the solve on the shrunken communicator.
 TrainResult train_elastic(const svmdata::Dataset& dataset, const TrainOptions& options,
                           const DistributedConfig& config, svmmpi::FaultInjector* injector,
-                          bool escalate_when_unrecoverable, RecoveryReport& rep) {
+                          bool escalate_when_unrecoverable, int max_shrinks,
+                          RecoveryReport& rep) {
   validate_train_inputs(dataset, options);
 
   std::vector<RankResult> results(options.num_ranks);
@@ -210,7 +214,11 @@ TrainResult train_elastic(const svmdata::Dataset& dataset, const TrainOptions& o
                     rep.ranks_lost.end())
                   rep.ranks_lost.push_back(world_rank);
               rep.failures.push_back(lost.what());
-              if (gen_store != nullptr) {
+              if (max_shrinks >= 0 && static_cast<int>(my_gen) >= max_shrinks) {
+                // The shrink budget for this attempt is spent: tear the
+                // region down so the driver relaunches the full world.
+                gen.escalate = true;
+              } else if (gen_store != nullptr) {
                 // The dead ranks' process memory is gone: erase their primary
                 // copies (and the buddy replicas they held), then reach the
                 // newest consistent cut through the surviving replicas.
@@ -386,11 +394,13 @@ TrainResult train_with_recovery(const svmdata::Dataset& dataset, const SolverPar
   // by a cold process (nothing), and a file-backed one from its disk spills.
   for (int attempt = 0;; ++attempt) {
     try {
+      ++rep.attempts;
       TrainResult out =
           recovery.policy == RecoveryPolicy::restart_world
               ? train_impl(dataset, options, config, &injector)
               : train_elastic(dataset, options, config, &injector,
-                              recovery.policy == RecoveryPolicy::shrink_then_restart, rep);
+                              recovery.policy == RecoveryPolicy::shrink_then_restart,
+                              recovery.max_shrinks, rep);
       rep.checkpoints_saved += store->saves();
       for (const std::uint64_t epoch : rep.restore_epochs)
         rep.iterations_replayed += out.iterations - std::min(epoch, out.iterations);
@@ -416,6 +426,13 @@ TrainResult train_with_recovery(const svmdata::Dataset& dataset, const SolverPar
       if (attempt == recovery.max_restarts)
         throw std::runtime_error(std::string("train_with_recovery: out of restarts after: ") +
                                  escalation.what());
+    }
+    if (recovery.backoff_base_s > 0.0) {
+      // Restart throttle: capped exponential backoff before the relaunch.
+      const double delay_s =
+          std::min(recovery.backoff_base_s * std::ldexp(1.0, attempt), recovery.backoff_cap_s);
+      rep.backoff_seconds += delay_s;
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
     }
     // Pin the newest consistent cut (single-threaded: the failed world has
     // been fully joined by the launcher before its exception reached us).

@@ -129,6 +129,17 @@ struct RecoveryOptions {
   /// Maximum SPMD relaunches after the initial attempt before giving up and
   /// rethrowing the last failure.
   int max_restarts = 8;
+  /// Capped exponential backoff between relaunches: before retry k (0-based)
+  /// the driver sleeps min(backoff_base_s * 2^k, backoff_cap_s) wall-clock
+  /// seconds, modelling a real scheduler's restart throttle so a flapping
+  /// node does not hot-loop the cluster. 0 (the default) disables the sleep.
+  double backoff_base_s = 0.0;
+  double backoff_cap_s = 1.0;
+  /// Maximum in-world shrink generations per elastic attempt; one more loss
+  /// escalates to a full-world relaunch (counted against max_restarts) even
+  /// under shrink_world, bounding how far a cascade of permanent losses can
+  /// erode a single attempt's rank count. Negative (the default) = unlimited.
+  int max_shrinks = -1;
   /// Optional external store (e.g. file-backed via CheckpointStore's
   /// directory constructor, or one reloaded with CheckpointStore::open).
   /// When null an in-memory store scoped to this call is used.
@@ -136,8 +147,10 @@ struct RecoveryOptions {
 };
 
 struct RecoveryReport {
+  int attempts = 0;                   ///< SPMD launches performed (1 = fault-free)
   int restarts = 0;                   ///< full-world relaunches performed
   int shrinks = 0;                    ///< in-world shrink recoveries performed
+  double backoff_seconds = 0.0;       ///< total restart-throttle sleep
   std::vector<std::string> failures;  ///< what() of each failure survived
   std::vector<int> ranks_lost;        ///< world ranks whose memory was lost
   std::uint64_t checkpoints_saved = 0;

@@ -36,9 +36,15 @@ bool Comm::faulted_op(FaultSite site) {
   return action.drop;
 }
 
+void Comm::check_cancelled() const {
+  if (world_->context_cancelled(context_id_))
+    throw ContextCancelled(context_id_, (*group_)[rank_]);
+}
+
 void Comm::send_bytes(std::vector<std::byte> payload, int destination, int tag) {
   if (destination < 0 || destination >= size())
     throw std::out_of_range("svmmpi: send destination out of range");
+  check_cancelled();
   const std::size_t bytes = payload.size();
   // A dropped send still charges the sender's stats: the sender cannot tell
   // the message was lost, exactly as on a real network.
@@ -84,11 +90,15 @@ Message Comm::recv_message(int source, int tag) {
   // Spans the blocking wait (and any fault-injected delay); a RankLost /
   // TimeoutError unwind closes it, so stalls show up as long recv spans.
   svmobs::TraceSpan span("recv", "net");
+  check_cancelled();
   (void)faulted_op(FaultSite::recv);
   // The awaited peer dying while we block surfaces as RankLost rather than a
   // full deadline wait: World::mark_failed pokes the mailbox, the interrupt
   // predicate fires, and the internal wake converts to the public verdict.
+  // A watchdog cancellation of this comm's context wakes the wait the same
+  // way and converts to ContextCancelled below.
   const auto interrupt = [this, source] {
+    if (world_->context_cancelled(context_id_)) return true;
     if (source == kAnySource) return world_->any_failed() && !dead_members().empty();
     return world_->is_failed((*group_)[source]);
   };
@@ -96,8 +106,10 @@ Message Comm::recv_message(int source, int tag) {
   try {
     m = world_->mailbox((*group_)[rank_]).pop(context_id_, source, tag, interrupt);
   } catch (const RendezvousInterrupted&) {
+    check_cancelled();
     throw_rank_lost();
   } catch (const TimeoutError& timeout) {
+    check_cancelled();
     convert_timeout(timeout);
   }
   TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
@@ -136,14 +148,20 @@ std::vector<std::byte> Comm::collective(std::vector<std::byte> contribution,
                                         ModelAs model_as, std::size_t payload_bytes,
                                         const char* label) {
   svmobs::TraceSpan span(label, "collective");
+  check_cancelled();
   (void)faulted_op(FaultSite::collective);
-  const auto interrupt = [this] { return world_->any_failed() && !dead_members().empty(); };
+  const auto interrupt = [this] {
+    if (world_->context_cancelled(context_id_)) return true;
+    return world_->any_failed() && !dead_members().empty();
+  };
   std::vector<std::byte> result;
   try {
     result = world_->context(context_id_).run(rank_, std::move(contribution), combine, interrupt);
   } catch (const RendezvousInterrupted&) {
+    check_cancelled();
     throw_rank_lost();
   } catch (const TimeoutError& timeout) {
+    check_cancelled();
     convert_timeout(timeout);
   }
   TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
@@ -257,7 +275,7 @@ std::vector<int> Comm::agree(const std::vector<int>& values) {
   return world_->context(context_id_).agree(rank_, mine, dead_local, late_values);
 }
 
-Comm Comm::shrink() {
+Comm Comm::shrink(std::uint64_t context_salt) {
   const std::vector<int> dead = agree({});
   auto new_group = std::make_shared<std::vector<int>>();
   int new_rank = -1;
@@ -270,10 +288,29 @@ Comm Comm::shrink() {
   if (new_rank < 0)
     throw std::logic_error("svmmpi: shrink called by a rank in the agreed dead set");
   // Agreement made the dead set — and hence the surviving group — identical
-  // on every survivor, so the memoized per-group context lookup yields the
-  // same context id everywhere without further communication.
-  const int context = world_->context_for_group(*new_group);
+  // on every survivor, so the memoized per-(group, salt) context lookup
+  // yields the same context id everywhere without further communication.
+  const int context = world_->context_for_group(*new_group, context_salt);
   return Comm(world_, std::move(new_group), new_rank, context);
+}
+
+Comm Comm::split_subset(const std::vector<int>& world_ranks, int context_id) const {
+  if (world_ranks.empty()) throw std::invalid_argument("svmmpi: split_subset of empty group");
+  if (!std::is_sorted(world_ranks.begin(), world_ranks.end()) ||
+      std::adjacent_find(world_ranks.begin(), world_ranks.end()) != world_ranks.end())
+    throw std::invalid_argument("svmmpi: split_subset group must be sorted and unique");
+  int new_rank = -1;
+  const int my_world_rank = (*group_)[rank_];
+  for (std::size_t i = 0; i < world_ranks.size(); ++i) {
+    if (comm_rank_of_world(world_ranks[i]) < 0)
+      throw std::invalid_argument("svmmpi: split_subset member outside the parent comm");
+    if (world_ranks[i] == my_world_rank) new_rank = static_cast<int>(i);
+  }
+  if (new_rank < 0)
+    throw std::invalid_argument("svmmpi: split_subset caller is not a subset member");
+  if (world_->context(context_id).size() != static_cast<int>(world_ranks.size()))
+    throw std::invalid_argument("svmmpi: split_subset context size mismatch");
+  return Comm(world_, std::make_shared<std::vector<int>>(world_ranks), new_rank, context_id);
 }
 
 Comm Comm::split(int color, int key) const {

@@ -109,6 +109,12 @@ class Comm {
   [[nodiscard]] int rank() const noexcept { return rank_; }
   [[nodiscard]] int size() const noexcept { return static_cast<int>(group_->size()); }
   [[nodiscard]] World& world() const noexcept { return *world_; }
+  /// This communicator's collective-context id; the handle the scheduler's
+  /// watchdog passes to World::cancel_context to interrupt a stuck job.
+  [[nodiscard]] int context_id() const noexcept { return context_id_; }
+  /// Sorted world ranks of this comm's members (ascending iff the comm was
+  /// built by split_subset/shrink; world order for the world comm).
+  [[nodiscard]] const std::vector<int>& group() const noexcept { return *group_; }
   [[nodiscard]] int world_rank_of(int comm_rank) const { return (*group_)[comm_rank]; }
   /// Inverse of world_rank_of: this comm's rank holding `world_rank`, or -1
   /// if that world rank is not a member of this communicator.
@@ -297,6 +303,18 @@ class Comm {
   /// ordered by (key, parent rank). Collective over this comm.
   [[nodiscard]] Comm split(int color, int key) const;
 
+  /// Dispatcher-coordinated split: builds the communicator over the given
+  /// (sorted, ascending) subset of this comm's member world ranks, using a
+  /// collective context the dispatcher pre-allocated with
+  /// World::create_context(world_ranks.size()). Unlike split(), this is NOT
+  /// collective over the parent — only the subset's members call it, each
+  /// deriving the identical group locally (the same trick shrink() uses).
+  /// This is the rank-allocation primitive of the multi-tenant scheduler:
+  /// ranks busy inside other jobs never participate, and a fresh context per
+  /// job attempt isolates the attempt's traffic from any stale messages a
+  /// previous attempt left behind. The caller's world rank must be a member.
+  [[nodiscard]] Comm split_subset(const std::vector<int>& world_ranks, int context_id) const;
+
   // --- elastic recovery (ULFM-style) -------------------------------------
 
   /// Sorted world ranks of this comm's members currently marked failed.
@@ -315,7 +333,12 @@ class Comm {
   /// ascending world-rank order. The new collective context is derived
   /// deterministically from the surviving group, so no post-agreement
   /// communication is needed. Must be called by every surviving member.
-  [[nodiscard]] Comm shrink();
+  /// `context_salt` keys the derived context (see World::context_for_group):
+  /// the scheduler passes a per-attempt-per-generation salt so concurrent
+  /// jobs shrinking onto a rank set some earlier job once occupied get a
+  /// pristine context instead of one the earlier tenant may have abandoned
+  /// mid-collective. Single-job callers keep the default.
+  [[nodiscard]] Comm shrink(std::uint64_t context_salt = 0);
 
   // --- overlap accounting --------------------------------------------------
 
@@ -353,6 +376,11 @@ class Comm {
   /// may sleep (delay) or throw RankFailed (crash). Returns true when the op
   /// must be suppressed (dropped send).
   [[nodiscard]] bool faulted_op(FaultSite site);
+
+  /// Throws ContextCancelled when this comm's context has been cancelled;
+  /// called at every communication-op entry so a member mid-compute stops at
+  /// its next op, and from blocked-wait interrupt paths.
+  void check_cancelled() const;
 
   /// Raises the RankLost verdict for the currently-dead members.
   [[noreturn]] void throw_rank_lost() const;

@@ -66,6 +66,25 @@ struct RankLost : std::runtime_error {
   bool permanent;         ///< true when any death was a permanent loss
 };
 
+/// Thrown from a communication op whose communicator context has been
+/// cancelled (World::cancel_context). Cancellation is the scheduler's hang
+/// watchdog: a dispatcher that decides a job is stuck cancels the job
+/// communicator's context, every member's blocked (or next) operation
+/// unwinds with this verdict, and the member threads return to the rank
+/// pool instead of wedging it. Like RankLost this is a per-communicator
+/// verdict — members of other communicators never observe it.
+struct ContextCancelled : std::runtime_error {
+  explicit ContextCancelled(int cancelled_context, int at_rank)
+      : std::runtime_error("svmmpi: communicator context " +
+                           std::to_string(cancelled_context) +
+                           " cancelled (watchdog) at rank " + std::to_string(at_rank)),
+        context(cancelled_context),
+        rank(at_rank) {}
+
+  int context;
+  int rank;  ///< world rank that observed the cancellation
+};
+
 /// Thrown instead of deadlocking when a blocking receive or collective
 /// rendezvous exceeds the configured deadline (NetModel::timeout_s). Names
 /// the stuck (rank, source, tag); collectives use source = tag = -2.

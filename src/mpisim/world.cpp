@@ -75,15 +75,35 @@ std::vector<int> World::failed_ranks() const {
   return failed_;
 }
 
-int World::context_for_group(const std::vector<int>& group) {
+int World::context_for_group(const std::vector<int>& group, std::uint64_t salt) {
   std::lock_guard lock(registry_mutex_);
-  const auto it = group_contexts_.find(group);
+  const auto key = std::make_pair(group, salt);
+  const auto it = group_contexts_.find(key);
   if (it != group_contexts_.end()) return it->second;
   const int id = next_context_id_++;
   contexts_.emplace(id, std::make_unique<CollectiveContext>(
                             static_cast<int>(group.size()), model_.timeout_s));
-  group_contexts_.emplace(group, id);
+  group_contexts_.emplace(key, id);
   return id;
+}
+
+void World::cancel_context(int id) {
+  {
+    std::lock_guard lock(cancelled_mutex_);
+    const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id);
+    if (it != cancelled_.end() && *it == id) return;
+    cancelled_.insert(it, id);
+  }
+  // Same lock-order discipline as mark_failed: poke outside the registry of
+  // cancelled ids, since waiters' predicates call context_cancelled().
+  for (auto& box : mailboxes_) box->poke();
+  std::lock_guard lock(registry_mutex_);
+  for (auto& [ctx_id, ctx] : contexts_) ctx->poke();
+}
+
+bool World::context_cancelled(int id) const {
+  std::lock_guard lock(cancelled_mutex_);
+  return std::binary_search(cancelled_.begin(), cancelled_.end(), id);
 }
 
 TrafficStats World::total_stats() const {

@@ -4,9 +4,11 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "mpisim/collective.hpp"
@@ -57,7 +59,22 @@ class World {
   /// Memoized context allocation keyed by the (sorted) surviving group:
   /// every survivor calling with the same group gets the same context id
   /// without communicating — the shrink protocol's "communicator creation".
-  [[nodiscard]] int context_for_group(const std::vector<int>& group);
+  /// `salt` disambiguates otherwise-identical groups across independent
+  /// lifetimes: the scheduler keys each job attempt's shrink generations
+  /// with a unique salt so a group that recurs (job C shrinking onto the
+  /// rank set an earlier job once used) never reuses a context another
+  /// tenant may have abandoned mid-collective.
+  [[nodiscard]] int context_for_group(const std::vector<int>& group, std::uint64_t salt = 0);
+
+  // --- context cancellation (scheduler watchdog) -------------------------
+  /// Marks a communicator context cancelled, then wakes every blocked
+  /// mailbox pop and collective rendezvous so members observe
+  /// ContextCancelled instead of staying wedged. Members mid-compute pick
+  /// the verdict up at their next communication op. Idempotent; a cancelled
+  /// context stays cancelled for the World's lifetime (the scheduler never
+  /// reuses a cancelled job attempt's context).
+  void cancel_context(int id);
+  [[nodiscard]] bool context_cancelled(int id) const;
 
   /// Per-rank statistics. Only rank `r`'s thread writes stats(r), so reads
   /// are race-free after the SPMD region joins.
@@ -83,8 +100,11 @@ class World {
 
   std::mutex registry_mutex_;
   std::map<int, std::unique_ptr<CollectiveContext>> contexts_;
-  std::map<std::vector<int>, int> group_contexts_;
+  std::map<std::pair<std::vector<int>, std::uint64_t>, int> group_contexts_;
   int next_context_id_ = 0;
+
+  mutable std::mutex cancelled_mutex_;
+  std::vector<int> cancelled_;  ///< sorted cancelled context ids
 
   mutable std::mutex failed_mutex_;
   std::vector<int> failed_;            ///< sorted world ranks marked dead

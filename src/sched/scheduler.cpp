@@ -1,0 +1,795 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "core/distributed_solver.hpp"
+#include "mpisim/spmd.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace svmsched {
+
+namespace {
+
+constexpr int kNoContext = -1;
+
+/// State shared by one dispatched attempt's gang members and the
+/// dispatcher's watchdog. The generation machinery mirrors train_elastic's
+/// leader-publishes/survivors-wait dance, scoped to this attempt.
+struct AttemptShared {
+  std::uint64_t uid = 0;           ///< unique per dispatch, 1-based
+  std::vector<int> members;        ///< sorted world ranks of the gang
+  int initial_context = kNoContext;
+
+  /// Watchdog target: the gang's LIVE communicator context. Each shrink
+  /// generation's leader retargets it so a cancel always reaches the
+  /// context the survivors are actually blocked on.
+  std::atomic<int> live_context{kNoContext};
+
+  struct Generation {
+    svmcore::CheckpointStore* store = nullptr;
+    bool escalate = false;  ///< abandon the attempt (no reachable cut)
+  };
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<Generation> published;
+  /// Repartitioned stores must outlive the solvers reading them; the chain
+  /// also keeps superseded generations alive for stragglers mid-recovery.
+  std::vector<std::unique_ptr<svmcore::CheckpointStore>> chain;
+  std::unique_ptr<svmcore::CheckpointStore> store;  ///< generation 0
+
+  // Leader-written attempt accounting (under mutex); the dispatcher reads
+  // it only at finalization, after every member has reported.
+  int shrinks = 0;
+  std::vector<int> ranks_lost;
+};
+
+struct Directive {
+  enum class Kind : std::uint8_t { run, exit };
+  Kind kind = Kind::exit;
+  int job = -1;
+  std::shared_ptr<AttemptShared> shared;
+};
+
+/// One gang member's verdict on its attempt, reported to the dispatcher.
+struct MemberReport {
+  enum class Kind : std::uint8_t {
+    success,    ///< solve + model assembly completed
+    crashed,    ///< this member hit a TRANSIENT RankFailed; rank reusable
+    died,       ///< this member hit a PERMANENT RankFailed; rank is gone
+    cancelled,  ///< unwound by context cancellation (watchdog / fast-fail)
+    failed,     ///< unrecoverable attempt failure (escalation, timeout, ...)
+  };
+  std::uint64_t attempt = 0;
+  int job = -1;
+  int world_rank = -1;
+  Kind kind = Kind::failed;
+  std::string error;
+
+  // Carried by the member that assembled the model (job leader at finish).
+  bool has_model = false;
+  svmcore::SvmModel model;
+  double beta = 0.0;
+  std::uint64_t iterations = 0;
+  bool converged = false;
+  int started_ranks = 0;  ///< gang size the attempt STARTED with
+};
+
+/// Pool plumbing between the dispatcher thread and the rank threads.
+struct Pool {
+  std::mutex mutex;
+  std::condition_variable worker_cv;      ///< workers wait for directives
+  std::condition_variable dispatcher_cv;  ///< dispatcher waits for reports
+  svmmpi::World* world = nullptr;         ///< published by rank 0's thread
+  /// Rank threads whose body has not returned yet. The World lives on
+  /// run_spmd_elastic's stack and is destroyed once every rank thread
+  /// joins, so the dispatcher may touch `world` ONLY while holding `mutex`
+  /// with alive > 0: a worker's exit decrements alive under this mutex, so
+  /// alive > 0 under the lock proves some body is still running, the
+  /// launcher is still blocked joining it, and the World is still alive —
+  /// and stays alive until the lock is released.
+  int alive = 0;
+  std::vector<std::deque<Directive>> inbox;  ///< per world rank
+  std::deque<MemberReport> reports;
+};
+
+/// Per-attempt-per-generation context salt: uid is unique per dispatch and
+/// generations are small, so no two (attempt, generation) pairs — across
+/// all jobs and tenants — can ever share a shrink-derived context.
+[[nodiscard]] std::uint64_t shrink_salt(std::uint64_t uid, std::size_t generation) {
+  return (uid << 16) + static_cast<std::uint64_t>(generation);
+}
+
+/// Runs one attempt on this gang member: split off the job communicator,
+/// solve (shrinking in-job on permanent losses per the job's policy), and
+/// assemble the model at the job leader. RankFailed propagates to the
+/// caller — the worker loop translates it (crashed/died) and, for permanent
+/// deaths, rethrows so the elastic launcher marks the world rank dead.
+[[nodiscard]] MemberReport run_member(svmmpi::Comm& world_comm, const Directive& directive,
+                                      const JobSpec& spec) {
+  AttemptShared& at = *directive.shared;
+  MemberReport out;
+  out.attempt = at.uid;
+  out.job = directive.job;
+  out.world_rank = world_comm.rank();
+  out.started_ranks = static_cast<int>(at.members.size());
+
+  svmmpi::Comm comm = world_comm.split_subset(at.members, at.initial_context);
+  svmcore::CheckpointStore* gen_store = at.store.get();
+  std::size_t my_gen = 0;
+
+  svmobs::TraceSpan span("job", "sched");
+  try {
+    for (;;) {
+      try {
+        svmcore::DistributedConfig cfg;
+        cfg.params = spec.params;
+        cfg.heuristic = spec.heuristic;
+        cfg.checkpoint_interval = spec.checkpoint_interval;
+        cfg.checkpoint_store = spec.checkpoint_interval > 0 ? gen_store : nullptr;
+        svmcore::DistributedSolver solver(comm, *spec.dataset, cfg);
+        svmcore::RankResult result = solver.solve();
+
+        // Model assembly: every member contributes [begin, end, alpha...];
+        // the job leader stitches the global alpha and builds the model.
+        std::vector<double> packed;
+        packed.reserve(2 + result.alpha.size());
+        packed.push_back(static_cast<double>(result.range.begin));
+        packed.push_back(static_cast<double>(result.range.end));
+        packed.insert(packed.end(), result.alpha.begin(), result.alpha.end());
+        const auto parts = comm.allgatherv(std::span<const double>(packed));
+
+        out.kind = MemberReport::Kind::success;
+        if (comm.rank() == 0) {
+          std::vector<double> alpha(spec.dataset->size(), 0.0);
+          for (const auto& part : parts) {
+            const auto begin = static_cast<std::size_t>(part[0]);
+            std::copy(part.begin() + 2, part.end(), alpha.begin() + begin);
+          }
+          out.model = svmcore::build_model(*spec.dataset, alpha, result.beta, spec.params.kernel);
+          out.has_model = true;
+          out.beta = result.beta;
+          out.iterations = result.stats.iterations;
+          out.converged = result.stats.converged;
+        }
+        return out;
+      } catch (const svmmpi::RankLost& lost) {
+        if (spec.policy == svmcore::RecoveryPolicy::restart_world) {
+          // Job-level restart: abandon the attempt; the dispatcher requeues
+          // it onto a fresh gang from scratch.
+          out.kind = MemberReport::Kind::failed;
+          out.error = lost.what();
+          return out;
+        }
+        // ULFM in-job shrink, salted so the survivors' fresh context can
+        // never be one another tenant abandoned mid-collective.
+        svmmpi::Comm next = comm.shrink(shrink_salt(at.uid, my_gen + 1));
+        if (next.rank() == 0) {
+          std::lock_guard lock(at.mutex);
+          AttemptShared::Generation gen;
+          for (const int dead : comm.dead_members())
+            if (std::find(at.ranks_lost.begin(), at.ranks_lost.end(), dead) ==
+                at.ranks_lost.end())
+              at.ranks_lost.push_back(dead);
+          if (gen_store != nullptr) {
+            // The dead ranks' memory is gone: erase their primary copies
+            // (and the buddy replicas they held), then migrate the newest
+            // cut still reachable through surviving replicas.
+            for (const int dead : comm.dead_members()) {
+              const int old_rank = comm.comm_rank_of_world(dead);
+              if (old_rank >= 0) gen_store->mark_rank_lost(old_rank);
+            }
+            auto fresh = std::make_unique<svmcore::CheckpointStore>(next.size());
+            const std::optional<std::uint64_t> epoch =
+                repartition_from_checkpoints(*gen_store, spec.dataset->size(), *fresh);
+            if (epoch) {
+              (void)fresh->begin_restart();
+              gen.store = fresh.get();
+              at.chain.push_back(std::move(fresh));
+            } else if (spec.policy == svmcore::RecoveryPolicy::shrink_then_restart) {
+              gen.escalate = true;
+            } else {
+              // No reachable cut under shrink_world: the survivors restart
+              // the job from scratch, shrunken.
+              gen.store = fresh.get();
+              at.chain.push_back(std::move(fresh));
+            }
+          }
+          if (!gen.escalate) {
+            ++at.shrinks;
+            at.live_context.store(next.context_id());
+          }
+          at.published.push_back(gen);
+          at.cv.notify_all();
+        }
+        AttemptShared::Generation gen;
+        {
+          std::unique_lock lock(at.mutex);
+          at.cv.wait(lock, [&] { return at.published.size() > my_gen; });
+          gen = at.published[my_gen];
+        }
+        if (gen.escalate) {
+          out.kind = MemberReport::Kind::failed;
+          out.error = lost.what();
+          return out;
+        }
+        svmobs::trace_instant("job_shrink", "sched");
+        comm = next;
+        gen_store = gen.store;
+        ++my_gen;
+      }
+    }
+  } catch (const svmmpi::ContextCancelled& cancelled) {
+    out.kind = MemberReport::Kind::cancelled;
+    out.error = cancelled.what();
+    return out;
+  } catch (const svmmpi::TimeoutError& timeout) {
+    // Unexplained stall (no member death, no cancellation): give the rank
+    // back and let the dispatcher's retry budget decide the job's fate.
+    out.kind = MemberReport::Kind::failed;
+    out.error = timeout.what();
+    return out;
+  }
+}
+
+/// Everything the dispatcher decides, kept off the pool mutex (the
+/// dispatcher is the only writer; workers never touch it).
+class Dispatcher {
+ public:
+  Dispatcher(std::vector<JobRecord>& records, const SchedulerOptions& options, Pool& pool)
+      : records_(records), options_(options), pool_(pool) {}
+
+  double makespan_s = 0.0;
+  int timeouts = 0;
+
+  void run() {
+    {
+      std::unique_lock lock(pool_.mutex);
+      pool_.dispatcher_cv.wait(lock, [&] { return pool_.world != nullptr; });
+      world_ = pool_.world;
+    }
+    free_.resize(static_cast<std::size_t>(options_.pool_ranks));
+    std::iota(free_.begin(), free_.end(), 0);
+    arrival_order_.resize(records_.size());
+    std::iota(arrival_order_.begin(), arrival_order_.end(), 0);
+    std::stable_sort(arrival_order_.begin(), arrival_order_.end(), [&](int a, int b) {
+      return records_[a].spec.arrival_s < records_[b].spec.arrival_s;
+    });
+    admit_time_.assign(records_.size(), 0.0);
+    eligible_at_.assign(records_.size(), 0.0);
+
+    const auto tick = std::chrono::duration<double>(options_.watchdog_tick_s);
+    for (;;) {
+      std::deque<MemberReport> drained;
+      {
+        std::unique_lock lock(pool_.mutex);
+        pool_.dispatcher_cv.wait_for(lock, tick, [&] { return !pool_.reports.empty(); });
+        drained.swap(pool_.reports);
+      }
+      const double now = clock_.seconds();
+      process_arrivals(now);
+      for (MemberReport& report : drained) process_report(std::move(report), now);
+      run_watchdog(now);
+      bool aborted = false;
+      if (!with_world([&](svmmpi::World& world) { aborted = world.aborted(); })) {
+        abandon("scheduler pool died (all rank threads exited)");
+        return;  // no shutdown: there is nobody left to receive it
+      }
+      if (aborted) {
+        abandon("scheduler pool aborted");
+        break;
+      }
+      if (live_ranks() == 0) {
+        abandon("every pool rank was permanently lost");
+        break;
+      }
+      schedule(now);
+      if (all_terminal() && running_.empty()) break;
+    }
+    makespan_s = clock_.seconds();
+    shutdown();
+  }
+
+ private:
+  struct RunningAttempt {
+    int job = -1;
+    std::shared_ptr<AttemptShared> shared;
+    double started_s = 0.0;
+    bool cancelled = false;            ///< a cancel was issued for this attempt
+    bool watchdog_fired = false;       ///< ... because the deadline expired
+    int cancelled_context = kNoContext;  ///< context the cancel targeted
+    std::set<int> waiting;             ///< members that have not reported yet
+    bool success = false;              ///< some member delivered the model
+    std::string error;                 ///< first failure description seen
+  };
+
+  [[nodiscard]] int live_ranks() const {
+    return options_.pool_ranks - static_cast<int>(dead_.size());
+  }
+
+  /// World lease (see Pool::alive): runs `f(world)` under the pool mutex
+  /// iff some rank thread is still alive — which pins the World. Returns
+  /// false (f not run) once the pool is gone.
+  template <typename F>
+  [[nodiscard]] bool with_world(F&& f) {
+    std::lock_guard lock(pool_.mutex);
+    if (pool_.alive == 0) return false;
+    f(*world_);
+    return true;
+  }
+
+  [[nodiscard]] bool all_terminal() const {
+    if (next_arrival_ < arrival_order_.size()) return false;
+    if (!queue_.empty()) return false;
+    for (const JobRecord& rec : records_)
+      if (rec.state == JobState::queued || rec.state == JobState::running) return false;
+    return true;
+  }
+
+  void process_arrivals(double now) {
+    while (next_arrival_ < arrival_order_.size() &&
+           records_[arrival_order_[next_arrival_]].spec.arrival_s <= now) {
+      const int job = arrival_order_[next_arrival_++];
+      JobRecord& rec = records_[job];
+      if (static_cast<int>(queue_.size()) >= options_.queue_capacity) {
+        rec.state = JobState::rejected;
+        rec.error = "admission queue full";
+        svmobs::trace_instant("job_reject", "sched");
+      } else {
+        rec.state = JobState::queued;
+        admit_time_[job] = now;
+        queue_.push_back(job);
+        svmobs::trace_instant("job_admit", "sched");
+      }
+    }
+    svmobs::trace_counter("sched_queue_depth", static_cast<double>(queue_.size()));
+  }
+
+  void process_report(MemberReport report, double now) {
+    const auto it = running_.find(report.attempt);
+    if (it == running_.end()) return;  // stale report of an abandoned run
+    RunningAttempt& attempt = it->second;
+    attempt.waiting.erase(report.world_rank);
+    if (attempt.error.empty() && !report.error.empty()) attempt.error = report.error;
+    switch (report.kind) {
+      case MemberReport::Kind::success:
+        if (report.has_model) {
+          JobRecord& rec = records_[attempt.job];
+          rec.model = std::move(report.model);
+          rec.beta = report.beta;
+          rec.iterations = report.iterations;
+          rec.converged = report.converged;
+          rec.gang_size = report.started_ranks;
+          attempt.success = true;
+        }
+        release_rank(report.world_rank);
+        break;
+      case MemberReport::Kind::crashed:
+        // Transient crash: the rank's "process" relaunches into the pool.
+        // Fast-fail the blocked siblings so the gang drains promptly
+        // instead of waiting out the network deadline.
+        release_rank(report.world_rank);
+        cancel_attempt(attempt, /*watchdog=*/false);
+        break;
+      case MemberReport::Kind::died:
+        dead_.insert(report.world_rank);
+        break;
+      case MemberReport::Kind::cancelled:
+      case MemberReport::Kind::failed:
+        release_rank(report.world_rank);
+        break;
+    }
+    if (attempt.waiting.empty()) finalize(it->first, now);
+  }
+
+  void cancel_attempt(RunningAttempt& attempt, bool watchdog) {
+    const int target = attempt.shared->live_context.load();
+    if (attempt.cancelled && attempt.cancelled_context == target) return;
+    attempt.cancelled = true;
+    attempt.watchdog_fired = attempt.watchdog_fired || watchdog;
+    attempt.cancelled_context = target;
+    (void)with_world([&](svmmpi::World& world) { world.cancel_context(target); });
+  }
+
+  void run_watchdog(double now) {
+    for (auto& [uid, attempt] : running_) {
+      const double deadline = records_[attempt.job].spec.timeout_s;
+      if (deadline > 0.0 && now - attempt.started_s > deadline) {
+        // cancel_attempt re-fires when a concurrent in-job shrink retargeted
+        // live_context after the first cancel — the survivors moved to a
+        // fresh context the original cancel never reached.
+        if (!attempt.cancelled) svmobs::trace_instant("job_timeout", "sched");
+        cancel_attempt(attempt, /*watchdog=*/true);
+      }
+    }
+  }
+
+  void finalize(std::uint64_t uid, double now) {
+    const auto it = running_.find(uid);
+    RunningAttempt attempt = std::move(it->second);
+    running_.erase(it);
+    JobRecord& rec = records_[attempt.job];
+    {
+      std::lock_guard lock(attempt.shared->mutex);
+      rec.shrinks += attempt.shared->shrinks;
+      for (const int lost : attempt.shared->ranks_lost)
+        if (std::find(rec.ranks_lost.begin(), rec.ranks_lost.end(), lost) ==
+            rec.ranks_lost.end())
+          rec.ranks_lost.push_back(lost);
+    }
+    const double gang = static_cast<double>(attempt.shared->members.size());
+    tenant_usage_[rec.spec.tenant] += gang * (now - attempt.started_s);
+    if (attempt.success) {
+      rec.state = JobState::completed;
+      rec.latency_s = now - admit_time_[attempt.job];
+      svmobs::trace_instant("job_complete", "sched");
+      return;
+    }
+    if (!attempt.error.empty()) rec.error = attempt.error;
+    if (attempt.watchdog_fired) {
+      ++rec.timeouts;
+      ++timeouts;
+    }
+    if (rec.attempts > rec.spec.max_retries) {
+      rec.state = JobState::lost;
+      rec.latency_s = now - admit_time_[attempt.job];
+      svmobs::trace_instant("job_lost", "sched");
+      return;
+    }
+    // Requeue with capped exponential backoff; bypasses the admission bound
+    // (the job was already accepted).
+    rec.state = JobState::queued;
+    ++rec.requeues;
+    double backoff = 0.0;
+    if (options_.backoff_base_s > 0.0)
+      backoff = std::min(options_.backoff_base_s * std::ldexp(1.0, rec.requeues - 1),
+                         options_.backoff_cap_s);
+    rec.backoff_s += backoff;
+    eligible_at_[attempt.job] = now + backoff;
+    queue_.push_back(attempt.job);
+    svmobs::trace_instant("job_requeue", "sched");
+  }
+
+  void release_rank(int world_rank) {
+    if (dead_.count(world_rank) != 0) return;
+    const auto it = std::lower_bound(free_.begin(), free_.end(), world_rank);
+    if (it == free_.end() || *it != world_rank) free_.insert(it, world_rank);
+  }
+
+  /// Dispatch order: priority desc, then tenant fair-share (lowest accrued
+  /// rank-seconds first), then submit order. Smaller jobs may backfill past
+  /// a queued job that does not fit yet.
+  void schedule(double now) {
+    for (;;) {
+      if (free_.empty() || queue_.empty()) break;
+      int best = -1;
+      std::size_t best_pos = 0;
+      for (std::size_t pos = 0; pos < queue_.size(); ++pos) {
+        const int job = queue_[pos];
+        if (eligible_at_[job] > now) continue;
+        if (gang_size_for(job) > static_cast<int>(free_.size())) continue;
+        if (best < 0 || dispatches_before(job, best)) {
+          best = job;
+          best_pos = pos;
+        }
+      }
+      if (best < 0) break;
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best_pos));
+      if (!dispatch(best, now)) {
+        queue_.insert(queue_.begin() + static_cast<std::ptrdiff_t>(best_pos), best);
+        break;  // pool gone; the main loop abandons on its next pass
+      }
+    }
+    svmobs::trace_counter("sched_free_ranks", static_cast<double>(free_.size()));
+    svmobs::trace_counter("sched_running_jobs", static_cast<double>(running_.size()));
+  }
+
+  [[nodiscard]] bool dispatches_before(int a, int b) {
+    const JobSpec& sa = records_[a].spec;
+    const JobSpec& sb = records_[b].spec;
+    if (sa.priority != sb.priority) return sa.priority > sb.priority;
+    const double ua = tenant_usage_[sa.tenant];
+    const double ub = tenant_usage_[sb.tenant];
+    if (ua != ub) return ua < ub;
+    return a < b;
+  }
+
+  /// Requested gang size, degraded only when the request exceeds the whole
+  /// live pool (a shrunken pool still runs every job, just smaller).
+  [[nodiscard]] int gang_size_for(int job) const {
+    const int want = records_[job].spec.ranks;
+    return std::min(want, live_ranks());
+  }
+
+  [[nodiscard]] bool dispatch(int job, double now) {
+    JobRecord& rec = records_[job];
+    const int gang = gang_size_for(job);
+    auto shared = std::make_shared<AttemptShared>();
+    shared->uid = ++attempt_counter_;
+    shared->members.assign(free_.begin(), free_.begin() + gang);
+    shared->store = std::make_unique<svmcore::CheckpointStore>(gang);
+    {
+      // One locked section: context creation needs the world lease, and
+      // pushing the directives under the same hold means no member can see
+      // a half-built attempt.
+      std::lock_guard lock(pool_.mutex);
+      if (pool_.alive == 0) return false;
+      shared->initial_context = world_->create_context(gang);
+      shared->live_context.store(shared->initial_context);
+      for (const int member : shared->members) {
+        Directive directive;
+        directive.kind = Directive::Kind::run;
+        directive.job = job;
+        directive.shared = shared;
+        pool_.inbox[static_cast<std::size_t>(member)].push_back(std::move(directive));
+      }
+      pool_.worker_cv.notify_all();
+    }
+    free_.erase(free_.begin(), free_.begin() + gang);
+
+    RunningAttempt attempt;
+    attempt.job = job;
+    attempt.shared = shared;
+    attempt.started_s = now;
+    attempt.waiting.insert(shared->members.begin(), shared->members.end());
+    running_.emplace(shared->uid, std::move(attempt));
+
+    if (rec.attempts == 0) rec.queue_wait_s = now - admit_time_[job];
+    ++rec.attempts;
+    rec.state = JobState::running;
+    svmobs::trace_instant("job_dispatch", "sched");
+    return true;
+  }
+
+  /// Terminal cleanup when the pool can make no further progress (world
+  /// aborted, or every rank died): every non-terminal job is marked lost.
+  void abandon(const std::string& why) {
+    for (JobRecord& rec : records_) {
+      if (rec.state == JobState::queued || rec.state == JobState::running) {
+        rec.state = JobState::lost;
+        rec.error = why;
+      }
+    }
+    // Unarrived jobs never got admitted at all.
+    while (next_arrival_ < arrival_order_.size()) {
+      JobRecord& rec = records_[arrival_order_[next_arrival_++]];
+      rec.state = JobState::lost;
+      rec.error = why;
+    }
+    queue_.clear();
+    running_.clear();
+  }
+
+  void shutdown() {
+    std::lock_guard lock(pool_.mutex);
+    for (auto& inbox : pool_.inbox) inbox.push_back(Directive{});
+    pool_.worker_cv.notify_all();
+  }
+
+  std::vector<JobRecord>& records_;
+  const SchedulerOptions& options_;
+  Pool& pool_;
+  svmmpi::World* world_ = nullptr;
+  svmutil::Timer clock_;
+
+  std::vector<int> free_;  ///< sorted free world ranks
+  std::set<int> dead_;     ///< permanently lost world ranks
+  std::vector<int> arrival_order_;
+  std::size_t next_arrival_ = 0;
+  std::vector<double> admit_time_;
+  std::vector<double> eligible_at_;  ///< retry-backoff gate per job
+  std::vector<int> queue_;           ///< admitted jobs waiting for ranks
+  std::map<std::uint64_t, RunningAttempt> running_;
+  std::map<std::string, double> tenant_usage_;  ///< accrued rank-seconds
+  std::uint64_t attempt_counter_ = 0;
+};
+
+/// Scoped trace recording for one scheduler run (same discipline as
+/// train()'s TraceSession: flush on EVERY exit so a failing run still
+/// leaves a balanced, viewable trace).
+class ObsSession {
+ public:
+  explicit ObsSession(const std::string& path) : path_(path), active_(!path.empty()) {
+    if (!active_) return;
+    svmobs::trace_reset();
+    svmobs::trace_enable();
+  }
+  ~ObsSession() {
+    if (!active_) return;
+    svmobs::trace_disable();
+    try {
+      svmobs::trace_write(path_);
+    } catch (const std::exception& e) {
+      SVM_LOG_WARN << "scheduler trace flush failed: " << e.what();
+    }
+  }
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  std::string path_;
+  bool active_;
+};
+
+void validate(const std::vector<JobSpec>& jobs, const SchedulerOptions& options) {
+  if (options.pool_ranks <= 0)
+    throw std::invalid_argument("run_scheduler: pool_ranks must be positive");
+  if (options.queue_capacity <= 0)
+    throw std::invalid_argument("run_scheduler: queue_capacity must be positive");
+  if (options.net_model.timeout_s <= 0.0)
+    throw std::invalid_argument(
+        "run_scheduler: net_model.timeout_s must be > 0 (deadline-driven failure detection)");
+  if (options.watchdog_tick_s <= 0.0)
+    throw std::invalid_argument("run_scheduler: watchdog_tick_s must be positive");
+  for (const JobSpec& spec : jobs) {
+    if (spec.dataset == nullptr || spec.dataset->size() == 0)
+      throw std::invalid_argument("run_scheduler: job without a dataset");
+    if (spec.ranks < 1) throw std::invalid_argument("run_scheduler: job needs >= 1 rank");
+    if (spec.max_retries < 0)
+      throw std::invalid_argument("run_scheduler: max_retries must be non-negative");
+  }
+}
+
+void fill_report(SchedulerReport& report, double makespan_s, int timeouts,
+                 const std::vector<int>& pool_ranks_lost) {
+  report.makespan_s = makespan_s;
+  report.timeouts = timeouts;
+  report.pool_ranks_lost = pool_ranks_lost;
+  std::vector<double> latencies;
+  std::vector<double> waits;
+  for (const JobRecord& rec : report.jobs) {
+    switch (rec.state) {
+      case JobState::completed:
+        ++report.completed;
+        latencies.push_back(rec.latency_s);
+        waits.push_back(rec.queue_wait_s);
+        break;
+      case JobState::rejected: ++report.rejected; break;
+      case JobState::lost: ++report.lost; break;
+      case JobState::queued:
+      case JobState::running: break;  // unreachable after run()
+    }
+    report.requeues += rec.requeues;
+    report.shrinks += rec.shrinks;
+  }
+  report.latency_p50_s = svmutil::percentile(latencies, 50.0);
+  report.latency_p99_s = svmutil::percentile(latencies, 99.0);
+  report.queue_wait_p50_s = svmutil::percentile(waits, 50.0);
+
+  auto& m = report.metrics;
+  m.counter("sched.jobs_submitted").add(static_cast<std::uint64_t>(report.jobs.size()));
+  m.counter("sched.jobs_completed").add(static_cast<std::uint64_t>(report.completed));
+  m.counter("sched.jobs_rejected").add(static_cast<std::uint64_t>(report.rejected));
+  m.counter("sched.jobs_lost").add(static_cast<std::uint64_t>(report.lost));
+  m.counter("sched.requeues").add(static_cast<std::uint64_t>(report.requeues));
+  m.counter("sched.timeouts").add(static_cast<std::uint64_t>(report.timeouts));
+  m.counter("sched.shrinks").add(static_cast<std::uint64_t>(report.shrinks));
+  m.counter("sched.ranks_lost").add(static_cast<std::uint64_t>(pool_ranks_lost.size()));
+  m.gauge("sched.makespan_s").set(report.makespan_s);
+  m.gauge("sched.latency_p50_s").set(report.latency_p50_s);
+  m.gauge("sched.latency_p99_s").set(report.latency_p99_s);
+  m.gauge("sched.queue_wait_p50_s").set(report.queue_wait_p50_s);
+}
+
+void maybe_write_metrics(const SchedulerReport& report, const SchedulerOptions& options) {
+  if (options.metrics_path.empty()) return;
+  svmobs::RunReport run;
+  run.name = "scheduler";
+  run.info.emplace_back("pool_ranks", std::to_string(options.pool_ranks));
+  run.info.emplace_back("jobs", std::to_string(report.jobs.size()));
+  run.info.emplace_back("queue_capacity", std::to_string(options.queue_capacity));
+  run.aggregate = report.metrics;
+  svmobs::write_reports(options.metrics_path, {run});
+}
+
+}  // namespace
+
+SchedulerReport run_scheduler(std::vector<JobSpec> jobs, const SchedulerOptions& options) {
+  validate(jobs, options);
+
+  SchedulerReport report;
+  report.jobs.reserve(jobs.size());
+  for (JobSpec& spec : jobs) {
+    JobRecord rec;
+    rec.spec = std::move(spec);
+    report.jobs.push_back(std::move(rec));
+  }
+
+  ObsSession obs(options.trace_path);
+  svmmpi::FaultInjector injector(options.fault_plan);
+  Pool pool;
+  pool.alive = options.pool_ranks;
+  pool.inbox.resize(static_cast<std::size_t>(options.pool_ranks));
+
+  Dispatcher dispatcher(report.jobs, options, pool);
+  std::thread dispatch_thread([&] { dispatcher.run(); });
+
+  svmmpi::ElasticReport elastic;
+  try {
+    elastic = svmmpi::run_spmd_elastic(
+        options.pool_ranks,
+        [&](svmmpi::Comm& world_comm) {
+          const int me = world_comm.rank();
+          // On EVERY exit (normal, death, abort) mark this rank thread gone
+          // so the dispatcher's world lease (Pool::alive) stays accurate.
+          struct ExitGuard {
+            Pool& pool;
+            ~ExitGuard() {
+              std::lock_guard lock(pool.mutex);
+              --pool.alive;
+              pool.dispatcher_cv.notify_all();
+            }
+          } exit_guard{pool};
+          if (me == 0) {
+            std::lock_guard lock(pool.mutex);
+            pool.world = &world_comm.world();
+            pool.dispatcher_cv.notify_all();
+          }
+          for (;;) {
+            Directive directive;
+            {
+              std::unique_lock lock(pool.mutex);
+              pool.worker_cv.wait(lock,
+                                  [&] { return !pool.inbox[static_cast<std::size_t>(me)].empty(); });
+              directive = std::move(pool.inbox[static_cast<std::size_t>(me)].front());
+              pool.inbox[static_cast<std::size_t>(me)].pop_front();
+            }
+            if (directive.kind == Directive::Kind::exit) return;
+            const JobSpec& spec = report.jobs[static_cast<std::size_t>(directive.job)].spec;
+            try {
+              MemberReport member = run_member(world_comm, directive, spec);
+              std::lock_guard lock(pool.mutex);
+              pool.reports.push_back(std::move(member));
+              pool.dispatcher_cv.notify_all();
+            } catch (const svmmpi::RankFailed& failure) {
+              MemberReport member;
+              member.attempt = directive.shared->uid;
+              member.job = directive.job;
+              member.world_rank = me;
+              member.kind = failure.permanent ? MemberReport::Kind::died
+                                              : MemberReport::Kind::crashed;
+              member.error = failure.what();
+              {
+                std::lock_guard lock(pool.mutex);
+                pool.reports.push_back(std::move(member));
+                pool.dispatcher_cv.notify_all();
+              }
+              // A permanent loss must reach the elastic launcher so the
+              // world marks this rank dead and the job's survivors observe
+              // RankLost; a transient crash models a process relaunch —
+              // the rank simply rejoins the pool.
+              if (failure.permanent) throw;
+            }
+          }
+        },
+        options.net_model, nullptr, &injector);
+  } catch (...) {
+    dispatch_thread.join();
+    throw;
+  }
+  dispatch_thread.join();
+
+  fill_report(report, dispatcher.makespan_s, dispatcher.timeouts, elastic.failed_ranks);
+  maybe_write_metrics(report, options);
+  return report;
+}
+
+}  // namespace svmsched

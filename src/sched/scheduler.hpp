@@ -1,0 +1,90 @@
+// svmsched: a multi-tenant training-as-a-service scheduler over the
+// simulated MPI substrate. One shared pool of `pool_ranks` rank threads
+// (one elastic SPMD region) executes many concurrent training jobs; a
+// dispatcher thread admits jobs from a synthetic arrival trace into a
+// bounded queue, allocates gangs of free ranks (priority, then tenant
+// fair-share), and reallocates ranks the moment a job releases them.
+//
+// Fault isolation is the point of the design: each job attempt runs on its
+// own communicator built by Comm::split_subset over a FRESH collective
+// context, so (a) a rank death interrupts only the communicators whose
+// group contains the dead rank — concurrent jobs on disjoint gangs never
+// observe it — and (b) no attempt can ever receive a stale message or an
+// abandoned collective round from a previous attempt or another tenant.
+// A permanent rank loss shrinks only the affected job (ULFM-style in-job
+// shrink with buddy-replica checkpoint repartition, per the job's
+// RecoveryPolicy); a transient crash returns the rank to the pool and
+// requeues the job with capped exponential backoff; a hung job is detected
+// by the dispatcher's watchdog, which cancels the gang's live context
+// (World::cancel_context) so every member unwinds and the job is requeued.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpisim/fault.hpp"
+#include "mpisim/netmodel.hpp"
+#include "obs/metrics.hpp"
+#include "sched/job.hpp"
+
+namespace svmsched {
+
+struct SchedulerOptions {
+  /// Size of the shared rank pool (the elastic SPMD region).
+  int pool_ranks = 8;
+  /// Admission bound: jobs ARRIVING while this many are queued are rejected
+  /// (graceful degradation under overload). Requeues of already-admitted
+  /// jobs bypass the bound — it throttles new work, never drops accepted
+  /// work (the requeue population is bounded by the running-job count).
+  int queue_capacity = 64;
+  /// Dispatcher poll cadence: admission, watchdog and scheduling run at
+  /// least this often (reports wake the dispatcher immediately).
+  double watchdog_tick_s = 0.005;
+  /// Capped exponential retry backoff: a job's k-th requeue (1-based) waits
+  /// min(backoff_base_s * 2^(k-1), backoff_cap_s) before redispatch.
+  /// 0 disables (immediate redispatch).
+  double backoff_base_s = 0.0;
+  double backoff_cap_s = 0.25;
+  /// Network model for the pool's world; timeout_s must be > 0 (the elastic
+  /// substrate's deadline-driven failure detection).
+  svmmpi::NetModel net_model{};
+  /// Faults to inject, keyed by (world rank, rank-local op count). Idle pool
+  /// ranks issue no communication ops, so op counts advance only inside
+  /// jobs — a plan targets a specific job deterministically.
+  svmmpi::FaultPlan fault_plan{};
+  /// Chrome trace-event JSON of the whole scheduler run (empty = disabled):
+  /// per-job "job" spans on the member ranks' tracks, dispatcher decisions
+  /// as instants on the driver track, pool gauges as counters.
+  std::string trace_path;
+  /// svmobs run-report JSON (schema svmobs.run_report.v1; empty = disabled).
+  std::string metrics_path;
+};
+
+struct SchedulerReport {
+  std::vector<JobRecord> jobs;  ///< submit order
+  double makespan_s = 0.0;      ///< start -> last job terminal
+
+  int completed = 0;
+  int rejected = 0;
+  int lost = 0;       ///< retry budget exhausted (or pool died)
+  int requeues = 0;   ///< attempts requeued (faults + watchdog)
+  int timeouts = 0;   ///< attempts cancelled by the watchdog
+  int shrinks = 0;    ///< in-job shrink recoveries across all jobs
+  std::vector<int> pool_ranks_lost;  ///< world ranks permanently lost
+
+  // Completed-job latency distribution (admission -> completion).
+  double latency_p50_s = 0.0;
+  double latency_p99_s = 0.0;
+  double queue_wait_p50_s = 0.0;
+
+  /// Scheduler-level registry (the metrics_path report's aggregate).
+  svmobs::MetricsRegistry metrics;
+};
+
+/// Runs every job to a terminal state and returns the ledger. Throws
+/// std::invalid_argument on bad options (non-positive pool/queue/timeout,
+/// null datasets, gang requests below 1).
+[[nodiscard]] SchedulerReport run_scheduler(std::vector<JobSpec> jobs,
+                                            const SchedulerOptions& options);
+
+}  // namespace svmsched

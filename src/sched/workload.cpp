@@ -1,0 +1,121 @@
+#include "sched/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace svmsched {
+
+namespace {
+
+void apply_defaults(JobSpec& spec, const JobDefaults& defaults) {
+  spec.tenant = defaults.tenant;
+  spec.priority = defaults.priority;
+  spec.ranks = defaults.ranks;
+  spec.timeout_s = defaults.timeout_s;
+  spec.max_retries = defaults.max_retries;
+  spec.checkpoint_interval = defaults.checkpoint_interval;
+  spec.policy = defaults.policy;
+  spec.heuristic = defaults.heuristic;
+}
+
+[[nodiscard]] std::string trim_number(double v) {
+  std::string s = std::to_string(v);
+  s.erase(s.find_last_not_of('0') + 1);
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+const char* to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::queued: return "queued";
+    case JobState::running: return "running";
+    case JobState::completed: return "completed";
+    case JobState::rejected: return "rejected";
+    case JobState::lost: return "lost";
+  }
+  return "unknown";
+}
+
+std::vector<JobSpec> grid_search_jobs(std::shared_ptr<const svmdata::Dataset> dataset,
+                                      const std::vector<double>& c_values,
+                                      const std::vector<double>& gamma_values,
+                                      svmcore::SolverParams base, const JobDefaults& defaults,
+                                      int first_id) {
+  if (dataset == nullptr) throw std::invalid_argument("grid_search_jobs: null dataset");
+  if (c_values.empty() || gamma_values.empty())
+    throw std::invalid_argument("grid_search_jobs: empty grid");
+  std::vector<JobSpec> jobs;
+  jobs.reserve(c_values.size() * gamma_values.size());
+  int id = first_id;
+  for (const double c : c_values) {
+    for (const double gamma : gamma_values) {
+      JobSpec spec;
+      apply_defaults(spec, defaults);
+      spec.id = id++;
+      spec.name = "grid C=" + trim_number(c) + " g=" + trim_number(gamma);
+      spec.dataset = dataset;
+      spec.params = base;
+      spec.params.C = c;
+      spec.params.kernel.gamma = gamma;
+      jobs.push_back(std::move(spec));
+    }
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> one_vs_one_jobs(const svmdata::MultiClassData& dataset,
+                                     svmcore::SolverParams params, const JobDefaults& defaults,
+                                     int first_id) {
+  const std::set<double> class_set(dataset.labels.begin(), dataset.labels.end());
+  if (class_set.size() < 2)
+    throw std::invalid_argument("one_vs_one_jobs: need at least two classes");
+  const std::vector<double> classes(class_set.begin(), class_set.end());
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(classes.size() * (classes.size() - 1) / 2);
+  int id = first_id;
+  for (std::size_t a = 0; a < classes.size(); ++a) {
+    for (std::size_t b = a + 1; b < classes.size(); ++b) {
+      auto pair = std::make_shared<svmdata::Dataset>();
+      for (std::size_t i = 0; i < dataset.size(); ++i) {
+        if (dataset.labels[i] == classes[a] || dataset.labels[i] == classes[b]) {
+          pair->X.add_row(dataset.X.row(i));
+          pair->y.push_back(dataset.labels[i] == classes[a] ? 1.0 : -1.0);
+        }
+      }
+      JobSpec spec;
+      apply_defaults(spec, defaults);
+      spec.id = id++;
+      spec.name = "pair " + trim_number(classes[a]) + "v" + trim_number(classes[b]);
+      spec.dataset = std::move(pair);
+      spec.params = params;
+      jobs.push_back(std::move(spec));
+    }
+  }
+  return jobs;
+}
+
+void assign_bursty_arrivals(std::vector<JobSpec>& jobs, const BurstyTrace& trace) {
+  if (trace.mean_gap_s < 0.0)
+    throw std::invalid_argument("assign_bursty_arrivals: negative mean gap");
+  std::mt19937_64 rng(trace.seed);
+  // Hand-rolled inverse-CDF draws (not std::*_distribution) so the trace is
+  // bit-identical across standard libraries.
+  const auto uniform = [&rng] {
+    return (static_cast<double>(rng() >> 11) + 0.5) * 0x1.0p-53;
+  };
+  double clock = 0.0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (i > 0 && uniform() >= trace.burst_fraction)
+      clock += -trace.mean_gap_s * std::log(uniform());
+    jobs[i].arrival_s = clock;
+  }
+}
+
+}  // namespace svmsched

@@ -1,0 +1,55 @@
+// Workload generators: lower the two natural many-job SVM workloads onto
+// scheduler JobSpecs, and stamp a bursty synthetic arrival trace onto a job
+// list. Grid search (one job per (C, gamma) cell) and one-vs-one multiclass
+// (one job per class pair) are exactly the embarrassingly-parallel outer
+// loops a training service multiplexes over a shared cluster — each inner
+// training is the paper's distributed solver, unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace svmsched {
+
+/// Spec fields shared by every job a generator emits.
+struct JobDefaults {
+  std::string tenant = "default";
+  int priority = 0;
+  int ranks = 2;
+  double timeout_s = 0.0;
+  int max_retries = 2;
+  std::uint64_t checkpoint_interval = 32;
+  svmcore::RecoveryPolicy policy = svmcore::RecoveryPolicy::shrink_world;
+  svmcore::Heuristic heuristic{};
+};
+
+/// One job per (C, gamma) grid cell, row-major over (C, gamma), ids starting
+/// at `first_id`. All jobs share `dataset` (the service holds one copy).
+[[nodiscard]] std::vector<JobSpec> grid_search_jobs(
+    std::shared_ptr<const svmdata::Dataset> dataset, const std::vector<double>& c_values,
+    const std::vector<double>& gamma_values, svmcore::SolverParams base,
+    const JobDefaults& defaults = {}, int first_id = 0);
+
+/// One job per unordered class pair (k classes -> k(k-1)/2 jobs): each job
+/// trains on the two classes' rows with the smaller label mapped to +1.
+/// Pair datasets are materialized here (owned by the specs).
+[[nodiscard]] std::vector<JobSpec> one_vs_one_jobs(const svmdata::MultiClassData& dataset,
+                                                   svmcore::SolverParams params,
+                                                   const JobDefaults& defaults = {},
+                                                   int first_id = 0);
+
+/// Bursty arrival process for a synthetic trace: walking the list in order,
+/// each job arrives either simultaneously with its predecessor (probability
+/// `burst_fraction` — a tenant submitting a sweep all at once) or after an
+/// exponential gap with mean `mean_gap_s`. Deterministic in the seed.
+struct BurstyTrace {
+  std::uint64_t seed = 1;
+  double mean_gap_s = 0.005;
+  double burst_fraction = 0.5;
+};
+void assign_bursty_arrivals(std::vector<JobSpec>& jobs, const BurstyTrace& trace);
+
+}  // namespace svmsched

@@ -36,6 +36,18 @@ Summary summarize(std::span<const double> values) {
   return s;
 }
 
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  const double pos = clamped / 100.0 * static_cast<double>(copy.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, copy.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return copy[lo] + frac * (copy[hi] - copy[lo]);
+}
+
 double geometric_mean(std::span<const double> values) {
   if (values.empty()) return 0.0;
   double log_sum = 0.0;

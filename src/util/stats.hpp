@@ -18,6 +18,10 @@ struct Summary {
 /// One-pass summary (median requires a copy + nth_element).
 [[nodiscard]] Summary summarize(std::span<const double> values);
 
+/// Linear-interpolated percentile, `p` in [0, 100] (p50 = median, p99 = tail
+/// latency). Returns 0 for empty input; a single value is every percentile.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
 /// Geometric mean; values must be positive. Returns 0 for empty input.
 [[nodiscard]] double geometric_mean(std::span<const double> values);
 

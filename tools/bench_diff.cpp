@@ -1,0 +1,221 @@
+// bench_diff: regression gate over two BENCH_*.json artifacts (baseline vs
+// candidate). Walks both trees in lockstep, pairing array elements by index
+// and object members by key, and compares every numeric leaf:
+//
+//   - metrics whose key signals "lower is better" (times: *_s, *_seconds,
+//     wall/latency/makespan/overhead; losses: *lost, *rejected, *restarts,
+//     *requeues, *timeouts, *mismatch*) regress when the candidate rises
+//     more than --tolerance (relative, against max(|base|, floor));
+//   - metrics whose key signals "higher is better" (*speedup*, *completed*,
+//     *accuracy*, *throughput*, *match*) regress when it falls;
+//   - booleans regress when true flips to false (quality predicates like
+//     matches_fault_free);
+//   - everything else (counts, ids, shapes) is reported when it drifts but
+//     is not a regression by itself.
+//
+// Exit status: 0 = no regressions, 1 = at least one regression beyond
+// tolerance, 2 = usage/parse error. Structural mismatches (missing keys,
+// shorter arrays) are regressions: a benchmark that silently stopped
+// reporting a metric must not pass the gate.
+//
+// Usage: bench_diff <baseline.json> <candidate.json> [--tolerance=0.15]
+//                   [--list]
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+struct Options {
+  double tolerance = 0.15;  ///< relative rise/fall allowed on better-ness axes
+  bool list_all = false;    ///< print every compared leaf, not just drift
+};
+
+struct Outcome {
+  int regressions = 0;
+  int improvements = 0;
+  int drifted = 0;
+  int compared = 0;
+};
+
+[[nodiscard]] bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// Direction heuristic keyed on the leaf's path (lowercased keys).
+enum class Direction { lower_better, higher_better, neutral };
+
+[[nodiscard]] Direction direction_of(const std::string& path) {
+  std::string p;
+  p.reserve(path.size());
+  for (const char c : path) p += static_cast<char>(std::tolower(c));
+  for (const char* k : {"_s", "seconds", "wall", "latency", "makespan", "overhead", "queue_wait"})
+    if (contains(p, k)) return Direction::lower_better;
+  for (const char* k : {"lost", "rejected", "restart", "requeue", "timeout", "mismatch", "delta",
+                        "replayed"})
+    if (contains(p, k)) return Direction::lower_better;
+  for (const char* k : {"speedup", "completed", "accuracy", "throughput", "match", "converged"})
+    if (contains(p, k)) return Direction::higher_better;
+  return Direction::neutral;
+}
+
+void report(const char* tag, const std::string& path, double base, double cand) {
+  std::printf("  %-10s %-56s %14.6g -> %-14.6g\n", tag, path.c_str(), base, cand);
+}
+
+void diff_value(const std::string& path, const svmobs::JsonValue& base,
+                const svmobs::JsonValue& cand, const Options& opt, Outcome& out);
+
+void diff_number(const std::string& path, double base, double cand, const Options& opt,
+                 Outcome& out) {
+  ++out.compared;
+  if (base == cand) {
+    if (opt.list_all) report("ok", path, base, cand);
+    return;
+  }
+  const Direction dir = direction_of(path);
+  // Relative drift with an absolute floor: sub-millisecond timing jitter on
+  // near-zero baselines must not trip the gate.
+  const double floor = contains(path, "_s") || contains(path, "seconds") ? 0.05 : 1.0;
+  const double scale = std::max(std::abs(base), floor);
+  const double drift = (cand - base) / scale;
+  const bool worse = (dir == Direction::lower_better && drift > opt.tolerance) ||
+                     (dir == Direction::higher_better && -drift > opt.tolerance);
+  const bool better = (dir == Direction::lower_better && -drift > opt.tolerance) ||
+                      (dir == Direction::higher_better && drift > opt.tolerance);
+  if (worse) {
+    ++out.regressions;
+    report("REGRESSED", path, base, cand);
+  } else if (better) {
+    ++out.improvements;
+    report("improved", path, base, cand);
+  } else {
+    ++out.drifted;
+    if (opt.list_all || dir == Direction::neutral) report("drift", path, base, cand);
+  }
+}
+
+void diff_value(const std::string& path, const svmobs::JsonValue& base,
+                const svmobs::JsonValue& cand, const Options& opt, Outcome& out) {
+  using svmobs::JsonType;
+  if (base.type != cand.type) {
+    ++out.regressions;
+    std::printf("  REGRESSED  %s: type changed\n", path.c_str());
+    return;
+  }
+  switch (base.type) {
+    case JsonType::number:
+      diff_number(path, base.number, cand.number, opt, out);
+      break;
+    case JsonType::boolean:
+      ++out.compared;
+      if (base.boolean != cand.boolean) {
+        // A quality predicate flipping true -> false is always a regression.
+        if (base.boolean) {
+          ++out.regressions;
+          std::printf("  REGRESSED  %s: true -> false\n", path.c_str());
+        } else {
+          ++out.improvements;
+          std::printf("  improved   %s: false -> true\n", path.c_str());
+        }
+      } else if (opt.list_all) {
+        std::printf("  ok         %s: %s\n", path.c_str(), base.boolean ? "true" : "false");
+      }
+      break;
+    case JsonType::string:
+      if (base.string != cand.string)
+        std::printf("  note       %s: \"%s\" -> \"%s\"\n", path.c_str(), base.string.c_str(),
+                    cand.string.c_str());
+      break;
+    case JsonType::array: {
+      if (cand.array.size() < base.array.size()) {
+        ++out.regressions;
+        std::printf("  REGRESSED  %s: %zu entries -> %zu (rows vanished)\n", path.c_str(),
+                    base.array.size(), cand.array.size());
+      } else if (cand.array.size() > base.array.size()) {
+        std::printf("  note       %s: %zu entries -> %zu\n", path.c_str(), base.array.size(),
+                    cand.array.size());
+      }
+      const std::size_t n = std::min(base.array.size(), cand.array.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        // Prefer a human row label over a bare index when the row has one.
+        std::string label = "[" + std::to_string(i) + "]";
+        for (const char* key : {"name", "policy", "dataset"}) {
+          const svmobs::JsonValue* tag = base.array[i].find(key);
+          if (tag != nullptr && tag->is(JsonType::string)) {
+            label = "[" + tag->string + "]";
+            break;
+          }
+        }
+        diff_value(path + label, base.array[i], cand.array[i], opt, out);
+      }
+      break;
+    }
+    case JsonType::object:
+      for (const auto& [key, value] : base.object) {
+        const svmobs::JsonValue* other = cand.find(key);
+        if (other == nullptr) {
+          ++out.regressions;
+          std::printf("  REGRESSED  %s.%s: metric vanished from candidate\n", path.c_str(),
+                      key.c_str());
+          continue;
+        }
+        diff_value(path.empty() ? key : path + "." + key, value, *other, opt, out);
+      }
+      for (const auto& [key, value] : cand.object)
+        if (base.find(key) == nullptr)
+          std::printf("  note       %s.%s: new metric in candidate\n", path.c_str(), key.c_str());
+      break;
+    case JsonType::null:
+      break;
+  }
+}
+
+[[nodiscard]] std::string slurp(const char* file_path) {
+  std::ifstream in(file_path, std::ios::binary);
+  if (!in) throw std::runtime_error(std::string("cannot open ") + file_path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const svmutil::CliFlags flags(argc, argv, {"tolerance", "list!"});
+  const auto& files = flags.positional();
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline.json> <candidate.json> "
+                 "[--tolerance=0.15] [--list]\n");
+    return 2;
+  }
+  Options opt;
+  opt.tolerance = flags.get_double("tolerance", 0.15);
+  opt.list_all = flags.get_bool("list");
+
+  svmobs::JsonValue base;
+  svmobs::JsonValue cand;
+  try {
+    base = svmobs::parse_json(slurp(files[0].c_str()));
+    cand = svmobs::parse_json(slurp(files[1].c_str()));
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bench_diff: %s\n", error.what());
+    return 2;
+  }
+
+  std::printf("bench_diff: %s vs %s (tolerance %.0f%%)\n", files[0].c_str(), files[1].c_str(),
+              opt.tolerance * 100.0);
+  Outcome out;
+  diff_value("", base, cand, opt, out);
+  std::printf(
+      "\n%d leaves compared: %d regression(s), %d improvement(s), %d within-tolerance drift(s)\n",
+      out.compared, out.regressions, out.improvements, out.drifted);
+  return out.regressions > 0 ? 1 : 0;
+}
