@@ -18,6 +18,7 @@
 #include "baseline/libsvm_like.hpp"
 #include "core/trainer.hpp"
 #include "data/zoo.hpp"
+#include "kernel/kernel_engine.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
@@ -34,18 +35,28 @@ struct BenchArgs {
   double eps = 1e-3;
   std::string trace_out;       ///< --trace-out: Chrome trace of the runs
   std::string metrics_out;     ///< --metrics-out: run report of every config
+  /// --engine-backend / --engine-flavor: kernel data-path selection for the
+  /// solver runs (training enforces f64; the flavor also picks the baseline's
+  /// cached Q-row storage). Kept as names so invalid values fail loudly at
+  /// conversion time.
+  std::string engine_backend = "dense_scatter";
+  std::string engine_flavor = "f64";
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
-  const svmutil::CliFlags flags(argc, argv,
-                                svmutil::with_obs_flags({"scale", "ranks", "quick!", "eps"}));
+  const svmutil::CliFlags flags(
+      argc, argv,
+      svmutil::with_engine_flags(svmutil::with_obs_flags({"scale", "ranks", "quick!", "eps"})));
   const svmutil::ObsPaths obs = svmutil::apply_obs_flags(flags);
+  const svmutil::EngineChoice engine = svmutil::apply_engine_flags(flags);
   BenchArgs args;
   args.scale = flags.get_double("scale", 1.0);
   args.quick = flags.get_bool("quick");
   args.eps = flags.get_double("eps", 1e-3);
   args.trace_out = obs.trace_out;
   args.metrics_out = obs.metrics_out;
+  args.engine_backend = engine.backend;
+  args.engine_flavor = engine.flavor;
   if (flags.has("ranks")) {
     const std::string list = flags.get("ranks", "");
     std::size_t at = 0;
@@ -72,6 +83,15 @@ inline svmcore::SolverParams params_for(const svmdata::ZooEntry& entry, double e
   p.C = entry.C;
   p.eps = eps;
   p.kernel = svmkernel::KernelParams::rbf_with_sigma_sq(entry.sigma_sq);
+  return p;
+}
+
+/// BenchArgs-aware variant: also applies the --engine-backend /
+/// --engine-flavor selection (name conversion throws on unknown values).
+inline svmcore::SolverParams params_for(const svmdata::ZooEntry& entry, const BenchArgs& args) {
+  svmcore::SolverParams p = params_for(entry, args.eps);
+  p.engine_backend = svmkernel::engine_backend_from_string(args.engine_backend);
+  p.engine_flavor = svmkernel::row_flavor_from_string(args.engine_flavor);
   return p;
 }
 
@@ -151,6 +171,19 @@ inline svmbaseline::BaselineResult run_baseline(const svmdata::Dataset& train,
   return svmbaseline::solve_libsvm_like(train, options);
 }
 
+/// BenchArgs-aware variant: the --engine-flavor selection picks the
+/// baseline's cached Q-row storage (its one flavor-sensitive data path).
+inline svmbaseline::BaselineResult run_baseline(const svmdata::Dataset& train,
+                                                const svmdata::ZooEntry& entry,
+                                                const BenchArgs& args) {
+  svmbaseline::BaselineOptions options;
+  options.C = entry.C;
+  options.eps = args.eps;
+  options.kernel = svmkernel::KernelParams::rbf_with_sigma_sq(entry.sigma_sq);
+  options.q_flavor = svmkernel::row_flavor_from_string(args.engine_flavor);
+  return svmbaseline::solve_libsvm_like(train, options);
+}
+
 inline void print_baseline_line(const svmbaseline::BaselineResult& baseline) {
   std::printf(
       "libsvm-enhanced baseline: %.2f s wall, %llu iterations, cache hit rate %.1f%%\n\n",
@@ -176,8 +209,11 @@ inline int run_figure_bench(const std::string& figure, const std::string& datase
 
   const double scale = scale_hint * args.scale;
   const svmdata::Dataset train = svmdata::make_train(entry, scale);
-  std::printf("container workload: n=%zu, d=%zu, density %.2f%%, C=%g, sigma^2=%g\n\n",
-              train.size(), train.dim(), 100.0 * train.X.density(), entry.C, entry.sigma_sq);
+  std::printf(
+      "container workload: n=%zu, d=%zu, density %.2f%%, C=%g, sigma^2=%g, "
+      "engine=%s/%s\n\n",
+      train.size(), train.dim(), 100.0 * train.X.density(), entry.C, entry.sigma_sq,
+      args.engine_backend.c_str(), args.engine_flavor.c_str());
 
   const std::vector<int> rank_list = args.ranks.empty() ? default_ranks : args.ranks;
   // Every configuration of the sweep lands on one trace timeline (separated
@@ -188,7 +224,7 @@ inline int run_figure_bench(const std::string& figure, const std::string& datase
     svmobs::trace_enable();
   }
   std::vector<svmobs::RunReport> reports;
-  const auto rows = run_scaling(train, params_for(entry, args.eps), rank_list,
+  const auto rows = run_scaling(train, params_for(entry, args), rank_list,
                                 args.metrics_out.empty() ? nullptr : &reports);
   if (!args.trace_out.empty()) {
     svmobs::trace_disable();
@@ -202,7 +238,7 @@ inline int run_figure_bench(const std::string& figure, const std::string& datase
   print_scaling_table(rows);
   std::printf("\n");
 
-  const auto baseline = run_baseline(train, entry, args.eps);
+  const auto baseline = run_baseline(train, entry, args);
   print_baseline_line(baseline);
 
   // Shape checks the paper's figure makes: Best <= Default and Best <= Worst

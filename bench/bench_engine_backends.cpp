@@ -1,11 +1,12 @@
 // KernelEngine backend comparison: gamma-update throughput of the fused
-// dense_scatter path vs the reference sparse merge join, on the two dataset
-// shapes that bracket the zoo — higgs (dense low-dimensional tabular rows)
-// and url (high-dimensional sparse binary rows). The inner loop is exactly
-// the solver's hot loop: one (i_up, i_low) pair evaluated against every
-// active row. Results go to stdout as a table and to BENCH_engine.json as a
-// machine-readable artifact; the run aborts with a nonzero exit if the two
-// backends ever disagree by a single bit.
+// dense_scatter path and the vectorized simd RowStore path vs the reference
+// sparse merge join, on the two dataset shapes that bracket the zoo — higgs
+// (dense low-dimensional tabular rows) and url (high-dimensional sparse
+// binary rows; the dense RowStore is honest about how badly panels fit that
+// shape). The inner loop is exactly the solver's hot loop: one (i_up, i_low)
+// pair evaluated against every active row. Results go to stdout as a table
+// and to BENCH_engine.json as a machine-readable artifact; the run aborts
+// with a nonzero exit if any backend ever disagrees by a single bit.
 //
 // Usage: bench_engine_backends [--scale S] [--repeats R] [--quick]
 #include <cinttypes>
@@ -37,7 +38,9 @@ struct DatasetReport {
   double density = 0.0;
   BackendTiming reference;
   BackendTiming dense_scatter;
+  BackendTiming simd;
   double speedup = 0.0;
+  double simd_speedup = 0.0;
   bool parity_ok = true;
   double train_reference_s = 0.0;
   double train_dense_s = 0.0;
@@ -92,15 +95,23 @@ DatasetReport run_dataset(const std::string& name, double scale, int repeats, do
   std::vector<double> ref_low(static_cast<std::size_t>(repeats) * n);
   std::vector<double> fused_up(ref_up.size());
   std::vector<double> fused_low(ref_low.size());
+  std::vector<double> simd_up(ref_up.size());
+  std::vector<double> simd_low(ref_low.size());
   report.reference =
       time_backend(train, kernel, EngineBackend::reference, repeats, ref_up, ref_low);
   report.dense_scatter =
       time_backend(train, kernel, EngineBackend::dense_scatter, repeats, fused_up, fused_low);
+  report.simd = time_backend(train, kernel, EngineBackend::simd, repeats, simd_up, simd_low);
   for (std::size_t i = 0; i < ref_up.size(); ++i)
-    if (fused_up[i] != ref_up[i] || fused_low[i] != ref_low[i]) report.parity_ok = false;
+    if (fused_up[i] != ref_up[i] || fused_low[i] != ref_low[i] || simd_up[i] != ref_up[i] ||
+        simd_low[i] != ref_low[i])
+      report.parity_ok = false;
   report.speedup = report.reference.seconds > 0 && report.dense_scatter.seconds > 0
                        ? report.reference.seconds / report.dense_scatter.seconds
                        : 0.0;
+  report.simd_speedup = report.reference.seconds > 0 && report.simd.seconds > 0
+                            ? report.reference.seconds / report.simd.seconds
+                            : 0.0;
 
   // End-to-end: the same solve with each backend (identical models are
   // test-enforced; here we time them).
@@ -135,7 +146,9 @@ void write_json(const std::vector<DatasetReport>& reports, const char* path) {
                  "      \"reference\": {\"seconds\": %.6f, \"pairs_per_s\": %.1f},\n"
                  "      \"dense_scatter\": {\"seconds\": %.6f, \"pairs_per_s\": %.1f, "
                  "\"bytes_streamed\": %" PRIu64 "},\n"
+                 "      \"simd\": {\"seconds\": %.6f, \"pairs_per_s\": %.1f},\n"
                  "      \"gamma_update_speedup\": %.3f,\n"
+                 "      \"simd_gamma_update_speedup\": %.3f,\n"
                  "      \"train_reference_s\": %.4f,\n"
                  "      \"train_dense_scatter_s\": %.4f,\n"
                  "      \"train_speedup\": %.3f,\n"
@@ -143,9 +156,9 @@ void write_json(const std::vector<DatasetReport>& reports, const char* path) {
                  "    }%s\n",
                  r.name.c_str(), r.n, r.d, r.density, r.reference.seconds,
                  r.reference.pairs_per_s, r.dense_scatter.seconds, r.dense_scatter.pairs_per_s,
-                 r.dense_scatter.bytes_streamed, r.speedup, r.train_reference_s,
-                 r.train_dense_s, r.train_speedup, r.parity_ok ? "true" : "false",
-                 i + 1 < reports.size() ? "," : "");
+                 r.dense_scatter.bytes_streamed, r.simd.seconds, r.simd.pairs_per_s, r.speedup,
+                 r.simd_speedup, r.train_reference_s, r.train_dense_s, r.train_speedup,
+                 r.parity_ok ? "true" : "false", i + 1 < reports.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -173,15 +186,17 @@ int main(int argc, char** argv) {
     reports.push_back(run_dataset(name, args.scale, repeats, args.eps));
 
   svmutil::TextTable table({"dataset", "n", "d", "density %", "ref pairs/s", "fused pairs/s",
-                            "speedup", "train ref s", "train fused s", "train speedup",
-                            "parity"});
+                            "simd pairs/s", "speedup", "simd speedup", "train ref s",
+                            "train fused s", "train speedup", "parity"});
   for (const DatasetReport& r : reports) {
     table.add_row({r.name, svmutil::TextTable::integer(static_cast<long long>(r.n)),
                    svmutil::TextTable::integer(static_cast<long long>(r.d)),
                    svmutil::TextTable::num(100.0 * r.density, 2),
                    svmutil::TextTable::num(r.reference.pairs_per_s / 1000.0, 1) + "k",
                    svmutil::TextTable::num(r.dense_scatter.pairs_per_s / 1000.0, 1) + "k",
+                   svmutil::TextTable::num(r.simd.pairs_per_s / 1000.0, 1) + "k",
                    svmutil::TextTable::num(r.speedup, 2),
+                   svmutil::TextTable::num(r.simd_speedup, 2),
                    svmutil::TextTable::num(r.train_reference_s, 3),
                    svmutil::TextTable::num(r.train_dense_s, 3),
                    svmutil::TextTable::num(r.train_speedup, 2),

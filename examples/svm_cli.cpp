@@ -25,6 +25,7 @@
 #include "core/grid_search.hpp"
 #include "core/trainer.hpp"
 #include "data/libsvm_io.hpp"
+#include "kernel/kernel_engine.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -37,8 +38,12 @@ int usage(const char* program) {
       "  %s train    <data> <model-out> [--c C] [--sigma-sq S] [--gamma G] [--eps E]\n"
       "              [--ranks P] [--heuristic H] [--kernel K] [--baseline]\n"
       "              [--w-pos W] [--w-neg W]\n"
+      "              [--engine-backend reference|dense_scatter|cached|simd]\n"
+      "              [--engine-flavor f64]   (training requires f64; --baseline\n"
+      "               accepts f32/f16/i8 for its compressed Q-row cache)\n"
       "              [--log-level L] [--trace-out trace.json] [--metrics-out m.json]\n"
       "  %s predict  <data> <model-in> [--out predictions.txt]\n"
+      "              [--engine-backend B] [--engine-flavor f64|f32|f16|i8]\n"
       "  %s cv       <data> [--folds K] [--c-grid a,b,..] [--gamma-grid a,b,..]\n"
       "  %s regress  <data> <model-out> [--c C] [--tube T] [--sigma-sq S]\n"
       "  %s outliers <data> <model-out> [--nu NU] [--sigma-sq S]\n",
@@ -70,6 +75,7 @@ std::vector<double> parse_grid(const std::string& list) {
 
 int run_train(const svmutil::CliFlags& flags) {
   const svmutil::ObsPaths obs = svmutil::apply_obs_flags(flags);
+  const svmutil::EngineChoice engine = svmutil::apply_engine_flags(flags);
   const svmdata::Dataset train = svmdata::read_libsvm_file(flags.positional()[1]);
   const std::string model_path = flags.positional()[2];
   const svmkernel::KernelParams kernel = kernel_from(flags);
@@ -84,6 +90,7 @@ int run_train(const svmutil::CliFlags& flags) {
     options.weight_negative = flags.get_double("w-neg", 1.0);
     options.eps = eps;
     options.kernel = kernel;
+    options.q_flavor = svmkernel::row_flavor_from_string(engine.flavor);
     const auto result = svmbaseline::solve_libsvm_like(train, options);
     std::printf("baseline: %llu iterations, cache hit rate %.1f%%\n",
                 static_cast<unsigned long long>(result.iterations),
@@ -96,6 +103,8 @@ int run_train(const svmutil::CliFlags& flags) {
     params.kernel = kernel;
     params.weight_positive = flags.get_double("w-pos", 1.0);
     params.weight_negative = flags.get_double("w-neg", 1.0);
+    params.engine_backend = svmkernel::engine_backend_from_string(engine.backend);
+    params.engine_flavor = svmkernel::row_flavor_from_string(engine.flavor);
     svmcore::TrainOptions options;
     options.num_ranks = static_cast<int>(flags.get_int("ranks", 4));
     options.heuristic = svmcore::Heuristic::parse(flags.get("heuristic", "Multi5pc"));
@@ -119,10 +128,18 @@ int run_train(const svmutil::CliFlags& flags) {
 }
 
 int run_predict(const svmutil::CliFlags& flags) {
+  const svmutil::EngineChoice choice = svmutil::apply_engine_flags(flags);
   const svmdata::Dataset data = svmdata::read_libsvm_file(flags.positional()[1]);
   const svmcore::SvmModel model = svmcore::SvmModel::load_file(flags.positional()[2]);
 
-  const std::vector<double> predictions = model.predict_all(data.X);
+  // One engine for the whole prediction sweep; flavored engines (simd +
+  // f32/f16/i8) trade exactness for compressed support-vector storage.
+  svmkernel::KernelEngine engine =
+      model.make_engine(svmkernel::engine_backend_from_string(choice.backend),
+                        svmkernel::row_flavor_from_string(choice.flavor));
+  std::vector<double> predictions(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    predictions[i] = model.decision_value(data.X.row(i), engine) >= 0.0 ? 1.0 : -1.0;
   std::size_t correct = 0;
   for (std::size_t i = 0; i < data.size(); ++i)
     if (predictions[i] == data.y[i]) ++correct;
@@ -230,9 +247,9 @@ int main(int argc, char** argv) {
   try {
     const svmutil::CliFlags flags(
         argc, argv,
-        svmutil::with_obs_flags({"c", "sigma-sq", "gamma", "eps", "ranks", "heuristic", "kernel",
-                                 "baseline!", "out", "w-pos", "w-neg", "folds", "c-grid",
-                                 "gamma-grid", "tube", "nu"}));
+        svmutil::with_engine_flags(svmutil::with_obs_flags(
+            {"c", "sigma-sq", "gamma", "eps", "ranks", "heuristic", "kernel", "baseline!", "out",
+             "w-pos", "w-neg", "folds", "c-grid", "gamma-grid", "tube", "nu"})));
     if (flags.positional().size() < 2) return usage(argv[0]);
     const std::string& mode = flags.positional()[0];
     if (mode == "cv") return run_cv(flags);

@@ -9,6 +9,7 @@
 #   scripts/check.sh --perf     # only the pipelined-reconstruction perf smoke
 #   scripts/check.sh --obs      # only the observability end-to-end checks
 #   scripts/check.sh --sched    # only the multi-tenant scheduler checks
+#   scripts/check.sh --simd     # only the SIMD/precision flavor checks
 #
 # The ASan pass rebuilds the kernel-layer tests under -DSVM_SANITIZE=address
 # in a separate build tree (build-asan/) and runs the binaries directly; it
@@ -31,6 +32,14 @@
 # BENCH_scheduler.json against itself with tools/bench_diff (a self-diff
 # must report zero regressions; a perturbed copy must be caught).
 #
+# The simd pass rebuilds the RowStore/engine-parity suites under UBSan with
+# float-cast-overflow checking (build-ubsan/) — the f16 codec and the int8
+# quantizer are exactly the code where a narrowing cast silently saturates —
+# then runs bench_precision --assert (simd f64 bitwise vs scalar, reduced
+# flavors within their disagreement gates, simd f32 >= 1.5x scalar double)
+# and gates the committed BENCH_engine.json / BENCH_precision.json artifacts
+# with tools/bench_diff (self-diff quiet, perturbed copy caught).
+#
 # The obs pass trains a small synthetic problem at p=4 with tracing and
 # metrics enabled, validates the artifacts with tools/trace_validate
 # (well-formed Chrome JSON, monotonic per-rank timestamps, balanced spans,
@@ -46,15 +55,22 @@ run_tsan=true
 run_perf=true
 run_obs=true
 run_sched=true
+run_simd=true
+only() {  # only <step>: disable every step except the named one
+  run_tier1=false; run_asan=false; run_tsan=false
+  run_perf=false; run_obs=false; run_sched=false; run_simd=false
+  eval "run_$1=true"
+}
 case "${1:-}" in
-  --tier1) run_asan=false; run_tsan=false; run_perf=false; run_obs=false; run_sched=false ;;
-  --asan) run_tier1=false; run_tsan=false; run_perf=false; run_obs=false; run_sched=false ;;
-  --tsan) run_tier1=false; run_asan=false; run_perf=false; run_obs=false; run_sched=false ;;
-  --perf) run_tier1=false; run_asan=false; run_tsan=false; run_obs=false; run_sched=false ;;
-  --obs) run_tier1=false; run_asan=false; run_tsan=false; run_perf=false; run_sched=false ;;
-  --sched) run_tier1=false; run_asan=false; run_tsan=false; run_perf=false; run_obs=false ;;
+  --tier1) only tier1 ;;
+  --asan) only asan ;;
+  --tsan) only tsan ;;
+  --perf) only perf ;;
+  --obs) only obs ;;
+  --sched) only sched ;;
+  --simd) only simd ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--tier1|--asan|--tsan|--perf|--obs|--sched]" >&2; exit 2 ;;
+  *) echo "usage: scripts/check.sh [--tier1|--asan|--tsan|--perf|--obs|--sched|--simd]" >&2; exit 2 ;;
 esac
 
 if $run_tier1; then
@@ -139,6 +155,37 @@ if $run_sched; then
     echo "bench_diff failed to flag an injected regression" >&2
     exit 1
   fi
+fi
+
+if $run_simd; then
+  echo "=== simd: precision/parity suites under UBSan + flavor gates ==="
+  cmake -B build-ubsan -S . -DSVM_SANITIZE=undefined,float-cast-overflow >/dev/null
+  cmake --build build-ubsan -j --target test_row_store test_engine_parity
+  for t in test_row_store test_engine_parity; do
+    echo "--- $t (ubsan) ---"
+    UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/"$t"
+  done
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target bench_precision bench_engine_backends bench_diff
+  simd_dir=$(mktemp -d)
+  trap 'rm -rf "${obs_dir:-}" "${sched_dir:-}" "${simd_dir:-}"' EXIT
+  # --assert: simd f64 must stay bitwise-equal to the scalar engines, the
+  # reduced flavors must hold their disagreement gates, and simd f32 must
+  # clear 1.5x single-core kernel-eval throughput over scalar double. Runs
+  # in a scratch dir so the committed artifact is not overwritten.
+  (cd "$simd_dir" && "$OLDPWD"/build/bench/bench_precision --quick --assert)
+  # The committed artifacts must be gate-clean against themselves and the
+  # gate must still be loud: perturb one throughput leaf in each and demand
+  # bench_diff flags it.
+  for artifact in BENCH_engine.json BENCH_precision.json; do
+    ./build/tools/bench_diff "$artifact" "$artifact"
+    sed 's/"\([a-z_]*per_s[a-z_]*\)": [0-9.eE+-]*/"\1": 1.0/' "$artifact" \
+      > "$simd_dir/regressed.json"
+    if ./build/tools/bench_diff "$artifact" "$simd_dir/regressed.json" > /dev/null; then
+      echo "bench_diff failed to flag an injected regression in $artifact" >&2
+      exit 1
+    fi
+  done
 fi
 
 echo "ALL CHECKS PASSED"

@@ -22,7 +22,8 @@ BaselineResult solve_libsvm_like(const svmdata::Dataset& dataset,
   // serves repeats from the LRU row cache. The paper's OpenMP enhancement
   // parallelizes exactly this row computation.
   svmkernel::KernelEngine engine(kernel, dataset.X, svmkernel::EngineBackend::cached,
-                                 options.cache_mb * (std::size_t{1} << 20));
+                                 options.cache_mb * (std::size_t{1} << 20),
+                                 options.q_flavor);
   engine.set_row_scale(dataset.y);
 
   std::vector<double> q_diag(n);

@@ -45,7 +45,8 @@ NuSvcResult solve_nu_svc(const svmdata::Dataset& dataset, const NuSvcOptions& op
   const svmkernel::Kernel kernel(options.kernel);
   // Label-scaled Q rows (Q_ij = y_i y_j K_ij) via the cached engine backend.
   svmkernel::KernelEngine engine(kernel, dataset.X, svmkernel::EngineBackend::cached,
-                                 options.cache_mb * (std::size_t{1} << 20));
+                                 options.cache_mb * (std::size_t{1} << 20),
+                                 options.q_flavor);
   engine.set_row_scale(dataset.y);
 
   std::vector<double> q_diag(n);

@@ -37,7 +37,8 @@ NuSvrResult solve_nu_svr(const svmdata::CsrMatrix& X, std::span<const double> ta
   // Raw K rows per real sample via the cached engine backend; Q rows are
   // materialized locally with the sign pattern (as in epsilon-SVR).
   svmkernel::KernelEngine engine(kernel, X, svmkernel::EngineBackend::cached,
-                                 options.cache_mb * (std::size_t{1} << 20));
+                                 options.cache_mb * (std::size_t{1} << 20),
+                                 options.q_flavor);
 
   std::vector<double> y(l);
   std::vector<double> linear(l);

@@ -32,7 +32,8 @@ OneClassResult solve_one_class(const svmdata::CsrMatrix& X, const OneClassOption
   const svmkernel::Kernel kernel(options.kernel);
   // Unscaled Q = K for one-class: cached engine rows, no row scale.
   svmkernel::KernelEngine engine(kernel, X, svmkernel::EngineBackend::cached,
-                                 options.cache_mb * (std::size_t{1} << 20));
+                                 options.cache_mb * (std::size_t{1} << 20),
+                                 options.q_flavor);
 
   std::vector<double> q_diag(n);
   for (std::size_t i = 0; i < n; ++i) {

@@ -35,7 +35,8 @@ SvrResult solve_svr(const svmdata::CsrMatrix& X, std::span<const double> targets
   // Raw (unscaled) K rows per real sample, via the cached engine backend;
   // the 2n-length Q rows are materialized locally with the sign pattern.
   svmkernel::KernelEngine engine(kernel, X, svmkernel::EngineBackend::cached,
-                                 options.cache_mb * (std::size_t{1} << 20));
+                                 options.cache_mb * (std::size_t{1} << 20),
+                                 options.q_flavor);
 
   // Signs and linear term of the 2n-variable dual.
   std::vector<double> y(l);

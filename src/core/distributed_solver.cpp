@@ -26,7 +26,8 @@ DistributedSolver::DistributedSolver(svmmpi::Comm& comm, const svmdata::Dataset&
       config_(config),
       range_(svmdata::block_range(dataset.size(), comm.size(), comm.rank())),
       kernel_(config.params.kernel),
-      engine_(kernel_, dataset.X, config.params.engine_backend, range_.begin, range_.end),
+      engine_(kernel_, dataset.X, config.params.engine_backend, range_.begin, range_.end,
+              /*cache_budget_bytes=*/0, config.params.engine_flavor),
       iterations_(metrics_.counter("solver.iterations")),
       shrink_passes_(metrics_.counter("solver.shrink_passes")),
       samples_shrunk_(metrics_.counter("solver.samples_shrunk")),
@@ -34,6 +35,13 @@ DistributedSolver::DistributedSolver(svmmpi::Comm& comm, const svmdata::Dataset&
       recon_ring_steps_(metrics_.counter("recon.ring_steps")),
       recon_overlapped_steps_(metrics_.counter("recon.overlapped_steps")) {
   if (comm.rank() == 0) dataset.validate();
+  // Training stays bit-exact double: reduced-precision row flavors are a
+  // prediction/Q-cache feature and would silently perturb the optimization.
+  if (config.params.engine_flavor != svmkernel::RowFlavor::f64)
+    throw std::invalid_argument(
+        "DistributedSolver: training requires engine_flavor f64 (got '" +
+        svmkernel::to_string(config.params.engine_flavor) +
+        "'); reduced-precision flavors apply to prediction and cached Q rows only");
   if (config_.checkpoint_store != nullptr &&
       config_.checkpoint_store->num_ranks() != comm.size())
     throw std::invalid_argument(
@@ -407,6 +415,12 @@ void DistributedSolver::snapshot_stats() {
   metrics_.counter("engine.single_evals").set(engine_.stats().single_evals);
   metrics_.counter("engine.scatter_builds").set(engine_.stats().scatter_builds);
   metrics_.counter("engine.bytes_streamed").set(engine_.stats().bytes_streamed);
+  metrics_.counter("engine.panel_dots").set(engine_.stats().panel_dots);
+  // Resident bytes of the flavored structures: the simd backend's RowStore
+  // and (for cached engines) the encoded Q-row cache. Zero when unused.
+  metrics_.gauge("engine.store_bytes").set(static_cast<double>(engine_.store_bytes()));
+  metrics_.gauge("cache.bytes_resident")
+      .set(static_cast<double>(engine_.cache_bytes_resident()));
   metrics_.gauge("solver.final_gap").set(beta_low_ - beta_up_);
   metrics_.gauge("solver.active_at_end").set(static_cast<double>(active_.size()));
   metrics_.gauge("solver.min_active").set(static_cast<double>(stats_.min_active));

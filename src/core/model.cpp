@@ -28,19 +28,18 @@ double SvmModel::decision_value(std::span<const svmdata::Feature> x) const {
   return sum - beta_;
 }
 
-svmkernel::KernelEngine SvmModel::make_engine(svmkernel::EngineBackend backend) const {
-  return svmkernel::KernelEngine(kernel_, support_vectors_, backend, sv_sq_norms_);
+svmkernel::KernelEngine SvmModel::make_engine(svmkernel::EngineBackend backend,
+                                              svmkernel::RowFlavor flavor) const {
+  return svmkernel::KernelEngine(kernel_, support_vectors_, backend, sv_sq_norms_, flavor);
 }
 
 double SvmModel::decision_value(std::span<const svmdata::Feature> x,
                                 svmkernel::KernelEngine& engine) const {
   const double sq_x = svmdata::CsrMatrix::squared_norm(x);
-  engine.begin_query(x, sq_x);
-  double sum = 0.0;
-  for (std::size_t j = 0; j < coefficients_.size(); ++j)
-    sum += coefficients_[j] * engine.query_row(support_vectors_.row(j), sv_sq_norms_[j]);
-  engine.end_query();
-  return sum - beta_;
+  // accumulate_rows reproduces the historical begin_query/query_row loop
+  // term by term on the scalar backends and sweeps the RowStore panels in
+  // the same ascending order under simd — bit-identical at f64.
+  return engine.accumulate_rows(x, sq_x, coefficients_) - beta_;
 }
 
 std::vector<double> SvmModel::predict_all(const svmdata::CsrMatrix& X, bool parallel) const {

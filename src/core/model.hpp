@@ -35,12 +35,18 @@ class SvmModel {
   /// A KernelEngine over this model's support vectors, for batched scoring
   /// of many queries (decision_value(x, engine)). The engine references the
   /// model — the model must outlive it. One engine per thread: the engine
-  /// carries mutable scatter state.
+  /// carries mutable scatter state. `flavor` selects the resident precision
+  /// of the support-vector rows under the simd backend (f32/f16/i8 trade
+  /// exactness for footprint/bandwidth; see row_store.hpp) — reduced
+  /// flavors require `backend == simd`.
   [[nodiscard]] svmkernel::KernelEngine make_engine(
-      svmkernel::EngineBackend backend = svmkernel::EngineBackend::dense_scatter) const;
+      svmkernel::EngineBackend backend = svmkernel::EngineBackend::dense_scatter,
+      svmkernel::RowFlavor flavor = svmkernel::RowFlavor::f64) const;
 
   /// Engine-accelerated scoring; `engine` must come from make_engine() on
-  /// this model. Bit-identical to the plain decision_value overload.
+  /// this model. Bit-identical to the plain decision_value overload for f64
+  /// engines of any backend; flavored engines score against the compressed
+  /// support vectors (the accuracy-gated serving path).
   [[nodiscard]] double decision_value(std::span<const svmdata::Feature> x,
                                       svmkernel::KernelEngine& engine) const;
 

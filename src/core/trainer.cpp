@@ -112,6 +112,15 @@ void finish_result(const svmdata::Dataset& dataset, const DistributedConfig& con
     out.modeled_seconds = std::max(out.modeled_seconds, modeled);
   }
 
+  // Provenance: which engine configuration produced this result. Mirrored
+  // into run reports and (when tracing) the trace timeline, so artifacts
+  // record the backend/flavor that made them. Labels are string literals —
+  // the trace recorder keeps pointers, not copies.
+  out.engine_backend = svmkernel::to_string(config.params.engine_backend);
+  out.engine_flavor = svmkernel::to_string(config.params.engine_flavor);
+  svmobs::trace_instant(svmkernel::trace_label(config.params.engine_backend), "meta");
+  svmobs::trace_instant(svmkernel::trace_label(config.params.engine_flavor), "meta");
+
   out.model = build_model(dataset, alpha, out.beta, config.params.kernel);
 }
 
@@ -327,6 +336,10 @@ svmobs::RunReport run_report(const TrainResult& result, const TrainOptions& opti
   report.info.emplace_back("iterations", std::to_string(result.iterations));
   report.info.emplace_back("support_vectors", std::to_string(result.num_support_vectors()));
   report.info.emplace_back("converged", result.converged ? "true" : "false");
+  if (!result.engine_backend.empty())
+    report.info.emplace_back("engine_backend", result.engine_backend);
+  if (!result.engine_flavor.empty())
+    report.info.emplace_back("engine_flavor", result.engine_flavor);
   report.ranks = result.rank_metrics;
   report.aggregate = result.metrics;
   report.aggregate.gauge("wall_s").set(result.wall_seconds);

@@ -87,6 +87,10 @@ struct TrainResult {
   double wall_seconds = 0.0;            ///< around the whole SPMD region
   double modeled_seconds = 0.0;         ///< max per-rank compute+network model
   bool converged = false;
+  /// Engine configuration that produced this result, mirrored into the run
+  /// report / trace metadata so artifacts record their provenance.
+  std::string engine_backend;
+  std::string engine_flavor;
 
   [[nodiscard]] std::size_t num_support_vectors() const {
     return model.num_support_vectors();

@@ -1,5 +1,6 @@
 #include "kernel/kernel_engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/trace.hpp"
@@ -19,6 +20,7 @@ std::string to_string(EngineBackend backend) {
     case EngineBackend::reference: return "reference";
     case EngineBackend::dense_scatter: return "dense_scatter";
     case EngineBackend::cached: return "cached";
+    case EngineBackend::simd: return "simd";
   }
   return "?";
 }
@@ -27,40 +29,82 @@ EngineBackend engine_backend_from_string(const std::string& name) {
   if (name == "reference") return EngineBackend::reference;
   if (name == "dense_scatter") return EngineBackend::dense_scatter;
   if (name == "cached") return EngineBackend::cached;
+  if (name == "simd") return EngineBackend::simd;
   throw std::invalid_argument("engine_backend_from_string: unknown backend '" + name + "'");
+}
+
+const char* trace_label(EngineBackend backend) noexcept {
+  switch (backend) {
+    case EngineBackend::reference: return "backend_reference";
+    case EngineBackend::dense_scatter: return "backend_dense_scatter";
+    case EngineBackend::cached: return "backend_cached";
+    case EngineBackend::simd: return "backend_simd";
+  }
+  return "backend_unknown";
+}
+
+void KernelEngine::init_flavored(std::size_t cache_budget_bytes) {
+  if (flavor_ != RowFlavor::f64 &&
+      (backend_ == EngineBackend::reference || backend_ == EngineBackend::dense_scatter))
+    throw std::invalid_argument("KernelEngine: flavored rows ('" + to_string(flavor_) +
+                                "') require the simd or cached backend");
+  if (backend_ == EngineBackend::cached) {
+    if (cache_budget_bytes > 0)
+      cache_ = std::make_unique<KernelRowCache>(cache_budget_bytes, flavor_);
+    else if (flavor_ != RowFlavor::f64)
+      throw std::invalid_argument(
+          "KernelEngine: flavored cached backend needs a cache budget (rows are "
+          "encoded on insert; without a cache there is nothing to flavor)");
+  }
+  if (backend_ == EngineBackend::simd) {
+    // Borrowed norm spans may be longer than the matrix; the store covers
+    // exactly the rows that exist.
+    const std::size_t row_end = std::min(norm_begin_ + norms_.size(), X_.rows());
+    store_ = std::make_unique<RowStore>(X_, norm_begin_, row_end, flavor_);
+  }
 }
 
 KernelEngine::KernelEngine(const Kernel& kernel, const svmdata::CsrMatrix& X,
                            EngineBackend backend, std::size_t norm_begin,
-                           std::size_t norm_end, std::size_t cache_budget_bytes)
-    : kernel_(kernel), X_(X), backend_(backend), norm_begin_(norm_begin) {
+                           std::size_t norm_end, std::size_t cache_budget_bytes,
+                           RowFlavor flavor)
+    : kernel_(kernel), X_(X), backend_(backend), flavor_(flavor), norm_begin_(norm_begin) {
   if (norm_end < norm_begin || norm_end > X.rows())
     throw std::invalid_argument("KernelEngine: bad norm range");
   owned_norms_.resize(norm_end - norm_begin);
   for (std::size_t i = norm_begin; i < norm_end; ++i)
     owned_norms_[i - norm_begin] = svmdata::CsrMatrix::squared_norm(X.row(i));
   norms_ = owned_norms_;
-  if (backend == EngineBackend::cached && cache_budget_bytes > 0)
-    cache_ = std::make_unique<KernelRowCache>(cache_budget_bytes);
+  init_flavored(cache_budget_bytes);
 }
 
 KernelEngine::KernelEngine(const Kernel& kernel, const svmdata::CsrMatrix& X,
-                           EngineBackend backend, std::span<const double> sq_norms)
-    : kernel_(kernel), X_(X), backend_(backend), norm_begin_(0), norms_(sq_norms) {
-  if (sq_norms.size() < X.rows())
-    throw std::invalid_argument("KernelEngine: borrowed norms shorter than matrix");
-}
-
-KernelEngine::KernelEngine(const KernelParams& params, const svmdata::CsrMatrix& X,
-                           EngineBackend backend, std::span<const double> sq_norms)
-    : owned_kernel_(std::make_unique<Kernel>(params)),
-      kernel_(*owned_kernel_),
+                           EngineBackend backend, std::span<const double> sq_norms,
+                           RowFlavor flavor)
+    : kernel_(kernel),
       X_(X),
       backend_(backend),
+      flavor_(flavor),
       norm_begin_(0),
       norms_(sq_norms) {
   if (sq_norms.size() < X.rows())
     throw std::invalid_argument("KernelEngine: borrowed norms shorter than matrix");
+  init_flavored(0);
+}
+
+KernelEngine::KernelEngine(const KernelParams& params, const svmdata::CsrMatrix& X,
+                           EngineBackend backend, std::span<const double> sq_norms,
+                           RowFlavor flavor)
+    : owned_kernel_(std::make_unique<Kernel>(params)),
+      kernel_(*owned_kernel_),
+      X_(X),
+      backend_(backend),
+      flavor_(flavor),
+      norm_begin_(0),
+      norms_(sq_norms) {
+  if (sq_norms.size() < X.rows())
+    throw std::invalid_argument("KernelEngine: borrowed norms shorter than matrix");
+  init_flavored(0);
 }
 
 void KernelEngine::ensure_dense(std::size_t lanes) {
@@ -108,7 +152,8 @@ void KernelEngine::eval_pair_rows(std::span<const svmdata::Feature> up, double s
   svmobs::TraceSpan span("engine_pair_batch", "kernel");
   const auto count = static_cast<std::ptrdiff_t>(rows.size());
   stats_.pair_evals += rows.size();
-  stats_.bytes_streamed += payload_bytes(rows, base);
+  stats_.bytes_streamed +=
+      store_ ? rows.size() * store_->row_bytes() : payload_bytes(rows, base);
 
   if (backend_ == EngineBackend::reference) {
     // Ground truth: two sparse merge joins per sample, as the pre-engine
@@ -121,6 +166,21 @@ void KernelEngine::eval_pair_rows(std::span<const svmdata::Feature> up, double s
       out_up[static_cast<std::size_t>(k)] = kernel_.eval(up, row, sq_up, sq);
       out_low[static_cast<std::size_t>(k)] = kernel_.eval(low, row, sq_low, sq);
     }
+    return;
+  }
+
+  if (backend_ == EngineBackend::simd) {
+    // Panel sweep with last-panel memoization: the solver hands this path a
+    // sorted active-index list, so each touched panel is computed once.
+    // Intra-call threading is skipped — the memo is worth more than a
+    // parallel-for on arbitrary index lists.
+    (void)parallel;
+    fill_query_vec(qa_vec_, up);
+    fill_query_vec(qb_vec_, low);
+    simd_pair_indexed(rows, base, sq_up, sq_low, out_up, out_low);
+    kernel_.note_evaluations(2 * rows.size());
+    clear_query_vec(qa_vec_, up);
+    clear_query_vec(qb_vec_, low);
     return;
   }
 
@@ -158,8 +218,12 @@ void KernelEngine::eval_pair_range(std::span<const svmdata::Feature> up, double 
   const auto first = static_cast<std::ptrdiff_t>(begin);
   const auto last = static_cast<std::ptrdiff_t>(end);
   stats_.pair_evals += end - begin;
-  for (std::size_t i = begin; i < end; ++i)
-    stats_.bytes_streamed += X_.row(i).size() * sizeof(svmdata::Feature);
+  if (store_) {
+    stats_.bytes_streamed += (end - begin) * store_->row_bytes();
+  } else {
+    for (std::size_t i = begin; i < end; ++i)
+      stats_.bytes_streamed += X_.row(i).size() * sizeof(svmdata::Feature);
+  }
 
   if (backend_ == EngineBackend::reference) {
 #pragma omp parallel for schedule(static) if (parallel)
@@ -170,6 +234,16 @@ void KernelEngine::eval_pair_range(std::span<const svmdata::Feature> up, double 
       out_up[g - begin] = kernel_.eval(up, row, sq_up, sq);
       out_low[g - begin] = kernel_.eval(low, row, sq_low, sq);
     }
+    return;
+  }
+
+  if (backend_ == EngineBackend::simd) {
+    fill_query_vec(qa_vec_, up);
+    fill_query_vec(qb_vec_, low);
+    simd_pair_range(begin, end, sq_up, sq_low, out_up, out_low, parallel);
+    kernel_.note_evaluations(2 * (end - begin));
+    clear_query_vec(qa_vec_, up);
+    clear_query_vec(qb_vec_, low);
     return;
   }
 
@@ -203,8 +277,12 @@ void KernelEngine::eval_rows(std::span<const svmdata::Feature> query, double sq_
   const auto first = static_cast<std::ptrdiff_t>(begin);
   const auto last = static_cast<std::ptrdiff_t>(end);
   stats_.single_evals += end - begin;
-  for (std::size_t i = begin; i < end; ++i)
-    stats_.bytes_streamed += X_.row(i).size() * sizeof(svmdata::Feature);
+  if (store_) {
+    stats_.bytes_streamed += (end - begin) * store_->row_bytes();
+  } else {
+    for (std::size_t i = begin; i < end; ++i)
+      stats_.bytes_streamed += X_.row(i).size() * sizeof(svmdata::Feature);
+  }
 
   if (backend_ == EngineBackend::reference) {
 #pragma omp parallel for schedule(static) if (parallel)
@@ -212,6 +290,14 @@ void KernelEngine::eval_rows(std::span<const svmdata::Feature> query, double sq_
       const auto g = static_cast<std::size_t>(k);
       out[g - begin] = kernel_.eval(X_.row(g), query, sq_norm(g), sq_query);
     }
+    return;
+  }
+
+  if (backend_ == EngineBackend::simd) {
+    fill_query_vec(qa_vec_, query);
+    simd_single_range(begin, end, sq_query, out, parallel);
+    kernel_.note_evaluations(end - begin);
+    clear_query_vec(qa_vec_, query);
     return;
   }
 
@@ -435,6 +521,150 @@ std::span<const float> KernelEngine::k_row_floats(std::size_t i, std::size_t len
   row_scratch_.resize(len);
   fill_k_row(i, len, parallel, row_scratch_.data());
   return std::span<const float>(row_scratch_).first(len);
+}
+
+// --- simd backend helpers ---------------------------------------------------
+
+void KernelEngine::fill_query_vec(std::vector<double>& buf,
+                                  std::span<const svmdata::Feature> row) {
+  const std::size_t cols = X_.cols();
+  // Kept all-zero between uses (clear_query_vec), so resize only zero-fills
+  // growth. Query features beyond the matrix's columns cannot intersect any
+  // stored row; skipping them is exact (same argument as scatter()).
+  if (buf.size() < cols) buf.resize(cols, 0.0);
+  for (const svmdata::Feature& f : row) {
+    const auto idx = static_cast<std::size_t>(f.index);
+    if (idx < cols) buf[idx] = f.value;
+  }
+  stats_.scatter_builds += 1;
+}
+
+void KernelEngine::clear_query_vec(std::vector<double>& buf,
+                                   std::span<const svmdata::Feature> row) {
+  const std::size_t cols = X_.cols();
+  for (const svmdata::Feature& f : row) {
+    const auto idx = static_cast<std::size_t>(f.index);
+    if (idx < cols) buf[idx] = 0.0;
+  }
+}
+
+void KernelEngine::simd_pair_indexed(std::span<const std::uint32_t> rows, std::size_t base,
+                                     double sq_up, double sq_low, std::span<double> out_up,
+                                     std::span<double> out_low) {
+  store_->prepare_query(qa_vec_, qb_vec_);
+  constexpr std::size_t kP = RowStore::kPanel;
+  std::size_t cur = static_cast<std::size_t>(-1);
+  double oa[kP];
+  double ob[kP];
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const std::size_t local = base + rows[k] - norm_begin_;
+    const std::size_t p = local / kP;
+    if (p != cur) {
+      store_->panel_dots(p, oa, ob);
+      stats_.panel_dots += 1;
+      cur = p;
+    }
+    const std::size_t lane = local % kP;
+    const double sq = store_sq(local);
+    out_up[k] = kernel_.finish_from_dot(oa[lane], sq_up, sq);
+    out_low[k] = kernel_.finish_from_dot(ob[lane], sq_low, sq);
+  }
+}
+
+void KernelEngine::simd_pair_range(std::size_t begin, std::size_t end, double sq_up,
+                                   double sq_low, std::span<double> out_up,
+                                   std::span<double> out_low, bool parallel) {
+  store_->prepare_query(qa_vec_, qb_vec_);
+  constexpr std::size_t kP = RowStore::kPanel;
+  const std::size_t lo = begin - norm_begin_;
+  const std::size_t hi = end - norm_begin_;
+  const auto plo = static_cast<std::ptrdiff_t>(lo / kP);
+  const auto phi = static_cast<std::ptrdiff_t>((hi + kP - 1) / kP);
+  // Panels are independent given the prepared (read-only) query state, so
+  // the panel loop parallelizes cleanly; per-thread stack outputs.
+#pragma omp parallel for schedule(static) if (parallel)
+  for (std::ptrdiff_t pp = plo; pp < phi; ++pp) {
+    const auto p = static_cast<std::size_t>(pp);
+    double oa[kP];
+    double ob[kP];
+    store_->panel_dots(p, oa, ob);
+    const std::size_t first = std::max(lo, p * kP);
+    const std::size_t last = std::min(hi, (p + 1) * kP);
+    for (std::size_t local = first; local < last; ++local) {
+      const std::size_t lane = local - p * kP;
+      const double sq = store_sq(local);
+      out_up[local - lo] = kernel_.finish_from_dot(oa[lane], sq_up, sq);
+      out_low[local - lo] = kernel_.finish_from_dot(ob[lane], sq_low, sq);
+    }
+  }
+  stats_.panel_dots += static_cast<std::uint64_t>(phi - plo);
+}
+
+void KernelEngine::simd_single_range(std::size_t begin, std::size_t end, double sq_query,
+                                     std::span<double> out, bool parallel) {
+  store_->prepare_query(qa_vec_);
+  constexpr std::size_t kP = RowStore::kPanel;
+  const std::size_t lo = begin - norm_begin_;
+  const std::size_t hi = end - norm_begin_;
+  const auto plo = static_cast<std::ptrdiff_t>(lo / kP);
+  const auto phi = static_cast<std::ptrdiff_t>((hi + kP - 1) / kP);
+#pragma omp parallel for schedule(static) if (parallel)
+  for (std::ptrdiff_t pp = plo; pp < phi; ++pp) {
+    const auto p = static_cast<std::size_t>(pp);
+    double d[kP];
+    store_->panel_dots(p, d);
+    const std::size_t first = std::max(lo, p * kP);
+    const std::size_t last = std::min(hi, (p + 1) * kP);
+    for (std::size_t local = first; local < last; ++local)
+      out[local - lo] = kernel_.finish_from_dot(d[local - p * kP], sq_query, store_sq(local));
+  }
+  stats_.panel_dots += static_cast<std::uint64_t>(phi - plo);
+}
+
+double KernelEngine::accumulate_rows(std::span<const svmdata::Feature> query,
+                                     double sq_query, std::span<const double> coeffs,
+                                     bool parallel) {
+  svmobs::TraceSpan span("engine_row_batch", "kernel");
+  const std::size_t n = coeffs.size();
+
+  if (backend_ != EngineBackend::simd) {
+    // The historical model-scoring loop, term by term: one streaming query
+    // scope, rows ascending. query_row does the per-row stats/counters.
+    (void)parallel;
+    begin_query(query, sq_query);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t g = norm_begin_ + j;
+      sum += coeffs[j] * query_row(X_.row(g), sq_norm(g));
+    }
+    end_query();
+    return sum;
+  }
+
+  // Panel sweep with an ordered (ascending-row) coefficient reduction: same
+  // per-term operations and order as the scalar loop above, so f64 stays
+  // bit-identical. The reduction order requirement rules out parallelism.
+  (void)parallel;
+  stats_.single_evals += n;
+  stats_.bytes_streamed += n * store_->row_bytes();
+  constexpr std::size_t kP = RowStore::kPanel;
+  fill_query_vec(qa_vec_, query);
+  store_->prepare_query(qa_vec_);
+  double sum = 0.0;
+  double d[kP];
+  const std::size_t panels = (n + kP - 1) / kP;
+  for (std::size_t p = 0; p < panels; ++p) {
+    store_->panel_dots(p, d);
+    const std::size_t lim = std::min(n - p * kP, kP);
+    for (std::size_t l = 0; l < lim; ++l) {
+      const std::size_t j = p * kP + l;
+      sum += coeffs[j] * kernel_.finish_from_dot(d[l], sq_query, store_sq(j));
+    }
+  }
+  stats_.panel_dots += panels;
+  kernel_.note_evaluations(n);
+  clear_query_vec(qa_vec_, query);
+  return sum;
 }
 
 }  // namespace svmkernel

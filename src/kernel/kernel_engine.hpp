@@ -19,7 +19,17 @@
 //   reference      every value via Kernel::eval, i.e. the CsrMatrix::dot
 //                  sparse merge join — the semantics ground truth;
 //   dense_scatter  the fused fast path described above;
-//   cached         dense_scatter plus the KernelRowCache for k_row_floats.
+//   cached         dense_scatter plus the KernelRowCache for k_row_floats;
+//   simd           the engine's norm-range rows materialized in a dense
+//                  panel RowStore (lane-per-row, see row_store.hpp) and
+//                  evaluated with the runtime-dispatched SIMD kernels.
+//
+// Row flavors (RowFlavor, row_store.hpp) select the resident precision of
+// the simd store and of cached Q rows: f64 is exact; f32/f16/i8 trade
+// precision for footprint and bandwidth. The scalar backends (reference,
+// dense_scatter) only accept f64; training solvers additionally refuse any
+// flavored engine so optimization stays bit-exact double — flavors are a
+// prediction/Q-cache feature, accuracy-gated by tests and bench_precision.
 //
 // Parity guarantee: dense_scatter is BIT-IDENTICAL to reference, not merely
 // close. Both visit row i's nonzeros in increasing index order: the merge
@@ -31,6 +41,15 @@
 // through Kernel::finish_from_dot, so the RBF/poly/sigmoid finish is the
 // same instruction sequence. Tests enforce bitwise equality of whole models;
 // checkpoint/chaos recovery relies on it staying exact.
+//
+// The simd backend at flavor f64 inherits the same guarantee: each panel
+// lane is one row's sequential mul+add sum over ascending columns (never a
+// horizontal reduction, never an FMA — see simd.hpp), which is the dense
+// pass above with the sides swapped, and the dot funnels through the same
+// finish_from_dot. Streaming entry points whose rows are not in the store
+// (begin_query/query_row, eval_block_rows, k_row_floats fills) fall back to
+// the scalar dense-scatter code under the simd backend — bit-identical for
+// f64 by the argument above.
 //
 // Thread safety: an engine is mutable per-call state (scatter buffers,
 // counters) — use one engine per rank / per thread. The `parallel` flags
@@ -48,13 +67,16 @@
 #include "data/sparse.hpp"
 #include "kernel/kernel.hpp"
 #include "kernel/kernel_cache.hpp"
+#include "kernel/row_store.hpp"
 
 namespace svmkernel {
 
-enum class EngineBackend { reference, dense_scatter, cached };
+enum class EngineBackend { reference, dense_scatter, cached, simd };
 
 [[nodiscard]] std::string to_string(EngineBackend backend);
 [[nodiscard]] EngineBackend engine_backend_from_string(const std::string& name);
+/// Stable string literal for trace metadata (trace_instant keeps pointers).
+[[nodiscard]] const char* trace_label(EngineBackend backend) noexcept;
 
 /// Counters for the batched layer; cheap (no atomics — engines are
 /// single-owner), reported through SolverStats and the benches.
@@ -62,7 +84,10 @@ struct EngineStats {
   std::uint64_t pair_evals = 0;      ///< samples evaluated by the fused pair path
   std::uint64_t single_evals = 0;    ///< rows evaluated by eval_rows/query_row
   std::uint64_t scatter_builds = 0;  ///< query-row scatters into the dense buffer
-  std::uint64_t bytes_streamed = 0;  ///< CSR payload bytes traversed by batched ops
+  std::uint64_t bytes_streamed = 0;  ///< payload bytes traversed by batched ops
+                                     ///< (CSR features, or flavored panel bytes
+                                     ///< for the simd backend)
+  std::uint64_t panel_dots = 0;      ///< 8-row SIMD panel products computed
 };
 
 class KernelEngine {
@@ -70,30 +95,43 @@ class KernelEngine {
   /// Engine over rows [norm_begin, norm_end) of `X` (a distributed rank's
   /// local block); squared norms for that slice are computed on
   /// construction. `cache_budget_bytes` > 0 enables the row cache used by
-  /// k_row_floats (the `cached` backend; ignored otherwise). The engine
-  /// keeps references to `kernel` and `X` — both must outlive it.
+  /// k_row_floats (the `cached` backend; ignored otherwise). `flavor`
+  /// selects the resident row precision of the simd store / cached Q rows;
+  /// the scalar backends require f64. The engine keeps references to
+  /// `kernel` and `X` — both must outlive it.
   KernelEngine(const Kernel& kernel, const svmdata::CsrMatrix& X, EngineBackend backend,
                std::size_t norm_begin, std::size_t norm_end,
-               std::size_t cache_budget_bytes = 0);
+               std::size_t cache_budget_bytes = 0, RowFlavor flavor = RowFlavor::f64);
 
   /// Full-matrix convenience (sequential solvers, baselines, model scoring).
   KernelEngine(const Kernel& kernel, const svmdata::CsrMatrix& X, EngineBackend backend,
-               std::size_t cache_budget_bytes = 0)
-      : KernelEngine(kernel, X, backend, 0, X.rows(), cache_budget_bytes) {}
+               std::size_t cache_budget_bytes = 0, RowFlavor flavor = RowFlavor::f64)
+      : KernelEngine(kernel, X, backend, 0, X.rows(), cache_budget_bytes, flavor) {}
 
   /// Borrowed-norms form: reuse already-computed squared norms for all of
   /// `X` instead of recomputing (the free eval_rows entry point).
   KernelEngine(const Kernel& kernel, const svmdata::CsrMatrix& X, EngineBackend backend,
-               std::span<const double> sq_norms);
+               std::span<const double> sq_norms, RowFlavor flavor = RowFlavor::f64);
 
   /// Owning-kernel form for callers without a long-lived Kernel (model
   /// scoring): the engine constructs and owns the evaluator itself.
   KernelEngine(const KernelParams& params, const svmdata::CsrMatrix& X,
-               EngineBackend backend, std::span<const double> sq_norms);
+               EngineBackend backend, std::span<const double> sq_norms,
+               RowFlavor flavor = RowFlavor::f64);
 
   [[nodiscard]] EngineBackend backend() const noexcept { return backend_; }
+  [[nodiscard]] RowFlavor flavor() const noexcept { return flavor_; }
   [[nodiscard]] const Kernel& kernel() const noexcept { return kernel_; }
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
+  /// Resident bytes of the simd backend's flavored RowStore (0 otherwise).
+  [[nodiscard]] std::size_t store_bytes() const noexcept {
+    return store_ ? store_->bytes_resident() : 0;
+  }
+  /// Encoded bytes currently held by the Q-row cache (0 without one).
+  [[nodiscard]] std::size_t cache_bytes_resident() const noexcept {
+    return cache_ ? cache_->bytes_resident() : 0;
+  }
 
   /// ||X.row(i)||^2 for i in the engine's norm range.
   [[nodiscard]] double sq_norm(std::size_t i) const noexcept {
@@ -129,6 +167,17 @@ class KernelEngine {
   void eval_rows(std::span<const svmdata::Feature> query, double sq_query,
                  std::size_t begin, std::size_t end, std::span<double> out,
                  bool parallel = false);
+
+  /// Weighted kernel sum over every row in the engine's norm range:
+  ///   sum_j coeffs[j] * K(query, X.row(norm_begin + j)),  j ascending.
+  /// This is model scoring (coeffs = alpha_i * y_i over support vectors) as
+  /// one batched call. The scalar backends reproduce the historical
+  /// begin_query/query_row loop term by term; the simd backend sweeps the
+  /// RowStore panels and reduces in the same ascending-row order, so the
+  /// result is bit-identical across backends at flavor f64.
+  [[nodiscard]] double accumulate_rows(std::span<const svmdata::Feature> query,
+                                       double sq_query, std::span<const double> coeffs,
+                                       bool parallel = false);
 
   // --- multi-query block batch (reconstruction ring steps) -----------------
 
@@ -194,14 +243,36 @@ class KernelEngine {
   void fill_k_row(std::size_t i, std::size_t len, bool parallel, float* out);
   [[nodiscard]] std::uint64_t payload_bytes(std::span<const std::uint32_t> rows,
                                             std::size_t base) const noexcept;
+  void init_flavored(std::size_t cache_budget_bytes);
+  /// Decoded squared norm of store-local row (engine norms when f64 — the
+  /// two agree there, and the scalar parity paths compare against norms_).
+  [[nodiscard]] double store_sq(std::size_t local) const {
+    return flavor_ == RowFlavor::f64 ? norms_[local] : store_->sq_norm(local);
+  }
+  /// Densifies `row` into `buf` (resized to cols, zeros elsewhere); caller
+  /// must clear_query_vec afterwards. Returns the span panel eval reads.
+  void fill_query_vec(std::vector<double>& buf, std::span<const svmdata::Feature> row);
+  void clear_query_vec(std::vector<double>& buf, std::span<const svmdata::Feature> row);
+  void simd_pair_indexed(std::span<const std::uint32_t> rows, std::size_t base,
+                         double sq_up, double sq_low, std::span<double> out_up,
+                         std::span<double> out_low);
+  void simd_pair_range(std::size_t begin, std::size_t end, double sq_up, double sq_low,
+                       std::span<double> out_up, std::span<double> out_low, bool parallel);
+  void simd_single_range(std::size_t begin, std::size_t end, double sq_query,
+                         std::span<double> out, bool parallel);
 
   std::unique_ptr<Kernel> owned_kernel_;  ///< set only by the owning ctor
   const Kernel& kernel_;
   const svmdata::CsrMatrix& X_;
   EngineBackend backend_;
+  RowFlavor flavor_ = RowFlavor::f64;
   std::size_t norm_begin_ = 0;
   std::vector<double> owned_norms_;
   std::span<const double> norms_;
+
+  std::unique_ptr<RowStore> store_;  ///< simd backend's flavored panels
+  std::vector<double> qa_vec_;       ///< dense query buffers for the store
+  std::vector<double> qb_vec_;
 
   std::vector<double> dense_;        ///< scatter buffer, lanes * cols entries
   std::size_t dense_lanes_ = 0;      ///< 1 = single query, 2 = interleaved pair

@@ -1,0 +1,494 @@
+#include "kernel/simd.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define SVMSIMD_X86 1
+#else
+#define SVMSIMD_X86 0
+#endif
+
+namespace svmkernel::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Portable 8-wide fallback. One scalar accumulator per panel lane; the inner
+// 8-way loop is trivially auto-vectorizable at the baseline ISA but the
+// result is ISA-independent: per-lane sums are plain sequential mul+add over
+// ascending j. (Baseline x86-64 has no FMA instruction, and the AVX2 path
+// below deliberately uses separate mul/add intrinsics, so neither path ever
+// contracts a*b+c — the lane sums agree bitwise.)
+// ---------------------------------------------------------------------------
+
+template <typename Acc, typename Q, typename Row>
+inline void portable_dot(const Q* q, const Row* panel, std::size_t cols, Acc* out) {
+  Acc acc[kPanel] = {};
+  for (std::size_t j = 0; j < cols; ++j) {
+    const Acc qv = static_cast<Acc>(q[j]);
+    const Row* x = panel + j * kPanel;
+    for (std::size_t l = 0; l < kPanel; ++l) acc[l] += qv * static_cast<Acc>(x[l]);
+  }
+  for (std::size_t l = 0; l < kPanel; ++l) out[l] = acc[l];
+}
+
+template <typename Acc, typename Q, typename Row>
+inline void portable_dot2(const Q* qa, const Q* qb, const Row* panel, std::size_t cols,
+                          Acc* out_a, Acc* out_b) {
+  Acc acc_a[kPanel] = {};
+  Acc acc_b[kPanel] = {};
+  for (std::size_t j = 0; j < cols; ++j) {
+    const Acc va = static_cast<Acc>(qa[j]);
+    const Acc vb = static_cast<Acc>(qb[j]);
+    const Row* x = panel + j * kPanel;
+    for (std::size_t l = 0; l < kPanel; ++l) {
+      const Acc xv = static_cast<Acc>(x[l]);
+      acc_a[l] += va * xv;
+      acc_b[l] += vb * xv;
+    }
+  }
+  for (std::size_t l = 0; l < kPanel; ++l) {
+    out_a[l] = acc_a[l];
+    out_b[l] = acc_b[l];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduced-precision kernels (f32/f16/i8) use FOUR column-interleaved float
+// accumulator chains per lane: chain k gathers columns with j % 4 == k (tail
+// columns land on chain 0), combined at the end as (a0 + a1) + (a2 + a3).
+// One chain per lane would serialize on add latency for wide rows (~4 cycles
+// per column regardless of vector width); four chains pipeline it away. The
+// AVX2 kernels below replicate this exact association, so portable and AVX2
+// remain bitwise-identical per lane. The f64 kernels above deliberately keep
+// ONE strictly sequential chain — that order is what the scalar engine paths
+// compute, and f64 bit-identity with them is contractual.
+// ---------------------------------------------------------------------------
+
+// `decode` maps a stored element to the float the multiply sees: identity
+// for f32, exact int8 widening for i8, half_to_float for f16.
+template <typename Row, typename Decode>
+inline void portable_dot4(const float* q, const Row* panel, std::size_t cols, float* out,
+                          Decode decode) {
+  float acc[4][kPanel] = {};
+  std::size_t j = 0;
+  for (; j + 4 <= cols; j += 4) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      const float qv = q[j + k];
+      const Row* x = panel + (j + k) * kPanel;
+      for (std::size_t l = 0; l < kPanel; ++l) acc[k][l] += qv * decode(x[l]);
+    }
+  }
+  for (; j < cols; ++j) {
+    const float qv = q[j];
+    const Row* x = panel + j * kPanel;
+    for (std::size_t l = 0; l < kPanel; ++l) acc[0][l] += qv * decode(x[l]);
+  }
+  for (std::size_t l = 0; l < kPanel; ++l)
+    out[l] = (acc[0][l] + acc[1][l]) + (acc[2][l] + acc[3][l]);
+}
+
+template <typename Row, typename Decode>
+inline void portable_dot4_2(const float* qa, const float* qb, const Row* panel,
+                            std::size_t cols, float* out_a, float* out_b, Decode decode) {
+  float acc_a[4][kPanel] = {};
+  float acc_b[4][kPanel] = {};
+  std::size_t j = 0;
+  for (; j + 4 <= cols; j += 4) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      const float va = qa[j + k];
+      const float vb = qb[j + k];
+      const Row* x = panel + (j + k) * kPanel;
+      for (std::size_t l = 0; l < kPanel; ++l) {
+        const float xv = decode(x[l]);
+        acc_a[k][l] += va * xv;
+        acc_b[k][l] += vb * xv;
+      }
+    }
+  }
+  for (; j < cols; ++j) {
+    const float va = qa[j];
+    const float vb = qb[j];
+    const Row* x = panel + j * kPanel;
+    for (std::size_t l = 0; l < kPanel; ++l) {
+      const float xv = decode(x[l]);
+      acc_a[0][l] += va * xv;
+      acc_b[0][l] += vb * xv;
+    }
+  }
+  for (std::size_t l = 0; l < kPanel; ++l) {
+    out_a[l] = (acc_a[0][l] + acc_a[1][l]) + (acc_a[2][l] + acc_a[3][l]);
+    out_b[l] = (acc_b[0][l] + acc_b[1][l]) + (acc_b[2][l] + acc_b[3][l]);
+  }
+}
+
+inline float decode_f32(float v) { return v; }
+inline float decode_i8(std::int8_t v) { return static_cast<float>(v); }
+inline float decode_f16(std::uint16_t v) { return half_to_float(v); }
+
+void p_dot_f64(const double* q, const double* panel, std::size_t cols, double* out) {
+  portable_dot<double>(q, panel, cols, out);
+}
+void p_dot2_f64(const double* qa, const double* qb, const double* panel, std::size_t cols,
+                double* oa, double* ob) {
+  portable_dot2<double>(qa, qb, panel, cols, oa, ob);
+}
+void p_dot_f32(const float* q, const float* panel, std::size_t cols, float* out) {
+  portable_dot4(q, panel, cols, out, decode_f32);
+}
+void p_dot2_f32(const float* qa, const float* qb, const float* panel, std::size_t cols,
+                float* oa, float* ob) {
+  portable_dot4_2(qa, qb, panel, cols, oa, ob, decode_f32);
+}
+void p_dot_f16(const float* q, const std::uint16_t* panel, std::size_t cols, float* out) {
+  portable_dot4(q, panel, cols, out, decode_f16);
+}
+void p_dot2_f16(const float* qa, const float* qb, const std::uint16_t* panel,
+                std::size_t cols, float* oa, float* ob) {
+  portable_dot4_2(qa, qb, panel, cols, oa, ob, decode_f16);
+}
+void p_dot_i8(const float* q, const std::int8_t* panel, std::size_t cols, float* out) {
+  portable_dot4(q, panel, cols, out, decode_i8);
+}
+void p_dot2_i8(const float* qa, const float* qb, const std::int8_t* panel, std::size_t cols,
+               float* oa, float* ob) {
+  portable_dot4_2(qa, qb, panel, cols, oa, ob, decode_i8);
+}
+
+constexpr Ops kPortable = {
+    "portable8",     p_dot_f64, p_dot2_f64,        p_dot_f32, p_dot2_f32,
+    p_dot_f16, p_dot2_f16, p_dot_i8, p_dot2_i8,
+};
+
+#if SVMSIMD_X86
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels. Compiled with per-function target attributes so the rest of
+// the TU (and the whole build) stays at the baseline ISA; the dispatcher
+// only takes these branches after __builtin_cpu_supports says so.
+//
+// Each kernel does broadcast(q[j]) * panel_column(j) with SEPARATE
+// _mm256_mul_* and _mm256_add_* — never fmadd — so every lane reproduces
+// the portable path's mul-then-round-then-add-then-round sequence exactly.
+// f64 keeps one sequential chain per lane (two registers, lane-split) to
+// match the scalar engines bit-for-bit; f32/f16/i8 use the same four
+// column-interleaved chains as portable_dot4 above.
+// ---------------------------------------------------------------------------
+
+[[gnu::target("avx2")]]
+void avx2_dot_f64(const double* q, const double* panel, std::size_t cols, double* out) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  for (std::size_t j = 0; j < cols; ++j) {
+    const __m256d qv = _mm256_set1_pd(q[j]);
+    const double* x = panel + j * kPanel;
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(qv, _mm256_loadu_pd(x)));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(qv, _mm256_loadu_pd(x + 4)));
+  }
+  _mm256_storeu_pd(out, acc0);
+  _mm256_storeu_pd(out + 4, acc1);
+}
+
+[[gnu::target("avx2")]]
+void avx2_dot2_f64(const double* qa, const double* qb, const double* panel, std::size_t cols,
+                   double* out_a, double* out_b) {
+  __m256d a0 = _mm256_setzero_pd();
+  __m256d a1 = _mm256_setzero_pd();
+  __m256d b0 = _mm256_setzero_pd();
+  __m256d b1 = _mm256_setzero_pd();
+  for (std::size_t j = 0; j < cols; ++j) {
+    const __m256d va = _mm256_set1_pd(qa[j]);
+    const __m256d vb = _mm256_set1_pd(qb[j]);
+    const double* x = panel + j * kPanel;
+    const __m256d x0 = _mm256_loadu_pd(x);
+    const __m256d x1 = _mm256_loadu_pd(x + 4);
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(va, x0));
+    a1 = _mm256_add_pd(a1, _mm256_mul_pd(va, x1));
+    b0 = _mm256_add_pd(b0, _mm256_mul_pd(vb, x0));
+    b1 = _mm256_add_pd(b1, _mm256_mul_pd(vb, x1));
+  }
+  _mm256_storeu_pd(out_a, a0);
+  _mm256_storeu_pd(out_a + 4, a1);
+  _mm256_storeu_pd(out_b, b0);
+  _mm256_storeu_pd(out_b + 4, b1);
+}
+
+[[gnu::target("avx2")]]
+void avx2_dot_f32(const float* q, const float* panel, std::size_t cols, float* out) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 4 <= cols; j += 4) {
+    const float* x = panel + j * kPanel;
+    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(q[j]), _mm256_loadu_ps(x)));
+    acc1 = _mm256_add_ps(acc1,
+                         _mm256_mul_ps(_mm256_set1_ps(q[j + 1]), _mm256_loadu_ps(x + kPanel)));
+    acc2 = _mm256_add_ps(
+        acc2, _mm256_mul_ps(_mm256_set1_ps(q[j + 2]), _mm256_loadu_ps(x + 2 * kPanel)));
+    acc3 = _mm256_add_ps(
+        acc3, _mm256_mul_ps(_mm256_set1_ps(q[j + 3]), _mm256_loadu_ps(x + 3 * kPanel)));
+  }
+  for (; j < cols; ++j) {
+    acc0 = _mm256_add_ps(
+        acc0, _mm256_mul_ps(_mm256_set1_ps(q[j]), _mm256_loadu_ps(panel + j * kPanel)));
+  }
+  _mm256_storeu_ps(out, _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)));
+}
+
+[[gnu::target("avx2")]]
+void avx2_dot2_f32(const float* qa, const float* qb, const float* panel, std::size_t cols,
+                   float* out_a, float* out_b) {
+  __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+  __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+  __m256 b0 = _mm256_setzero_ps(), b1 = _mm256_setzero_ps();
+  __m256 b2 = _mm256_setzero_ps(), b3 = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 4 <= cols; j += 4) {
+    const float* p = panel + j * kPanel;
+    const __m256 x0 = _mm256_loadu_ps(p);
+    const __m256 x1 = _mm256_loadu_ps(p + kPanel);
+    const __m256 x2 = _mm256_loadu_ps(p + 2 * kPanel);
+    const __m256 x3 = _mm256_loadu_ps(p + 3 * kPanel);
+    a0 = _mm256_add_ps(a0, _mm256_mul_ps(_mm256_set1_ps(qa[j]), x0));
+    a1 = _mm256_add_ps(a1, _mm256_mul_ps(_mm256_set1_ps(qa[j + 1]), x1));
+    a2 = _mm256_add_ps(a2, _mm256_mul_ps(_mm256_set1_ps(qa[j + 2]), x2));
+    a3 = _mm256_add_ps(a3, _mm256_mul_ps(_mm256_set1_ps(qa[j + 3]), x3));
+    b0 = _mm256_add_ps(b0, _mm256_mul_ps(_mm256_set1_ps(qb[j]), x0));
+    b1 = _mm256_add_ps(b1, _mm256_mul_ps(_mm256_set1_ps(qb[j + 1]), x1));
+    b2 = _mm256_add_ps(b2, _mm256_mul_ps(_mm256_set1_ps(qb[j + 2]), x2));
+    b3 = _mm256_add_ps(b3, _mm256_mul_ps(_mm256_set1_ps(qb[j + 3]), x3));
+  }
+  for (; j < cols; ++j) {
+    const __m256 x = _mm256_loadu_ps(panel + j * kPanel);
+    a0 = _mm256_add_ps(a0, _mm256_mul_ps(_mm256_set1_ps(qa[j]), x));
+    b0 = _mm256_add_ps(b0, _mm256_mul_ps(_mm256_set1_ps(qb[j]), x));
+  }
+  _mm256_storeu_ps(out_a, _mm256_add_ps(_mm256_add_ps(a0, a1), _mm256_add_ps(a2, a3)));
+  _mm256_storeu_ps(out_b, _mm256_add_ps(_mm256_add_ps(b0, b1), _mm256_add_ps(b2, b3)));
+}
+
+[[gnu::target("avx2,f16c")]]
+inline __m256 load_f16_column(const std::uint16_t* x) {
+  return _mm256_cvtph_ps(_mm_loadu_si128(reinterpret_cast<const __m128i*>(x)));
+}
+
+[[gnu::target("avx2,f16c")]]
+void avx2_dot_f16(const float* q, const std::uint16_t* panel, std::size_t cols, float* out) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 4 <= cols; j += 4) {
+    const std::uint16_t* x = panel + j * kPanel;
+    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(q[j]), load_f16_column(x)));
+    acc1 = _mm256_add_ps(acc1,
+                         _mm256_mul_ps(_mm256_set1_ps(q[j + 1]), load_f16_column(x + kPanel)));
+    acc2 = _mm256_add_ps(
+        acc2, _mm256_mul_ps(_mm256_set1_ps(q[j + 2]), load_f16_column(x + 2 * kPanel)));
+    acc3 = _mm256_add_ps(
+        acc3, _mm256_mul_ps(_mm256_set1_ps(q[j + 3]), load_f16_column(x + 3 * kPanel)));
+  }
+  for (; j < cols; ++j) {
+    acc0 = _mm256_add_ps(
+        acc0, _mm256_mul_ps(_mm256_set1_ps(q[j]), load_f16_column(panel + j * kPanel)));
+  }
+  _mm256_storeu_ps(out, _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)));
+}
+
+[[gnu::target("avx2,f16c")]]
+void avx2_dot2_f16(const float* qa, const float* qb, const std::uint16_t* panel,
+                   std::size_t cols, float* out_a, float* out_b) {
+  __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+  __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+  __m256 b0 = _mm256_setzero_ps(), b1 = _mm256_setzero_ps();
+  __m256 b2 = _mm256_setzero_ps(), b3 = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 4 <= cols; j += 4) {
+    const std::uint16_t* p = panel + j * kPanel;
+    const __m256 x0 = load_f16_column(p);
+    const __m256 x1 = load_f16_column(p + kPanel);
+    const __m256 x2 = load_f16_column(p + 2 * kPanel);
+    const __m256 x3 = load_f16_column(p + 3 * kPanel);
+    a0 = _mm256_add_ps(a0, _mm256_mul_ps(_mm256_set1_ps(qa[j]), x0));
+    a1 = _mm256_add_ps(a1, _mm256_mul_ps(_mm256_set1_ps(qa[j + 1]), x1));
+    a2 = _mm256_add_ps(a2, _mm256_mul_ps(_mm256_set1_ps(qa[j + 2]), x2));
+    a3 = _mm256_add_ps(a3, _mm256_mul_ps(_mm256_set1_ps(qa[j + 3]), x3));
+    b0 = _mm256_add_ps(b0, _mm256_mul_ps(_mm256_set1_ps(qb[j]), x0));
+    b1 = _mm256_add_ps(b1, _mm256_mul_ps(_mm256_set1_ps(qb[j + 1]), x1));
+    b2 = _mm256_add_ps(b2, _mm256_mul_ps(_mm256_set1_ps(qb[j + 2]), x2));
+    b3 = _mm256_add_ps(b3, _mm256_mul_ps(_mm256_set1_ps(qb[j + 3]), x3));
+  }
+  for (; j < cols; ++j) {
+    const __m256 x = load_f16_column(panel + j * kPanel);
+    a0 = _mm256_add_ps(a0, _mm256_mul_ps(_mm256_set1_ps(qa[j]), x));
+    b0 = _mm256_add_ps(b0, _mm256_mul_ps(_mm256_set1_ps(qb[j]), x));
+  }
+  _mm256_storeu_ps(out_a, _mm256_add_ps(_mm256_add_ps(a0, a1), _mm256_add_ps(a2, a3)));
+  _mm256_storeu_ps(out_b, _mm256_add_ps(_mm256_add_ps(b0, b1), _mm256_add_ps(b2, b3)));
+}
+
+[[gnu::target("avx2")]]
+inline __m256 load_i8_column(const std::int8_t* x) {
+  // 8 bytes -> sign-extended epi32 -> ps. int8 -> float is exact.
+  const __m128i raw = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(x));
+  return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+}
+
+[[gnu::target("avx2")]]
+void avx2_dot_i8(const float* q, const std::int8_t* panel, std::size_t cols, float* out) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 4 <= cols; j += 4) {
+    const std::int8_t* x = panel + j * kPanel;
+    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(q[j]), load_i8_column(x)));
+    acc1 = _mm256_add_ps(acc1,
+                         _mm256_mul_ps(_mm256_set1_ps(q[j + 1]), load_i8_column(x + kPanel)));
+    acc2 = _mm256_add_ps(
+        acc2, _mm256_mul_ps(_mm256_set1_ps(q[j + 2]), load_i8_column(x + 2 * kPanel)));
+    acc3 = _mm256_add_ps(
+        acc3, _mm256_mul_ps(_mm256_set1_ps(q[j + 3]), load_i8_column(x + 3 * kPanel)));
+  }
+  for (; j < cols; ++j) {
+    acc0 = _mm256_add_ps(
+        acc0, _mm256_mul_ps(_mm256_set1_ps(q[j]), load_i8_column(panel + j * kPanel)));
+  }
+  _mm256_storeu_ps(out, _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)));
+}
+
+[[gnu::target("avx2")]]
+void avx2_dot2_i8(const float* qa, const float* qb, const std::int8_t* panel, std::size_t cols,
+                  float* out_a, float* out_b) {
+  __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+  __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+  __m256 b0 = _mm256_setzero_ps(), b1 = _mm256_setzero_ps();
+  __m256 b2 = _mm256_setzero_ps(), b3 = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 4 <= cols; j += 4) {
+    const std::int8_t* p = panel + j * kPanel;
+    const __m256 x0 = load_i8_column(p);
+    const __m256 x1 = load_i8_column(p + kPanel);
+    const __m256 x2 = load_i8_column(p + 2 * kPanel);
+    const __m256 x3 = load_i8_column(p + 3 * kPanel);
+    a0 = _mm256_add_ps(a0, _mm256_mul_ps(_mm256_set1_ps(qa[j]), x0));
+    a1 = _mm256_add_ps(a1, _mm256_mul_ps(_mm256_set1_ps(qa[j + 1]), x1));
+    a2 = _mm256_add_ps(a2, _mm256_mul_ps(_mm256_set1_ps(qa[j + 2]), x2));
+    a3 = _mm256_add_ps(a3, _mm256_mul_ps(_mm256_set1_ps(qa[j + 3]), x3));
+    b0 = _mm256_add_ps(b0, _mm256_mul_ps(_mm256_set1_ps(qb[j]), x0));
+    b1 = _mm256_add_ps(b1, _mm256_mul_ps(_mm256_set1_ps(qb[j + 1]), x1));
+    b2 = _mm256_add_ps(b2, _mm256_mul_ps(_mm256_set1_ps(qb[j + 2]), x2));
+    b3 = _mm256_add_ps(b3, _mm256_mul_ps(_mm256_set1_ps(qb[j + 3]), x3));
+  }
+  for (; j < cols; ++j) {
+    const __m256 x = load_i8_column(panel + j * kPanel);
+    a0 = _mm256_add_ps(a0, _mm256_mul_ps(_mm256_set1_ps(qa[j]), x));
+    b0 = _mm256_add_ps(b0, _mm256_mul_ps(_mm256_set1_ps(qb[j]), x));
+  }
+  _mm256_storeu_ps(out_a, _mm256_add_ps(_mm256_add_ps(a0, a1), _mm256_add_ps(a2, a3)));
+  _mm256_storeu_ps(out_b, _mm256_add_ps(_mm256_add_ps(b0, b1), _mm256_add_ps(b2, b3)));
+}
+
+constexpr Ops kAvx2 = {
+    "avx2",       avx2_dot_f64, avx2_dot2_f64, avx2_dot_f32, avx2_dot2_f32,
+    avx2_dot_f16, avx2_dot2_f16, avx2_dot_i8,  avx2_dot2_i8,
+};
+
+bool detect_avx2() noexcept {
+  // F16C predates AVX2 on every x86 core but check both to be safe.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("f16c");
+}
+
+#else
+
+bool detect_avx2() noexcept { return false; }
+
+#endif  // SVMSIMD_X86
+
+std::atomic<bool> g_force_portable{false};
+
+}  // namespace
+
+bool avx2_available() noexcept {
+  static const bool available = detect_avx2();
+  return available;
+}
+
+void set_force_portable(bool force) noexcept {
+  g_force_portable.store(force, std::memory_order_relaxed);
+}
+
+const Ops& portable_ops() noexcept { return kPortable; }
+
+const Ops& ops() noexcept {
+#if SVMSIMD_X86
+  if (avx2_available() && !g_force_portable.load(std::memory_order_relaxed)) return kAvx2;
+#endif
+  return kPortable;
+}
+
+// ---------------------------------------------------------------------------
+// binary16 <-> binary32, round-to-nearest-even.
+// ---------------------------------------------------------------------------
+
+std::uint16_t float_to_half(float value) noexcept {
+  std::uint32_t f;
+  std::memcpy(&f, &value, sizeof(f));
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::uint32_t exp = (f >> 23) & 0xffu;
+  std::uint32_t mant = f & 0x007fffffu;
+  if (exp == 0xffu) {  // inf / NaN (keep NaN-ness with a quiet payload bit)
+    return static_cast<std::uint16_t>(sign | 0x7c00u | (mant != 0 ? 0x0200u : 0u));
+  }
+  if (exp > 142u) return static_cast<std::uint16_t>(sign | 0x7c00u);  // overflow -> inf
+  if (exp < 103u) return static_cast<std::uint16_t>(sign);            // < 2^-24 -> +/-0
+  if (exp <= 112u) {
+    // Half subnormal: value = mant' * 2^-24 with mant' = (mant|1<<23) >> (126-exp).
+    mant |= 0x00800000u;
+    const std::uint32_t shift = 126u - exp;  // 14..23
+    const std::uint32_t lsb = 1u << shift;
+    const std::uint32_t bias = (lsb >> 1) - 1u + ((mant >> shift) & 1u);  // RNE
+    return static_cast<std::uint16_t>(sign | ((mant + bias) >> shift));
+  }
+  // Normal: drop 13 mantissa bits with RNE; carry may roll into the exponent
+  // (and on to the inf encoding), which the packed add handles for free.
+  std::uint32_t h = ((exp - 112u) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ++h;
+  return static_cast<std::uint16_t>(sign | h);
+}
+
+float half_to_float(std::uint16_t half) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(half & 0x8000u) << 16;
+  const std::uint32_t exp = (half >> 10) & 0x1fu;
+  std::uint32_t mant = half & 0x3ffu;
+  std::uint32_t f;
+  if (exp == 0u) {
+    if (mant == 0u) {
+      f = sign;  // +/-0
+    } else {
+      // Normalize the subnormal: shift until the implicit bit appears.
+      std::uint32_t e = 0;
+      while (!(mant & 0x400u)) {
+        mant <<= 1;
+        ++e;
+      }
+      mant &= 0x3ffu;
+      f = sign | ((113u - e) << 23) | (mant << 13);
+    }
+  } else if (exp == 0x1fu) {
+    f = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+  } else {
+    f = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  float out;
+  std::memcpy(&out, &f, sizeof(out));
+  return out;
+}
+
+}  // namespace svmkernel::simd

@@ -1,0 +1,70 @@
+// Runtime-dispatched SIMD panel kernels for the RowStore dense row flavors.
+//
+// Layout contract: a *panel* is kPanel (=8) matrix rows stored interleaved,
+// column-major within the panel — element (row r, column j) of panel `p`
+// lives at panel_base[j * kPanel + r]. Every kernel computes, for one dense
+// query q (length `cols`), the eight dot products
+//
+//   out[r] = sum_{j=0}^{cols-1} q[j] * panel[j*8 + r]      (r = 0..7)
+//
+// with ONE sequential accumulator per lane, j ascending. That accumulation
+// order is the whole point: lane r's sum is exactly the scalar loop
+// `for j: acc += q[j] * x_r[j]`, so the f64 kernels are BIT-IDENTICAL to the
+// KernelEngine dense-scatter pass (and therefore to the reference sparse
+// merge join — see kernel_engine.hpp for the signed-zero identity argument).
+// SIMD parallelism is across the eight rows of the panel, never inside a
+// single dot, and both implementations use separate multiply and add (no
+// FMA contraction), so the AVX2 and portable paths produce the same bits
+// for every flavor.
+//
+// The dot2 variants evaluate two queries against the panel in one traversal
+// (the fused up/low gamma-update shape).
+//
+// Dispatch: ops() returns the AVX2 implementation when the CPU supports it
+// (checked once), else the portable 8-wide unrolled fallback. Tests compare
+// the two tables directly; set_force_portable() lets benches measure both.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace svmkernel::simd {
+
+inline constexpr std::size_t kPanel = 8;
+
+struct Ops {
+  const char* name;  ///< "avx2" or "portable8"
+  void (*dot_f64)(const double* q, const double* panel, std::size_t cols, double* out);
+  void (*dot2_f64)(const double* qa, const double* qb, const double* panel, std::size_t cols,
+                   double* out_a, double* out_b);
+  void (*dot_f32)(const float* q, const float* panel, std::size_t cols, float* out);
+  void (*dot2_f32)(const float* qa, const float* qb, const float* panel, std::size_t cols,
+                   float* out_a, float* out_b);
+  void (*dot_f16)(const float* q, const std::uint16_t* panel, std::size_t cols, float* out);
+  void (*dot2_f16)(const float* qa, const float* qb, const std::uint16_t* panel,
+                   std::size_t cols, float* out_a, float* out_b);
+  void (*dot_i8)(const float* q, const std::int8_t* panel, std::size_t cols, float* out);
+  void (*dot2_i8)(const float* qa, const float* qb, const std::int8_t* panel, std::size_t cols,
+                  float* out_a, float* out_b);
+};
+
+/// Best implementation for this machine (AVX2+F16C when available).
+[[nodiscard]] const Ops& ops() noexcept;
+
+/// The portable 8-wide unrolled fallback, always available.
+[[nodiscard]] const Ops& portable_ops() noexcept;
+
+[[nodiscard]] bool avx2_available() noexcept;
+
+/// Forces ops() to return the portable table (benches A/B the two paths).
+void set_force_portable(bool force) noexcept;
+
+// --- IEEE 754 binary16 conversions (round-to-nearest-even) ----------------
+// The software encode/decode here and the F16C vcvtph2ps used by the AVX2
+// kernels implement the same rounding, so stored f16 rows decode to the same
+// floats on both paths.
+
+[[nodiscard]] std::uint16_t float_to_half(float value) noexcept;
+[[nodiscard]] float half_to_float(std::uint16_t half) noexcept;
+
+}  // namespace svmkernel::simd

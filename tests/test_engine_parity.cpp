@@ -1,9 +1,10 @@
 // Whole-solve backend parity: a solve with engine_backend = dense_scatter
-// must produce a BIT-IDENTICAL model to engine_backend = reference — same
-// iteration count, same beta, same support vectors, same coefficients, on
-// zoo datasets, for the sequential and the distributed solver, with and
-// without shrinking, and through a checkpoint/restart chaos run. The backend
-// is a performance knob, never a results knob.
+// or simd (vectorized RowStore panels at f64) must produce a BIT-IDENTICAL
+// model to engine_backend = reference — same iteration count, same beta,
+// same support vectors, same coefficients, on zoo datasets, for the
+// sequential and the distributed solver, with and without shrinking, and
+// through a checkpoint/restart chaos run. The backend is a performance
+// knob, never a results knob.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -71,12 +72,17 @@ TEST_P(ModelParityP, DenseScatterModelBitIdenticalToReference) {
       svmcore::train(train, params_for(entry, EngineBackend::reference), options);
   const TrainResult fused =
       svmcore::train(train, params_for(entry, EngineBackend::dense_scatter), options);
+  const TrainResult simd =
+      svmcore::train(train, params_for(entry, EngineBackend::simd), options);
 
   ASSERT_TRUE(ref.converged) << c.dataset;
   expect_bit_identical(fused, ref);
-  // Work accounting matches too: the fused path reports one evaluation per
-  // produced kernel value, exactly like the reference merge join.
+  expect_bit_identical(simd, ref);
+  // Work accounting matches too: the fused and simd paths report one
+  // evaluation per produced kernel value, exactly like the reference merge
+  // join.
   EXPECT_EQ(fused.total_kernel_evaluations, ref.total_kernel_evaluations);
+  EXPECT_EQ(simd.total_kernel_evaluations, ref.total_kernel_evaluations);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -99,19 +105,25 @@ TEST(EngineParity, SequentialAlphasBitIdenticalAcrossBackends) {
       svmcore::solve_sequential(train, params_for(entry, EngineBackend::reference));
   const auto fused =
       svmcore::solve_sequential(train, params_for(entry, EngineBackend::dense_scatter));
+  const auto simd = svmcore::solve_sequential(train, params_for(entry, EngineBackend::simd));
 
   ASSERT_TRUE(ref.stats.converged);
   EXPECT_EQ(fused.stats.iterations, ref.stats.iterations);
   EXPECT_EQ(fused.beta, ref.beta);
+  EXPECT_EQ(simd.stats.iterations, ref.stats.iterations);
+  EXPECT_EQ(simd.beta, ref.beta);
   ASSERT_EQ(fused.alpha.size(), ref.alpha.size());
-  for (std::size_t i = 0; i < ref.alpha.size(); ++i)
+  ASSERT_EQ(simd.alpha.size(), ref.alpha.size());
+  for (std::size_t i = 0; i < ref.alpha.size(); ++i) {
     EXPECT_EQ(fused.alpha[i], ref.alpha[i]) << "alpha " << i;
+    EXPECT_EQ(simd.alpha[i], ref.alpha[i]) << "alpha " << i;
+  }
 }
 
 TEST(EngineParity, CheckpointRestartPreservesBackendParity) {
-  // The strongest form of the guarantee: a dense_scatter run that crashes
-  // mid-solve and restarts from a checkpoint must still land bit-identical
-  // to a fault-free REFERENCE-backend run.
+  // The strongest form of the guarantee: a dense_scatter (resp. simd) run
+  // that crashes mid-solve and restarts from a checkpoint must still land
+  // bit-identical to a fault-free REFERENCE-backend run.
   const ZooEntry& entry = svmdata::zoo_entry("mushrooms");
   const Dataset train = svmdata::make_train(entry, 0.4);
 
@@ -123,32 +135,36 @@ TEST(EngineParity, CheckpointRestartPreservesBackendParity) {
       svmcore::train(train, params_for(entry, EngineBackend::reference), options);
   ASSERT_TRUE(baseline.converged);
 
-  // Probe a fault-free run's op count so the crash lands mid-solve.
-  svmmpi::FaultInjector probe{svmmpi::FaultPlan{}};
-  const SolverParams fused_params = params_for(entry, EngineBackend::dense_scatter);
-  const DistributedConfig config{fused_params, options.heuristic, options.permanent_shrink,
-                                 options.openmp_gamma, options.trace_active_interval};
-  svmmpi::run_spmd(
-      options.num_ranks,
-      [&](svmmpi::Comm& comm) {
-        DistributedSolver solver(comm, train, config);
-        (void)solver.solve();
-      },
-      options.net_model, nullptr, &probe);
-  const std::uint64_t total_ops = probe.ops(1);
-  ASSERT_GT(total_ops, 100u);
+  for (const EngineBackend backend : {EngineBackend::dense_scatter, EngineBackend::simd}) {
+    SCOPED_TRACE(svmkernel::to_string(backend));
 
-  RecoveryOptions recovery;
-  recovery.fault_plan = svmmpi::FaultPlan{}.crash(1, total_ops / 2);
-  recovery.checkpoint_interval = 32;
-  RecoveryReport report;
-  const TrainResult recovered =
-      svmcore::train_with_recovery(train, fused_params, options, recovery, &report);
+    // Probe a fault-free run's op count so the crash lands mid-solve.
+    svmmpi::FaultInjector probe{svmmpi::FaultPlan{}};
+    const SolverParams fast_params = params_for(entry, backend);
+    const DistributedConfig config{fast_params, options.heuristic, options.permanent_shrink,
+                                   options.openmp_gamma, options.trace_active_interval};
+    svmmpi::run_spmd(
+        options.num_ranks,
+        [&](svmmpi::Comm& comm) {
+          DistributedSolver solver(comm, train, config);
+          (void)solver.solve();
+        },
+        options.net_model, nullptr, &probe);
+    const std::uint64_t total_ops = probe.ops(1);
+    ASSERT_GT(total_ops, 100u);
 
-  EXPECT_EQ(report.restarts, 1);
-  EXPECT_GT(report.checkpoints_saved, 0u);
-  EXPECT_TRUE(recovered.converged);
-  expect_bit_identical(recovered, baseline);
+    RecoveryOptions recovery;
+    recovery.fault_plan = svmmpi::FaultPlan{}.crash(1, total_ops / 2);
+    recovery.checkpoint_interval = 32;
+    RecoveryReport report;
+    const TrainResult recovered =
+        svmcore::train_with_recovery(train, fast_params, options, recovery, &report);
+
+    EXPECT_EQ(report.restarts, 1);
+    EXPECT_GT(report.checkpoints_saved, 0u);
+    EXPECT_TRUE(recovered.converged);
+    expect_bit_identical(recovered, baseline);
+  }
 }
 
 TEST(EngineParity, PredictionsAgreeAcrossBackends) {
@@ -164,13 +180,17 @@ TEST(EngineParity, PredictionsAgreeAcrossBackends) {
   ASSERT_TRUE(model.converged);
 
   // Engine-backed scoring (distributed predict path) vs the stateless
-  // per-sample evaluation: identical decisions.
+  // per-sample evaluation: identical decisions, including the simd RowStore
+  // path at f64.
   auto ref_engine = model.model.make_engine(EngineBackend::reference);
   auto fused_engine = model.model.make_engine(EngineBackend::dense_scatter);
+  auto simd_engine = model.model.make_engine(EngineBackend::simd);
   for (std::size_t i = 0; i < test.size(); ++i) {
     const double a = model.model.decision_value(test.X.row(i), ref_engine);
     const double b = model.model.decision_value(test.X.row(i), fused_engine);
+    const double c = model.model.decision_value(test.X.row(i), simd_engine);
     EXPECT_EQ(a, b) << "sample " << i;
+    EXPECT_EQ(a, c) << "sample " << i;
   }
 }
 

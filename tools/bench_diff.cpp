@@ -2,12 +2,16 @@
 // candidate). Walks both trees in lockstep, pairing array elements by index
 // and object members by key, and compares every numeric leaf:
 //
+//   - rate keys (*per_s*, *per_sec*, *throughput*, *speedup*) are matched
+//     first and are "higher is better" — before the *_s time suffix, so
+//     pairs_per_s is not mistaken for a duration;
 //   - metrics whose key signals "lower is better" (times: *_s, *_seconds,
 //     wall/latency/makespan/overhead; losses: *lost, *rejected, *restarts,
-//     *requeues, *timeouts, *mismatch*) regress when the candidate rises
-//     more than --tolerance (relative, against max(|base|, floor));
-//   - metrics whose key signals "higher is better" (*speedup*, *completed*,
-//     *accuracy*, *throughput*, *match*) regress when it falls;
+//     *requeues, *timeouts, *mismatch*, *disagreement*) regress when the
+//     candidate rises more than --tolerance (relative, against
+//     max(|base|, floor));
+//   - metrics whose key signals "higher is better" (*completed*,
+//     *accuracy*, *match*) regress when it falls;
 //   - booleans regress when true flips to false (quality predicates like
 //     matches_fault_free);
 //   - everything else (counts, ids, shapes) is reported when it drifts but
@@ -55,12 +59,16 @@ enum class Direction { lower_better, higher_better, neutral };
   std::string p;
   p.reserve(path.size());
   for (const char c : path) p += static_cast<char>(std::tolower(c));
+  // Rates must win before the generic "_s" time suffix: "pairs_per_s" and
+  // "evals_per_s_throughput" are higher-is-better despite ending in _s.
+  for (const char* k : {"per_s", "per_sec", "throughput", "speedup"})
+    if (contains(p, k)) return Direction::higher_better;
   for (const char* k : {"_s", "seconds", "wall", "latency", "makespan", "overhead", "queue_wait"})
     if (contains(p, k)) return Direction::lower_better;
   for (const char* k : {"lost", "rejected", "restart", "requeue", "timeout", "mismatch", "delta",
-                        "replayed"})
+                        "replayed", "disagreement"})
     if (contains(p, k)) return Direction::lower_better;
-  for (const char* k : {"speedup", "completed", "accuracy", "throughput", "match", "converged"})
+  for (const char* k : {"completed", "accuracy", "match", "converged"})
     if (contains(p, k)) return Direction::higher_better;
   return Direction::neutral;
 }
