@@ -10,6 +10,7 @@
 #   scripts/check.sh --obs      # only the observability end-to-end checks
 #   scripts/check.sh --sched    # only the multi-tenant scheduler checks
 #   scripts/check.sh --simd     # only the SIMD/precision flavor checks
+#   scripts/check.sh --serve    # only the prediction-serving checks
 #
 # The ASan pass rebuilds the kernel-layer tests under -DSVM_SANITIZE=address
 # in a separate build tree (build-asan/) and runs the binaries directly; it
@@ -31,6 +32,16 @@
 # on, validates the per-job spans and the run report, and gates the emitted
 # BENCH_scheduler.json against itself with tools/bench_diff (a self-diff
 # must report zero regressions; a perturbed copy must be caught).
+#
+# The serve pass rebuilds the serving suite under TSan and runs the
+# `serve`-labelled tests (frontend batcher, client threads and the worker
+# ranks all rendezvous on the request queue, the mailbox deadline waits and
+# the failure registry — the exact cross-thread surface a race would corrupt
+# silently), then runs bench_serving --quick --assert (admission shedding
+# bounded at 2x saturation, zero failed responses and bit-identical answers
+# across a mid-run rank death) with tracing on, validates the serve spans and
+# the run report, and gates the committed BENCH_serving.json with
+# tools/bench_diff (self-diff quiet, perturbed copy caught).
 #
 # The simd pass rebuilds the RowStore/engine-parity suites under UBSan with
 # float-cast-overflow checking (build-ubsan/) — the f16 codec and the int8
@@ -56,9 +67,11 @@ run_perf=true
 run_obs=true
 run_sched=true
 run_simd=true
+run_serve=true
 only() {  # only <step>: disable every step except the named one
   run_tier1=false; run_asan=false; run_tsan=false
   run_perf=false; run_obs=false; run_sched=false; run_simd=false
+  run_serve=false
   eval "run_$1=true"
 }
 case "${1:-}" in
@@ -69,8 +82,9 @@ case "${1:-}" in
   --obs) only obs ;;
   --sched) only sched ;;
   --simd) only simd ;;
+  --serve) only serve ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--tier1|--asan|--tsan|--perf|--obs|--sched|--simd]" >&2; exit 2 ;;
+  *) echo "usage: scripts/check.sh [--tier1|--asan|--tsan|--perf|--obs|--sched|--simd|--serve]" >&2; exit 2 ;;
 esac
 
 if $run_tier1; then
@@ -157,6 +171,38 @@ if $run_sched; then
   fi
 fi
 
+if $run_serve; then
+  echo "=== serve: TSan serving suite + bench artifact gate ==="
+  cmake -B build-tsan -S . -DSVM_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target test_serving
+  (cd build-tsan && ctest -L serve --output-on-failure -j "$(nproc)")
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target bench_serving bench_diff trace_validate
+  serve_dir=$(mktemp -d)
+  trap 'rm -rf "${obs_dir:-}" "${sched_dir:-}" "${simd_dir:-}" "${serve_dir:-}"' EXIT
+  # --assert enforces the degradation contract: p99 under deadline with zero
+  # shedding at 0.7x saturation, bounded-queue shedding with bounded
+  # accepted-p99 at 2x, and a mid-run rank death answered with zero failures
+  # and decisions bit-identical to the fault-free run. The low-fault regime
+  # carries the trace/metrics artifacts. Runs in a scratch dir so the
+  # committed BENCH_serving.json is not overwritten.
+  (cd "$serve_dir" && "$OLDPWD"/build/bench/bench_serving --quick --assert \
+    --trace-out "$serve_dir/trace.json" --metrics-out "$serve_dir/metrics.json")
+  ./build/tools/trace_validate "$serve_dir/trace.json" \
+    --require-span serve_batch,serve_eval
+  ./build/tools/trace_validate --metrics "$serve_dir/metrics.json"
+  # The committed artifact must be gate-clean against itself and the gate
+  # must still be loud on a perturbed copy (requests_lost is lower-better).
+  ./build/tools/bench_diff BENCH_serving.json BENCH_serving.json
+  sed 's/"requests_lost": 0/"requests_lost": 9/' BENCH_serving.json \
+    > "$serve_dir/BENCH_regressed.json"
+  if ./build/tools/bench_diff BENCH_serving.json \
+      "$serve_dir/BENCH_regressed.json" > /dev/null; then
+    echo "bench_diff failed to flag an injected regression in BENCH_serving.json" >&2
+    exit 1
+  fi
+fi
+
 if $run_simd; then
   echo "=== simd: precision/parity suites under UBSan + flavor gates ==="
   cmake -B build-ubsan -S . -DSVM_SANITIZE=undefined,float-cast-overflow >/dev/null
@@ -168,7 +214,7 @@ if $run_simd; then
   cmake -B build -S . >/dev/null
   cmake --build build -j --target bench_precision bench_engine_backends bench_diff
   simd_dir=$(mktemp -d)
-  trap 'rm -rf "${obs_dir:-}" "${sched_dir:-}" "${simd_dir:-}"' EXIT
+  trap 'rm -rf "${obs_dir:-}" "${sched_dir:-}" "${serve_dir:-}" "${simd_dir:-}"' EXIT
   # --assert: simd f64 must stay bitwise-equal to the scalar engines, the
   # reduced flavors must hold their disagreement gates, and simd f32 must
   # clear 1.5x single-core kernel-eval throughput over scalar double. Runs

@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "data/split.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
 
 namespace svmcore {
 
@@ -141,22 +143,28 @@ std::string CheckpointStore::file_path(int rank, std::uint64_t epoch) const {
 }
 
 bool CheckpointStore::read_validated(const std::string& path, std::vector<std::byte>& out) {
+  // A skip is an operational event, not a programming error: route it
+  // through the leveled logger (so services can silence or capture it) and
+  // count it, so recovery drivers and the obs layer can alert on corrupt
+  // spills instead of grepping stderr.
+  const auto skip = [&](const char* why, const char* detail) {
+    ++corrupt_skipped_;
+    SVM_LOG_WARN << "CheckpointStore: skipping " << why << " checkpoint " << path
+                 << (detail[0] != '\0' ? " (" : "") << detail << (detail[0] != '\0' ? ")" : "");
+    svmobs::trace_counter("ckpt_skipped_files", static_cast<double>(corrupt_skipped_));
+    return false;
+  };
   std::error_code ec;
   const auto size = std::filesystem::file_size(path, ec);
-  if (ec) return false;
+  if (ec) return skip("unreadable", ec.message().c_str());
   std::ifstream in(path, std::ios::binary);
   std::vector<std::byte> bytes(static_cast<std::size_t>(size));
   in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
-  if (!in) {
-    std::fprintf(stderr, "CheckpointStore: skipping unreadable checkpoint %s\n", path.c_str());
-    return false;
-  }
+  if (!in) return skip("unreadable", "");
   try {
     (void)RankCheckpoint::deserialize(bytes);
   } catch (const std::exception& error) {
-    std::fprintf(stderr, "CheckpointStore: skipping corrupt checkpoint %s (%s)\n", path.c_str(),
-                 error.what());
-    return false;
+    return skip("corrupt", error.what());
   }
   out = std::move(bytes);
   return true;

@@ -80,10 +80,15 @@ class CheckpointStore {
                            bool buddy_replication = true);
 
   /// Reloads a file-backed store's contents from `directory`. A truncated or
-  /// corrupt checkpoint file (failed validation) is skipped with a warning on
-  /// stderr rather than poisoning the store — the restart then falls back to
-  /// an older epoch or a fresh start.
+  /// corrupt checkpoint file (failed validation) is skipped — logged through
+  /// svmutil at warn level and counted (corrupt_skipped(), plus the
+  /// `ckpt_skipped_files` trace counter track) rather than poisoning the
+  /// store — the restart then falls back to an older epoch or a fresh start.
   [[nodiscard]] static CheckpointStore open(int num_ranks, const std::string& directory);
+
+  /// Spilled checkpoint files skipped by open() because they were truncated,
+  /// corrupt or unreadable; recovery drivers surface this in their reports.
+  [[nodiscard]] std::uint64_t corrupt_skipped() const noexcept { return corrupt_skipped_; }
 
   /// Saves rank `rank`'s checkpoint for `epoch`, pruning epochs older than
   /// the previous one (two epochs per rank are retained — enough to cover
@@ -123,9 +128,9 @@ class CheckpointStore {
   CheckpointStore(int num_ranks, std::string directory, LoadFromDisk);
 
   [[nodiscard]] std::string file_path(int rank, std::uint64_t epoch) const;
-  /// Reads and validates one spilled checkpoint file; false (with a stderr
-  /// warning) on a truncated/corrupt/unreadable file.
-  [[nodiscard]] static bool read_validated(const std::string& path, std::vector<std::byte>& out);
+  /// Reads and validates one spilled checkpoint file; false (logged at warn
+  /// level and counted) on a truncated/corrupt/unreadable file.
+  [[nodiscard]] bool read_validated(const std::string& path, std::vector<std::byte>& out);
 
   int num_ranks_;
   std::string directory_;  ///< empty = in-memory only
@@ -137,6 +142,7 @@ class CheckpointStore {
   std::vector<std::map<std::uint64_t, std::vector<std::byte>>> buddy_replicas_;
   std::optional<std::uint64_t> restore_epoch_;
   std::uint64_t saves_ = 0;
+  std::uint64_t corrupt_skipped_ = 0;  ///< open()-time skips; see corrupt_skipped()
 };
 
 /// Elastic-shrink state migration: finds the newest epoch for which EVERY

@@ -343,6 +343,43 @@ void KernelEngine::eval_block_rows(
     return;
   }
 
+  if (backend_ == EngineBackend::simd) {
+    // Panel orientation: the stale side already lives in the RowStore, so
+    // each circulating block row becomes the prepared query and the store is
+    // swept a panel at a time (dots cached while consecutive stale indices
+    // stay in one panel). The serial ascending-j accumulation through the
+    // partials buffer matches the scalar orientations' order, so f64 stays
+    // bit-identical; `parallel` is ignored — the ordered reduction and the
+    // lane amortization both want the serial sweep.
+    (void)parallel;
+    constexpr std::size_t kP = RowStore::kPanel;
+    block_partials_.assign(stale, 0.0);
+    double d[kP];
+    for (std::size_t j = 0; j < block; ++j) {
+      fill_query_vec(qa_vec_, block_rows[j]);
+      store_->prepare_query(qa_vec_);
+      const double coeff = block_coeffs[j];
+      const double sq_block = block_sq_norms[j];
+      std::size_t cur = std::numeric_limits<std::size_t>::max();
+      for (std::size_t w = 0; w < stale; ++w) {
+        const std::size_t local = base + rows[w] - norm_begin_;
+        const std::size_t p = local / kP;
+        if (p != cur) {
+          store_->panel_dots(p, d);
+          stats_.panel_dots += 1;
+          cur = p;
+        }
+        block_partials_[w] +=
+            coeff * kernel_.finish_from_dot(d[local % kP], sq_block, store_sq(local));
+      }
+      clear_query_vec(qa_vec_, block_rows[j]);
+    }
+    for (std::size_t w = 0; w < stale; ++w) accum[w] += block_partials_[w];
+    stats_.bytes_streamed += stale * block * store_->row_bytes();
+    kernel_.note_evaluations(stale * block);
+    return;
+  }
+
   ensure_dense(1);
   // Adaptive orientation: scatter whichever side is smaller. Ties go to the
   // block side, whose orientation parallelizes the (per-element independent)
@@ -428,6 +465,19 @@ void KernelEngine::eval_block_rows(
     }
   }
   kernel_.note_evaluations(stale * block);
+}
+
+void KernelEngine::eval_block_rows(std::span<const std::span<const svmdata::Feature>> queries,
+                                   std::span<const double> query_sq_norms,
+                                   std::span<const double> coeffs, std::span<double> out,
+                                   bool parallel) {
+  svmobs::TraceSpan span("engine_predict_batch", "kernel");
+  // Each query is exactly one accumulate_rows scope (bit-identical by
+  // construction); batching here buys the serving batcher one engine call
+  // per micro-batch and, under simd, one store sweep per query instead of a
+  // per-support-vector scatter loop.
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    out[q] = accumulate_rows(queries[q], query_sq_norms[q], coeffs, parallel);
 }
 
 void KernelEngine::begin_query(std::span<const svmdata::Feature> query, double sq_query) {

@@ -47,9 +47,12 @@
 // horizontal reduction, never an FMA — see simd.hpp), which is the dense
 // pass above with the sides swapped, and the dot funnels through the same
 // finish_from_dot. Streaming entry points whose rows are not in the store
-// (begin_query/query_row, eval_block_rows, k_row_floats fills) fall back to
-// the scalar dense-scatter code under the simd backend — bit-identical for
-// f64 by the argument above.
+// (begin_query/query_row, k_row_floats fills) fall back to the scalar
+// dense-scatter code under the simd backend — bit-identical for f64 by the
+// argument above. The batched multi-query paths (eval_block_rows in both
+// forms, accumulate_rows) DO run on the RowStore panels under simd: each
+// external row becomes the prepared query and the resident side is swept a
+// panel at a time, with ordered reductions preserving f64 bit-identity.
 //
 // Thread safety: an engine is mutable per-call state (scatter buffers,
 // counters) — use one engine per rank / per thread. The `parallel` flags
@@ -203,6 +206,20 @@ class KernelEngine {
                        std::span<const double> block_coeffs,
                        std::span<const std::uint32_t> rows, std::size_t base,
                        std::span<double> accum, bool parallel = false);
+
+  /// Serving micro-batch form: score every query against the engine's whole
+  /// norm range in one call,
+  ///   out[q] = sum_j coeffs[j] * K(queries[q], X.row(norm_begin + j))
+  /// with the j-sum in ascending order — each out[q] is bitwise equal to
+  /// accumulate_rows(queries[q], ...) on the same engine, across backends at
+  /// flavor f64. Under the simd backend the resident rows are swept through
+  /// the RowStore panels per query (flavored batch predict: an f32/f16/i8
+  /// store serves degraded-precision batches from the same call shape).
+  /// `query_sq_norms[q]` is ||queries[q]||^2.
+  void eval_block_rows(std::span<const std::span<const svmdata::Feature>> queries,
+                       std::span<const double> query_sq_norms,
+                       std::span<const double> coeffs, std::span<double> out,
+                       bool parallel = false);
 
   // --- streaming one-query scope -----------------------------------------
   // begin_query scatters (or, for the reference backend, remembers) the

@@ -119,6 +119,38 @@ Message Comm::recv_message(int source, int tag) {
   return m;
 }
 
+bool Comm::recv_bytes_deadline(std::vector<std::byte>& out, int source, int tag,
+                               double deadline_s) {
+  if (source < 0 || source >= size())
+    throw std::out_of_range("svmmpi: recv_deadline needs a specific in-range source");
+  svmobs::TraceSpan span("recv_deadline", "net");
+  check_cancelled();
+  (void)faulted_op(FaultSite::recv);
+  // Specific-source interrupt only: the awaited peer dying wakes the wait and
+  // converts to RankLost; unrelated deaths leave the wait (and its deadline)
+  // undisturbed, which is what lets the frontend keep polling a healthy
+  // replica after its sibling was killed.
+  const auto interrupt = [this, source] {
+    if (world_->context_cancelled(context_id_)) return true;
+    return world_->is_failed((*group_)[source]);
+  };
+  Message m;
+  try {
+    if (!world_->mailbox((*group_)[rank_]).pop_for(context_id_, source, tag, deadline_s,
+                                                   interrupt, m))
+      return false;
+  } catch (const RendezvousInterrupted&) {
+    check_cancelled();
+    throw_rank_lost();
+  }
+  TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
+  ++s.recvs;
+  s.bytes_received += m.payload.size();
+  s.modeled_seconds += world_->model().pt2pt(m.payload.size());
+  out = std::move(m.payload);
+  return true;
+}
+
 std::vector<std::byte> Comm::recv_bytes(int source, int tag, int* actual_source) {
   Message m = recv_message(source, tag);
   if (actual_source != nullptr) *actual_source = m.source;

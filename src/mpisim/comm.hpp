@@ -146,6 +146,22 @@ class Comm {
     return v[0];
   }
 
+  /// Deadline-bounded receive from a specific source: waits at most
+  /// `deadline_s` seconds and returns false on expiry instead of throwing —
+  /// a miss is an expected outcome on the serving engine's retry/hedge path,
+  /// so there is no grace poll and no TimeoutError. Still throws RankLost if
+  /// the awaited source is (or becomes) dead while waiting, and
+  /// ContextCancelled if this comm's context is cancelled. `source` must name
+  /// a specific rank (kAnySource is refused: after any member death the
+  /// wildcard interrupt would fire on every wait).
+  template <typename T>
+  [[nodiscard]] bool recv_deadline(std::vector<T>& out, int source, int tag, double deadline_s) {
+    std::vector<std::byte> bytes;
+    if (!recv_bytes_deadline(bytes, source, tag, deadline_s)) return false;
+    out = detail::from_bytes<T>(bytes);
+    return true;
+  }
+
   /// Buffered eager send: the Request is complete on return.
   template <typename T>
   [[nodiscard]] Request isend(std::span<const T> data, int destination, int tag = 0) {
@@ -366,6 +382,9 @@ class Comm {
   void recv_bytes_into(std::vector<std::byte>& out, int source, int tag, int* actual_source);
   /// Shared receive core: validated, fault-checked, interrupt-aware pop.
   [[nodiscard]] Message recv_message(int source, int tag);
+  /// Deadline-bounded receive core behind recv_deadline<T>.
+  [[nodiscard]] bool recv_bytes_deadline(std::vector<std::byte>& out, int source, int tag,
+                                         double deadline_s);
   /// `label` names the collective on the trace timeline (string literal).
   [[nodiscard]] std::vector<std::byte> collective(std::vector<std::byte> contribution,
                                                   const CollectiveContext::Combine& combine,

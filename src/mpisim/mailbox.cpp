@@ -1,5 +1,6 @@
 #include "mpisim/mailbox.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "mpisim/fault.hpp"
@@ -54,6 +55,30 @@ Message Mailbox::pop(int context, int source, int tag, const std::function<bool(
   Message result = std::move(queue_[index]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
   return result;
+}
+
+bool Mailbox::pop_for(int context, int source, int tag, double deadline_s,
+                      const std::function<bool()>& interrupt, Message& out) {
+  std::unique_lock lock(mutex_);
+  std::size_t index = 0;
+  bool interrupted = false;
+  // Same precedence as pop(): a queued matching message beats an interrupt —
+  // the peer's message was delivered before it died.
+  const auto ready = [&] {
+    if (aborted_ || find_match_locked(context, source, tag, index)) return true;
+    interrupted = interrupt && interrupt();
+    return interrupted;
+  };
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(std::max(deadline_s, 0.0)));
+  if (!available_.wait_until(lock, deadline, ready)) return false;
+  if (aborted_) throw WorldAborted{};
+  if (interrupted && !find_match_locked(context, source, tag, index))
+    throw RendezvousInterrupted{};
+  out = std::move(queue_[index]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  return true;
 }
 
 bool Mailbox::try_pop(int context, int source, int tag, Message& out) {

@@ -66,6 +66,16 @@ class Mailbox {
   /// Non-blocking variant; returns false if no matching message is queued.
   [[nodiscard]] bool try_pop(int context, int source, int tag, Message& out);
 
+  /// Deadline-bounded pop: waits at most `deadline_s` seconds for a matching
+  /// message and returns false on expiry instead of throwing TimeoutError —
+  /// a deadline miss here is an expected outcome (the serving engine's
+  /// per-request timeout / hedged-dispatch path), not a hang diagnosis, so it
+  /// ignores the mailbox-wide timeout_s. WorldAborted and the interrupt
+  /// mechanics behave exactly like pop(). `deadline_s` <= 0 degenerates to
+  /// try_pop with interrupt checking.
+  [[nodiscard]] bool pop_for(int context, int source, int tag, double deadline_s,
+                             const std::function<bool()>& interrupt, Message& out);
+
   /// Wakes all waiters; subsequent/pending blocking pops throw WorldAborted.
   void abort();
 

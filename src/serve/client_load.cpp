@@ -1,0 +1,36 @@
+#include "serve/client_load.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace svmserve {
+
+std::vector<double> poisson_arrivals(std::size_t n, double qps, std::uint64_t seed) {
+  std::vector<double> arrivals(n, 0.0);
+  if (qps <= 0.0) return arrivals;
+  // mt19937_64 + exponential_distribution: both are pinned by the standard's
+  // algorithm for integer outputs and by libstdc++'s for the exponential
+  // transform, and the schedule only needs to be reproducible within one
+  // build anyway (a run is always compared against a run of the same
+  // binary).
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  std::exponential_distribution<double> gap(qps);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += gap(rng);
+    arrivals[i] = t;
+  }
+  return arrivals;
+}
+
+std::vector<std::uint32_t> assign_query_rows(std::size_t n, std::size_t num_rows,
+                                             std::uint64_t seed) {
+  if (num_rows == 0) throw std::invalid_argument("assign_query_rows: empty query matrix");
+  std::mt19937_64 rng(seed * 0x2545f4914f6cdd1dULL + 7);
+  std::uniform_int_distribution<std::uint32_t> pick(0, static_cast<std::uint32_t>(num_rows - 1));
+  std::vector<std::uint32_t> rows(n);
+  for (std::uint32_t& r : rows) r = pick(rng);
+  return rows;
+}
+
+}  // namespace svmserve

@@ -1,0 +1,42 @@
+// Synthetic client load for the serving engine: deterministic (seeded)
+// open-loop Poisson arrival schedules — the offered-QPS axis of a saturation
+// curve, where clients do NOT slow down when the service backs up — and
+// closed-loop client populations (each client waits for its response, then
+// thinks), which self-throttle at the service's capacity and are what the
+// saturation-measurement pass uses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace svmserve {
+
+enum class ArrivalMode : std::uint8_t {
+  open_poisson,  ///< arrivals fire on a precomputed Poisson schedule
+  closed_loop,   ///< `clients` concurrent callers, submit -> wait -> think
+};
+
+struct LoadSpec {
+  ArrivalMode mode = ArrivalMode::open_poisson;
+  std::size_t requests = 256;  ///< total requests across the run
+  double offered_qps = 500.0;  ///< open-loop arrival rate
+  int clients = 4;             ///< closed-loop concurrent callers
+  double think_s = 0.0;        ///< closed-loop pause between a response and
+                               ///< the client's next request
+  std::uint64_t seed = 1;      ///< keys both arrivals and query-row choice
+};
+
+/// Ascending arrival offsets (seconds from service start) of an open-loop
+/// Poisson process at `qps`: exponential inter-arrival gaps, deterministic in
+/// `seed`. qps <= 0 yields an all-zero schedule (fire immediately).
+[[nodiscard]] std::vector<double> poisson_arrivals(std::size_t n, double qps, std::uint64_t seed);
+
+/// Deterministic query-row assignment: request i scores row result[i] of the
+/// query matrix (uniform over [0, num_rows)). Fixing this per seed is what
+/// makes a faulted run answer the exact same questions as a fault-free run —
+/// the bit-identity gate compares decision values request by request.
+[[nodiscard]] std::vector<std::uint32_t> assign_query_rows(std::size_t n, std::size_t num_rows,
+                                                           std::uint64_t seed);
+
+}  // namespace svmserve

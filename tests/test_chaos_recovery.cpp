@@ -382,6 +382,7 @@ TEST(CheckpointStoreTest, TruncatedDiskCheckpointIsSkippedNotFatal) {
   // open() must skip the bad file (with a warning) instead of throwing the
   // whole store away; the restart falls back to the older complete epoch.
   CheckpointStore reopened = CheckpointStore::open(2, dir.string());
+  EXPECT_EQ(reopened.corrupt_skipped(), 1u);
   const auto epoch = reopened.begin_restart();
   ASSERT_TRUE(epoch.has_value());
   EXPECT_EQ(*epoch, 64u);

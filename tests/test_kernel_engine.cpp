@@ -333,6 +333,68 @@ TEST(KernelEngineTest, StatsCountBatchedWork) {
   EXPECT_EQ(engine.kernel().evaluations(), 12u);
 }
 
+TEST(KernelEngineTest, BlockRowsSimdPanelBitIdenticalToReference) {
+  // The simd backend's eval_block_rows panel branch must land on exactly the
+  // same bits as the reference merge-join: same finish_from_dot funnel, same
+  // ascending accumulation order, f64 resident rows.
+  svmdata::synthetic::BlobsParams bp;
+  bp.n = 37;  // not a multiple of the panel width: exercises the tail panel
+  bp.d = 12;
+  bp.seed = 9;
+  const Dataset data = svmdata::synthetic::gaussian_blobs(bp);
+  const CsrMatrix& X = data.X;
+  const std::vector<double> sq = X.row_squared_norms();
+
+  for (const KernelType type : {KernelType::rbf, KernelType::linear}) {
+    SCOPED_TRACE(to_string(type));
+    const Kernel kernel(params_for(type));
+    KernelEngine ref(kernel, X, EngineBackend::reference);
+    KernelEngine simd(kernel, X, EngineBackend::simd, 0, RowFlavor::f64);
+
+    const std::vector<std::span<const Feature>> block{X.row(0), X.row(5), X.row(11)};
+    const std::vector<double> block_sq{sq[0], sq[5], sq[11]};
+    const std::vector<double> block_coeffs{0.75, -1.25, 0.5};
+    std::vector<std::uint32_t> rows(X.rows());
+    std::iota(rows.begin(), rows.end(), 0u);
+
+    std::vector<double> expect(X.rows(), 0.25), got(X.rows(), 0.25);
+    ref.eval_block_rows(block, block_sq, block_coeffs, rows, 0, expect);
+    simd.eval_block_rows(block, block_sq, block_coeffs, rows, 0, got);
+    for (std::size_t w = 0; w < rows.size(); ++w) EXPECT_EQ(got[w], expect[w]) << "row " << w;
+  }
+}
+
+TEST(KernelEngineTest, BatchPredictMatchesAccumulateRowsAcrossBackends) {
+  // Serving micro-batch form: out[q] must be bitwise what a per-query
+  // accumulate_rows returns, on every backend.
+  svmdata::synthetic::BlobsParams bp;
+  bp.n = 24;
+  bp.d = 10;
+  bp.seed = 4;
+  const Dataset data = svmdata::synthetic::gaussian_blobs(bp);
+  const CsrMatrix& X = data.X;
+  const std::vector<double> sq = X.row_squared_norms();
+  std::vector<double> coeffs(X.rows());
+  for (std::size_t j = 0; j < coeffs.size(); ++j)
+    coeffs[j] = (j % 2 == 0 ? 1.0 : -1.0) * (0.25 + 0.01 * static_cast<double>(j));
+
+  const Kernel kernel(params_for(KernelType::rbf));
+  KernelEngine ref(kernel, X, EngineBackend::reference);
+  const std::vector<std::span<const Feature>> queries{X.row(1), X.row(7), X.row(23), X.row(7)};
+  const std::vector<double> query_sq{sq[1], sq[7], sq[23], sq[7]};
+
+  for (const EngineBackend backend :
+       {EngineBackend::reference, EngineBackend::dense_scatter, EngineBackend::simd}) {
+    SCOPED_TRACE(to_string(backend));
+    KernelEngine engine(kernel, X, backend);
+    std::vector<double> out(queries.size());
+    engine.eval_block_rows(queries, query_sq, coeffs, out);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(out[q], ref.accumulate_rows(queries[q], query_sq[q], coeffs)) << "query " << q;
+    }
+  }
+}
+
 TEST(KernelEngineTest, BackendNamesRoundTrip) {
   for (const EngineBackend b :
        {EngineBackend::reference, EngineBackend::dense_scatter, EngineBackend::cached})
