@@ -86,11 +86,11 @@ void write_json(const std::vector<PolicyRow>& rows, bool shrink_fewer, const cha
 }  // namespace
 
 int main(int argc, char** argv) {
-  const svmutil::CliFlags flags(
-      argc, argv, {"seeds", "ranks", "scale", "interval", "drops", "delays", "quick!"});
+  const auto [flags, args] =
+      svmbench::parse_args_with(argc, argv, {"seeds", "interval", "drops", "delays"});
   const int seeds = static_cast<int>(flags.get_int("seeds", 5));
-  const int ranks = static_cast<int>(flags.get_int("ranks", 4));
-  const double scale = flags.get_double("scale", flags.get_bool("quick") ? 0.5 : 1.0);
+  const int ranks = args.ranks.empty() ? 4 : args.ranks.front();
+  const double scale = flags.get_double("scale", args.quick ? 0.5 : 1.0);
   const std::uint64_t interval = static_cast<std::uint64_t>(flags.get_int("interval", 64));
   const int drops = static_cast<int>(flags.get_int("drops", 2));
   const int delays = static_cast<int>(flags.get_int("delays", 3));

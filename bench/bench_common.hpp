@@ -43,10 +43,35 @@ struct BenchArgs {
   std::string engine_flavor = "f64";
 };
 
-inline BenchArgs parse_args(int argc, char** argv) {
-  const svmutil::CliFlags flags(
-      argc, argv,
-      svmutil::with_engine_flags(svmutil::with_obs_flags({"scale", "ranks", "quick!", "eps"})));
+inline std::vector<int> parse_rank_list(const std::string& list) {
+  std::vector<int> ranks;
+  std::size_t at = 0;
+  while (at < list.size()) {
+    const std::size_t comma = list.find(',', at);
+    ranks.push_back(std::stoi(list.substr(at, comma - at)));
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return ranks;
+}
+
+/// Parsed flags + the standard BenchArgs. Benches with extra flags (repeats,
+/// seeds, --assert, ...) read them from `flags`; everything standard —
+/// obs paths, engine selection, scale/ranks/quick/eps — is already applied
+/// and filled into `args`.
+struct ParsedArgs {
+  svmutil::CliFlags flags;
+  BenchArgs args;
+};
+
+/// One-call flag wiring shared by every bench: appends the standard obs +
+/// engine flags (and scale/ranks/quick/eps) to the bench's own flag list,
+/// parses argv, applies --log-level, and fills BenchArgs. This is the single
+/// copy of the with_engine_flags(with_obs_flags(...)) boilerplate.
+inline ParsedArgs parse_args_with(int argc, char** argv, std::vector<std::string> extra) {
+  extra.insert(extra.end(), {"scale", "ranks", "quick!", "eps"});
+  svmutil::CliFlags flags(argc, argv,
+                          svmutil::with_engine_flags(svmutil::with_obs_flags(std::move(extra))));
   const svmutil::ObsPaths obs = svmutil::apply_obs_flags(flags);
   const svmutil::EngineChoice engine = svmutil::apply_engine_flags(flags);
   BenchArgs args;
@@ -57,18 +82,13 @@ inline BenchArgs parse_args(int argc, char** argv) {
   args.metrics_out = obs.metrics_out;
   args.engine_backend = engine.backend;
   args.engine_flavor = engine.flavor;
-  if (flags.has("ranks")) {
-    const std::string list = flags.get("ranks", "");
-    std::size_t at = 0;
-    while (at < list.size()) {
-      const std::size_t comma = list.find(',', at);
-      args.ranks.push_back(std::stoi(list.substr(at, comma - at)));
-      if (comma == std::string::npos) break;
-      at = comma + 1;
-    }
-  }
+  if (flags.has("ranks")) args.ranks = parse_rank_list(flags.get("ranks", ""));
   if (args.quick) args.scale *= 0.25;
-  return args;
+  return ParsedArgs{std::move(flags), std::move(args)};
+}
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  return parse_args_with(argc, argv, {}).args;
 }
 
 inline void print_banner(const std::string& artifact, const std::string& paper_summary) {

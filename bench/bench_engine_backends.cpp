@@ -168,12 +168,7 @@ void write_json(const std::vector<DatasetReport>& reports, const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const svmutil::CliFlags flags(argc, argv, {"scale", "quick!", "eps", "repeats"});
-  svmbench::BenchArgs args;
-  args.scale = flags.get_double("scale", 1.0);
-  args.quick = flags.get_bool("quick");
-  args.eps = flags.get_double("eps", 1e-3);
-  if (args.quick) args.scale *= 0.25;
+  const auto [flags, args] = svmbench::parse_args_with(argc, argv, {"repeats"});
   const int repeats = static_cast<int>(flags.get_double("repeats", args.quick ? 20 : 100));
 
   svmbench::print_banner(

@@ -163,23 +163,7 @@ void write_json(const std::vector<PipelineReport>& reports, const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const svmutil::CliFlags flags(argc, argv,
-                                {"scale", "ranks", "quick!", "eps", "repeats", "assert!"});
-  svmbench::BenchArgs args;
-  args.scale = flags.get_double("scale", 1.0);
-  args.quick = flags.get_bool("quick");
-  args.eps = flags.get_double("eps", 1e-3);
-  if (flags.has("ranks")) {
-    const std::string list = flags.get("ranks", "");
-    std::size_t at = 0;
-    while (at < list.size()) {
-      const std::size_t comma = list.find(',', at);
-      args.ranks.push_back(std::stoi(list.substr(at, comma - at)));
-      if (comma == std::string::npos) break;
-      at = comma + 1;
-    }
-  }
-  if (args.quick) args.scale *= 0.25;
+  const auto [flags, args] = svmbench::parse_args_with(argc, argv, {"repeats", "assert!"});
   const int repeats = static_cast<int>(flags.get_double("repeats", args.quick ? 3 : 5));
   const bool assert_pipeline = flags.get_bool("assert");
 

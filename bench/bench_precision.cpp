@@ -247,11 +247,13 @@ double gate_for(const std::string& flavor) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const svmutil::CliFlags flags(argc, argv, {"scale", "quick!", "assert!", "eps", "repeats"});
-  const bool quick = flags.get_bool("quick");
+  const auto [flags, args] = svmbench::parse_args_with(argc, argv, {"assert!", "repeats"});
+  const bool quick = args.quick;
   const bool do_assert = flags.get_bool("assert");
+  // This bench's workloads are throughput probes: smaller than the figure
+  // benches' defaults, and extra-small under --quick.
   const double scale = flags.get_double("scale", 1.0) * (quick ? 0.1 : 0.25);
-  const double eps = flags.get_double("eps", 1e-3);
+  const double eps = args.eps;
   const int repeats = static_cast<int>(flags.get_double("repeats", quick ? 20 : 100));
 
   svmbench::print_banner(

@@ -74,10 +74,9 @@ void write_json(const std::vector<RegimeRow>& rows, int pool, std::size_t jobs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const svmutil::CliFlags flags(
-      argc, argv, svmutil::with_obs_flags({"pool", "ranks-per-job", "scale", "quick!"}));
-  const svmutil::ObsPaths obs = svmutil::apply_obs_flags(flags);
-  const bool quick = flags.get_bool("quick");
+  const auto [flags, args] = svmbench::parse_args_with(argc, argv, {"pool", "ranks-per-job"});
+  const svmutil::ObsPaths obs{args.trace_out, args.metrics_out};
+  const bool quick = args.quick;
   const double scale = flags.get_double("scale", quick ? 0.5 : 1.0);
   const int pool = static_cast<int>(flags.get_int("pool", 8));
   const int ranks_per_job = static_cast<int>(flags.get_int("ranks-per-job", 2));

@@ -13,7 +13,10 @@
 //     stays under the deadline (graceful, never unbounded, degradation);
 //   - the low-fault regime answers every request (zero failed) with decision
 //     values bit-identical to the fault-free run — replica failover changes
-//     who answered, never the answer.
+//     who answered, never the answer;
+//   - with degrade_enabled, the same 2x overload engages precision shedding
+//     (degraded batches answered from the f32 store) and each query class
+//     keeps >= 99% sign agreement with the exact model.
 //
 // Usage: bench_serving [--quick] [--assert] [--requests=N] [--scale=S]
 //                      [--trace-out=T] [--metrics-out=M]
@@ -40,8 +43,18 @@ struct RegimeRow {
   svmserve::ServeReport report;
 };
 
+/// Precision-shedding regime: the 2x-overload run with degrade_enabled plus
+/// the per-query-class sign-agreement measurement against the exact model.
+struct DegradedRow {
+  svmserve::ServeReport report;
+  std::uint64_t degraded_requests = 0;
+  double agreement_pos = 0.0;  ///< +1-class sign agreement vs exact f64
+  double agreement_neg = 0.0;  ///< -1-class sign agreement vs exact f64
+};
+
 void write_json(const std::vector<CurveRow>& curve, const std::vector<RegimeRow>& regimes,
-                double saturation_qps, const svmserve::ServeOptions& opt, const char* path) {
+                const DegradedRow& degraded, double saturation_qps,
+                const svmserve::ServeOptions& opt, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -103,7 +116,24 @@ void write_json(const std::vector<CurveRow>& curve, const std::vector<RegimeRow>
                  r.latency_p99_s, regimes[i].bit_identical ? 1 : 0,
                  i + 1 < regimes.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  const svmserve::ServeReport& d = degraded.report;
+  std::fprintf(f,
+               "  ],\n  \"degraded\": {\n"
+               "    \"saturation_fraction\": 2.0,\n"
+               "    \"degraded_batches\": %llu,\n"
+               "    \"degraded_requests\": %llu,\n"
+               "    \"completed\": %llu,\n"
+               "    \"requests_lost\": %llu,\n"
+               "    \"max_queue_depth\": %zu,\n"
+               "    \"latency_p99_s\": %.6f,\n"
+               "    \"agreement_pos\": %.6f,\n"
+               "    \"agreement_neg\": %.6f\n"
+               "  }\n}\n",
+               static_cast<unsigned long long>(d.degraded_batches),
+               static_cast<unsigned long long>(degraded.degraded_requests),
+               static_cast<unsigned long long>(d.completed),
+               static_cast<unsigned long long>(d.failed), d.max_queue_depth, d.latency_p99_s,
+               degraded.agreement_pos, degraded.agreement_neg);
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -117,10 +147,9 @@ bool all_terminal(const svmserve::ServeReport& report) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const svmutil::CliFlags flags(
-      argc, argv, svmutil::with_obs_flags({"requests", "scale", "quick!", "assert!"}));
-  const svmutil::ObsPaths obs = svmutil::apply_obs_flags(flags);
-  const bool quick = flags.get_bool("quick");
+  const auto [flags, args] = svmbench::parse_args_with(argc, argv, {"requests", "assert!"});
+  const svmutil::ObsPaths obs{args.trace_out, args.metrics_out};
+  const bool quick = args.quick;
   const bool strict = flags.get_bool("assert");
   const double scale = flags.get_double("scale", quick ? 0.5 : 1.0);
   const std::size_t requests = static_cast<std::size_t>(
@@ -315,7 +344,68 @@ int main(int argc, char** argv) {
   std::printf("\nlow-fault regime: %llu failed response(s), answers %s\n",
               static_cast<unsigned long long>(low.report.failed),
               low.bit_identical ? "bit-identical to the fault-free run" : "DIVERGED");
-  write_json(curve, rows, saturation_qps, opt, "BENCH_serving.json");
+
+  // --- degraded regime (precision shedding) ---------------------------------
+  // The same 2x-overload open-loop offer with degrade_enabled: batches formed
+  // while the queue sits past degrade_queue_frac of capacity are scored by
+  // the reduced-precision (f32) engine instead of being shed outright. The
+  // regime must actually exercise the dark path, keep the overload latency
+  // contract, and hold per-query-class sign agreement with the exact model:
+  // shedding precision may dither near-zero margins, never flip a class's
+  // answers wholesale.
+  svmserve::ServeOptions degrade_opt = opt;
+  degrade_opt.degrade_enabled = true;
+  svmserve::LoadSpec degrade_load;
+  degrade_load.mode = svmserve::ArrivalMode::open_poisson;
+  degrade_load.requests = requests;
+  degrade_load.offered_qps = 2.0 * saturation_qps;
+  degrade_load.seed = 24;
+  const svmserve::ServeReport deg =
+      svmserve::run_serving(model, queries, degrade_load, degrade_opt);
+
+  DegradedRow degraded;
+  std::size_t class_total[2] = {0, 0};
+  std::size_t class_match[2] = {0, 0};
+  for (const svmserve::RequestRecord& rec : deg.requests) {
+    if (rec.status != svmserve::RequestStatus::completed) continue;
+    if (rec.degraded) ++degraded.degraded_requests;
+    const std::size_t cls = query_data.y[rec.query_row] > 0 ? 0 : 1;
+    const double exact = model.decision_value(queries.row(rec.query_row));
+    ++class_total[cls];
+    if ((rec.decision >= 0.0) == (exact >= 0.0)) ++class_match[cls];
+  }
+  degraded.agreement_pos =
+      class_total[0] > 0 ? static_cast<double>(class_match[0]) / class_total[0] : 0.0;
+  degraded.agreement_neg =
+      class_total[1] > 0 ? static_cast<double>(class_match[1]) / class_total[1] : 0.0;
+
+  gate(all_terminal(deg), "degraded regime left no request pending");
+  gate(deg.max_queue_depth <= degrade_opt.queue_capacity,
+       "degraded regime: queue high-water mark within bound");
+  gate(deg.degraded_batches > 0, "precision shedding engaged at 2x overload");
+  gate(deg.latency_p99_s < degrade_opt.deadline_s, "degraded regime: accepted-p99 under deadline");
+  gate(class_total[0] > 0 && class_total[1] > 0,
+       "degraded regime measured both query classes");
+  gate(degraded.agreement_pos >= 0.99,
+       "degraded regime: +1-class sign agreement >= 99% vs exact model");
+  gate(degraded.agreement_neg >= 0.99,
+       "degraded regime: -1-class sign agreement >= 99% vs exact model");
+
+  svmutil::TextTable degrade_table({"x sat", "done", "degraded batches", "degraded reqs",
+                                    "p99 ms", "+1 agree %", "-1 agree %"});
+  degrade_table.add_row(
+      {svmutil::TextTable::num(2.0, 1),
+       svmutil::TextTable::integer(static_cast<long long>(deg.completed)),
+       svmutil::TextTable::integer(static_cast<long long>(deg.degraded_batches)),
+       svmutil::TextTable::integer(static_cast<long long>(degraded.degraded_requests)),
+       svmutil::TextTable::num(deg.latency_p99_s * 1e3, 2),
+       svmutil::TextTable::num(degraded.agreement_pos * 100.0, 2),
+       svmutil::TextTable::num(degraded.agreement_neg * 100.0, 2)});
+  std::printf("\ndegraded regime (precision shedding at 2x saturation):\n");
+  degrade_table.print();
+  degraded.report = deg;
+
+  write_json(curve, rows, degraded, saturation_qps, opt, "BENCH_serving.json");
   if (!strict && !ok) std::printf("(advisory gates failed; rerun with --assert to enforce)\n");
   return strict && !ok ? 1 : 0;
 }

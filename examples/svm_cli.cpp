@@ -37,6 +37,10 @@ int usage(const char* program) {
       "usage:\n"
       "  %s train    <data> <model-out> [--c C] [--sigma-sq S] [--gamma G] [--eps E]\n"
       "              [--ranks P] [--heuristic H] [--kernel K] [--baseline]\n"
+      "              [--solver smo|pbm]      (pbm = parallel block minimization:\n"
+      "               one delta sync per outer round instead of per-iteration\n"
+      "               broadcasts; [--pbm-blocks B] fixes the block count, default\n"
+      "               = ranks)\n"
       "              [--w-pos W] [--w-neg W]\n"
       "              [--engine-backend reference|dense_scatter|cached|simd]\n"
       "              [--engine-flavor f64]   (training requires f64; --baseline\n"
@@ -105,6 +109,8 @@ int run_train(const svmutil::CliFlags& flags) {
     params.weight_negative = flags.get_double("w-neg", 1.0);
     params.engine_backend = svmkernel::engine_backend_from_string(engine.backend);
     params.engine_flavor = svmkernel::row_flavor_from_string(engine.flavor);
+    params.algo = svmcore::solver_algo_from_string(flags.get("solver", "smo"));
+    params.pbm_blocks = static_cast<int>(flags.get_int("pbm-blocks", 0));
     svmcore::TrainOptions options;
     options.num_ranks = static_cast<int>(flags.get_int("ranks", 4));
     options.heuristic = svmcore::Heuristic::parse(flags.get("heuristic", "Multi5pc"));
@@ -113,11 +119,16 @@ int run_train(const svmutil::CliFlags& flags) {
     const auto result = svmcore::train(train, params, options);
     if (!obs.trace_out.empty()) std::printf("trace -> %s\n", obs.trace_out.c_str());
     if (!obs.metrics_out.empty()) std::printf("metrics -> %s\n", obs.metrics_out.c_str());
-    std::printf("%s on %d ranks: %llu iterations, %llu samples shrunk, %llu reconstructions\n",
-                options.heuristic.name().c_str(), options.num_ranks,
-                static_cast<unsigned long long>(result.iterations),
-                static_cast<unsigned long long>(result.samples_shrunk),
-                static_cast<unsigned long long>(result.reconstructions));
+    if (params.algo == svmcore::SolverAlgo::pbm)
+      std::printf("pbm (%s) on %d ranks: %llu outer rounds\n",
+                  options.heuristic.name().c_str(), options.num_ranks,
+                  static_cast<unsigned long long>(result.iterations));
+    else
+      std::printf("%s on %d ranks: %llu iterations, %llu samples shrunk, %llu reconstructions\n",
+                  options.heuristic.name().c_str(), options.num_ranks,
+                  static_cast<unsigned long long>(result.iterations),
+                  static_cast<unsigned long long>(result.samples_shrunk),
+                  static_cast<unsigned long long>(result.reconstructions));
     model = result.model;
   }
 
@@ -249,7 +260,8 @@ int main(int argc, char** argv) {
         argc, argv,
         svmutil::with_engine_flags(svmutil::with_obs_flags(
             {"c", "sigma-sq", "gamma", "eps", "ranks", "heuristic", "kernel", "baseline!", "out",
-             "w-pos", "w-neg", "folds", "c-grid", "gamma-grid", "tube", "nu"})));
+             "solver", "pbm-blocks", "w-pos", "w-neg", "folds", "c-grid", "gamma-grid", "tube",
+             "nu"})));
     if (flags.positional().size() < 2) return usage(argv[0]);
     const std::string& mode = flags.positional()[0];
     if (mode == "cv") return run_cv(flags);

@@ -11,6 +11,7 @@
 #   scripts/check.sh --sched    # only the multi-tenant scheduler checks
 #   scripts/check.sh --simd     # only the SIMD/precision flavor checks
 #   scripts/check.sh --serve    # only the prediction-serving checks
+#   scripts/check.sh --pbm      # only the PBM-solver checks
 #
 # The ASan pass rebuilds the kernel-layer tests under -DSVM_SANITIZE=address
 # in a separate build tree (build-asan/) and runs the binaries directly; it
@@ -43,6 +44,15 @@
 # the run report, and gates the committed BENCH_serving.json with
 # tools/bench_diff (self-diff quiet, perturbed copy caught).
 #
+# The pbm pass rebuilds the PBM solver suites under TSan and runs them (the
+# block solves, the delta-sync ring and the shrink-world recovery replay are
+# all cross-thread rendezvous under the simulated world), then runs
+# bench_pbm --quick --assert (both solvers converge to the same KKT gap,
+# SV-set agreement holds, and PBM moves >= 2x fewer bytes than SMO at
+# p >= 8) with tracing on, validates the pbm spans and the run report, and
+# gates the committed BENCH_pbm.json with tools/bench_diff (self-diff
+# quiet, perturbed copy caught).
+#
 # The simd pass rebuilds the RowStore/engine-parity suites under UBSan with
 # float-cast-overflow checking (build-ubsan/) — the f16 codec and the int8
 # quantizer are exactly the code where a narrowing cast silently saturates —
@@ -68,10 +78,11 @@ run_obs=true
 run_sched=true
 run_simd=true
 run_serve=true
+run_pbm=true
 only() {  # only <step>: disable every step except the named one
   run_tier1=false; run_asan=false; run_tsan=false
   run_perf=false; run_obs=false; run_sched=false; run_simd=false
-  run_serve=false
+  run_serve=false; run_pbm=false
   eval "run_$1=true"
 }
 case "${1:-}" in
@@ -83,8 +94,9 @@ case "${1:-}" in
   --sched) only sched ;;
   --simd) only simd ;;
   --serve) only serve ;;
+  --pbm) only pbm ;;
   "") ;;
-  *) echo "usage: scripts/check.sh [--tier1|--asan|--tsan|--perf|--obs|--sched|--simd|--serve]" >&2; exit 2 ;;
+  *) echo "usage: scripts/check.sh [--tier1|--asan|--tsan|--perf|--obs|--sched|--simd|--serve|--pbm]" >&2; exit 2 ;;
 esac
 
 if $run_tier1; then
@@ -232,6 +244,37 @@ if $run_simd; then
       exit 1
     fi
   done
+fi
+
+if $run_pbm; then
+  echo "=== pbm: TSan solver suites + bench artifact gate ==="
+  cmake -B build-tsan -S . -DSVM_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target test_pbm test_pbm_chaos
+  (cd build-tsan && ctest -R 'test_pbm' --output-on-failure -j "$(nproc)")
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target bench_pbm bench_diff trace_validate
+  pbm_dir=$(mktemp -d)
+  trap 'rm -rf "${obs_dir:-}" "${sched_dir:-}" "${serve_dir:-}" "${simd_dir:-}" "${pbm_dir:-}"' EXIT
+  # --assert enforces: both solvers converge to the same KKT gap, the SV-set
+  # Jaccard agreement holds, and PBM moves >= 2x fewer bytes than SMO at
+  # p >= 8 on >= 2 datasets. The first p>=4 PBM run carries the trace and
+  # metrics artifacts. Runs in a scratch dir so the committed BENCH_pbm.json
+  # is not overwritten.
+  (cd "$pbm_dir" && "$OLDPWD"/build/bench/bench_pbm --quick --assert \
+    --trace-out "$pbm_dir/trace.json" --metrics-out "$pbm_dir/metrics.json")
+  ./build/tools/trace_validate "$pbm_dir/trace.json" \
+    --require-span solve,pbm_round,pbm_block_solve,pbm_sync
+  ./build/tools/trace_validate --metrics "$pbm_dir/metrics.json"
+  # The committed artifact must be gate-clean against itself and the gate
+  # must still be loud on a perturbed copy (sv_agreement is higher-better).
+  ./build/tools/bench_diff BENCH_pbm.json BENCH_pbm.json
+  sed 's/"sv_agreement": [0-9.]*/"sv_agreement": 0.1/' BENCH_pbm.json \
+    > "$pbm_dir/BENCH_regressed.json"
+  if ./build/tools/bench_diff BENCH_pbm.json \
+      "$pbm_dir/BENCH_regressed.json" > /dev/null; then
+    echo "bench_diff failed to flag an injected regression in BENCH_pbm.json" >&2
+    exit 1
+  fi
 fi
 
 echo "ALL CHECKS PASSED"

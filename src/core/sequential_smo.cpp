@@ -115,4 +115,89 @@ SequentialResult solve_sequential(const svmdata::Dataset& dataset, const SolverP
   return result;
 }
 
+BlockSolveResult solve_sequential_block(const svmdata::Dataset& dataset,
+                                        const SolverParams& params,
+                                        svmkernel::KernelEngine& engine, std::size_t begin,
+                                        std::size_t end, std::span<double> alpha,
+                                        std::span<double> gamma, double tolerance,
+                                        std::uint64_t max_iterations) {
+  const std::size_t m = end - begin;
+  if (alpha.size() != m || gamma.size() != m)
+    throw std::invalid_argument("solve_sequential_block: alpha/gamma must match the block");
+  const auto& X = dataset.X;
+  const std::vector<double>& y = dataset.y;
+  std::vector<double> k_up(m);
+  std::vector<double> k_low(m);
+
+  BlockSolveResult result;
+  while (true) {
+    // Same first-index-wins worst-violator scan as solve_sequential,
+    // restricted to the block's own samples.
+    double beta_up = std::numeric_limits<double>::infinity();
+    double beta_low = -std::numeric_limits<double>::infinity();
+    std::size_t i_up = m;
+    std::size_t i_low = m;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t g = begin + i;
+      const IndexSet set = classify(y[g], alpha[i], params.C_of(y[g]));
+      if (in_up_set(set) && gamma[i] < beta_up) {
+        beta_up = gamma[i];
+        i_up = i;
+      }
+      if (in_low_set(set) && gamma[i] > beta_low) {
+        beta_low = gamma[i];
+        i_low = i;
+      }
+    }
+    result.beta_up = beta_up;
+    result.beta_low = beta_low;
+
+    // One-class (or empty-side) block: no movable pair exists. Not an error
+    // here — PBM's cross-block polishing handles the violating pairs that
+    // span blocks.
+    if (i_up == m || i_low == m) {
+      result.reached_tolerance = true;
+      break;
+    }
+    if (beta_up + tolerance >= beta_low) {
+      result.reached_tolerance = true;
+      break;
+    }
+    if (result.iterations >= max_iterations) break;
+
+    const std::size_t g_up = begin + i_up;
+    const std::size_t g_low = begin + i_low;
+    const auto row_up = X.row(g_up);
+    const auto row_low = X.row(g_low);
+    const double sq_up = engine.sq_norm(g_up);
+    const double sq_low = engine.sq_norm(g_low);
+    const PairState state{
+        y[g_up],      y[g_low],    alpha[i_up],
+        alpha[i_low], gamma[i_up], gamma[i_low],
+        engine.eval_one(row_up, row_up, sq_up, sq_up),
+        engine.eval_one(row_low, row_low, sq_low, sq_low),
+        engine.eval_one(row_up, row_low, sq_up, sq_low),
+        params.C_of(y[g_up]),
+        params.C_of(y[g_low])};
+    const PairResult update = solve_pair(state);
+    if (!update.progress) break;
+
+    const double delta_up = update.alpha_up - alpha[i_up];
+    const double delta_low = update.alpha_low - alpha[i_low];
+    alpha[i_up] = update.alpha_up;
+    alpha[i_low] = update.alpha_low;
+    result.progress = true;
+
+    // Block-local gradient refresh; the same fused-pair expression shape as
+    // solve_sequential, so a block covering [0, n) reproduces it bitwise.
+    const double coef_up = y[g_up] * delta_up;
+    const double coef_low = y[g_low] * delta_low;
+    engine.eval_pair_range(row_up, sq_up, row_low, sq_low, begin, end, k_up, k_low);
+    for (std::size_t i = 0; i < m; ++i)
+      gamma[i] += coef_up * k_up[i] + coef_low * k_low[i];
+    ++result.iterations;
+  }
+  return result;
+}
+
 }  // namespace svmcore

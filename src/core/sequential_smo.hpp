@@ -4,10 +4,16 @@
 // proven against it bit-for-bit in tests.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/types.hpp"
 #include "data/sparse.hpp"
+
+namespace svmkernel {
+class KernelEngine;
+}
 
 namespace svmcore {
 
@@ -21,5 +27,29 @@ struct SequentialResult {
 /// input (labels not ±1, fewer than two classes).
 [[nodiscard]] SequentialResult solve_sequential(const svmdata::Dataset& dataset,
                                                 const SolverParams& params);
+
+/// Outcome of one warm-started block re-solve (the PBM inner solver).
+struct BlockSolveResult {
+  std::uint64_t iterations = 0;  ///< pair updates applied this call
+  double beta_up = 0.0;          ///< block-local bound at exit (+inf if no up-set sample)
+  double beta_low = 0.0;         ///< block-local bound at exit (-inf if no low-set sample)
+  bool progress = false;         ///< any alpha moved
+  bool reached_tolerance = false;  ///< block-local beta_up + tolerance >= beta_low at exit
+};
+
+/// Warm-started SMO restricted to the contiguous sample block [begin, end):
+/// the PBM inner solver. `alpha`/`gamma` are the block's slices (local index
+/// i - begin) of the caller's state and are updated in place; gamma must be
+/// consistent with alpha on entry (gamma_i = sum_j alpha_j y_j K(i,j) - y_i
+/// over the FULL sample set — the cross-block terms are frozen constants
+/// during the block solve, exactly the PBM subproblem). The engine's norm
+/// range must cover [begin, end). Unlike solve_sequential this never throws
+/// on a one-class block: a block whose up or low set is empty simply cannot
+/// move and returns immediately. Deterministic: same inputs, same trajectory.
+[[nodiscard]] BlockSolveResult solve_sequential_block(
+    const svmdata::Dataset& dataset, const SolverParams& params,
+    svmkernel::KernelEngine& engine, std::size_t begin, std::size_t end,
+    std::span<double> alpha, std::span<double> gamma, double tolerance,
+    std::uint64_t max_iterations);
 
 }  // namespace svmcore

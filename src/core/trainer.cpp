@@ -12,6 +12,7 @@
 
 #include "mpisim/spmd.hpp"
 #include "obs/trace.hpp"
+#include "solver/pbm_solver.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -94,6 +95,7 @@ void finish_result(const svmdata::Dataset& dataset, const DistributedConfig& con
       m.counter("net.bytes_sent").set(t.bytes_sent);
       m.counter("net.bytes_received").set(t.bytes_received);
       m.counter("net.collectives").set(t.collectives);
+      m.counter("net.bytes_collective").set(t.bytes_collective);
       m.gauge("net.modeled_s").set(t.modeled_seconds);
       m.gauge("net.overlapped_s").set(t.overlapped_seconds);
     }
@@ -118,10 +120,12 @@ void finish_result(const svmdata::Dataset& dataset, const DistributedConfig& con
   // the trace recorder keeps pointers, not copies.
   out.engine_backend = svmkernel::to_string(config.params.engine_backend);
   out.engine_flavor = svmkernel::to_string(config.params.engine_flavor);
+  out.solver_algo = to_string(config.params.algo);
   svmobs::trace_instant(svmkernel::trace_label(config.params.engine_backend), "meta");
   svmobs::trace_instant(svmkernel::trace_label(config.params.engine_flavor), "meta");
 
   out.model = build_model(dataset, alpha, out.beta, config.params.kernel);
+  out.alpha = std::move(alpha);
 }
 
 void validate_train_inputs(const svmdata::Dataset& dataset, const TrainOptions& options) {
@@ -129,6 +133,30 @@ void validate_train_inputs(const svmdata::Dataset& dataset, const TrainOptions& 
   if (static_cast<std::size_t>(options.num_ranks) > dataset.size())
     throw std::invalid_argument("train: more ranks than samples");
   dataset.validate();
+}
+
+/// Solver dispatch on SolverParams::algo. Runs inside the SPMD lambda, so
+/// both entry points (plain and elastic) pick the algorithm per launch with
+/// the same configuration object.
+void run_solver(svmmpi::Comm& comm, const svmdata::Dataset& dataset,
+                const DistributedConfig& config, RankResult& out) {
+  if (config.params.algo == SolverAlgo::pbm) {
+    PbmSolver solver(comm, dataset, config);
+    out = solver.solve();
+  } else {
+    DistributedSolver solver(comm, dataset, config);
+    out = solver.solve();
+  }
+}
+
+/// PBM's block count must be fixed at LAUNCH rank count (not the current,
+/// possibly shrunken, world size) so the optimization trajectory survives
+/// elastic recovery unchanged. Resolved once here, before any SPMD region.
+void resolve_pbm_blocks(DistributedConfig& config, const TrainOptions& options) {
+  if (config.params.algo != SolverAlgo::pbm) return;
+  if (config.params.pbm_blocks == 0) config.params.pbm_blocks = options.num_ranks;
+  if (config.params.pbm_blocks < options.num_ranks)
+    throw std::invalid_argument("train: pbm_blocks must be >= num_ranks");
 }
 
 /// Shared SPMD launch + result assembly used by both entry points. `config`
@@ -144,10 +172,7 @@ TrainResult train_impl(const svmdata::Dataset& dataset, const TrainOptions& opti
   svmutil::Timer wall;
   svmmpi::TrafficStats total = svmmpi::run_spmd(
       options.num_ranks,
-      [&](svmmpi::Comm& comm) {
-        DistributedSolver solver(comm, dataset, config);
-        results[comm.rank()] = solver.solve();
-      },
+      [&](svmmpi::Comm& comm) { run_solver(comm, dataset, config, results[comm.rank()]); },
       options.net_model,
       [&](const svmmpi::World& world) {
         out.rank_traffic.reserve(options.num_ranks);
@@ -207,8 +232,7 @@ TrainResult train_elastic(const svmdata::Dataset& dataset, const TrainOptions& o
           try {
             DistributedConfig cfg = config;
             cfg.checkpoint_store = gen_store;
-            DistributedSolver solver(comm, dataset, cfg);
-            results[world_comm.rank()] = solver.solve();
+            run_solver(comm, dataset, cfg, results[world_comm.rank()]);
             return;
           } catch (const svmmpi::RankLost& lost) {
             svmmpi::Comm next = comm.shrink();
@@ -340,6 +364,7 @@ svmobs::RunReport run_report(const TrainResult& result, const TrainOptions& opti
     report.info.emplace_back("engine_backend", result.engine_backend);
   if (!result.engine_flavor.empty())
     report.info.emplace_back("engine_flavor", result.engine_flavor);
+  if (!result.solver_algo.empty()) report.info.emplace_back("solver", result.solver_algo);
   report.ranks = result.rank_metrics;
   report.aggregate = result.metrics;
   report.aggregate.gauge("wall_s").set(result.wall_seconds);
@@ -349,12 +374,13 @@ svmobs::RunReport run_report(const TrainResult& result, const TrainOptions& opti
 
 TrainResult train(const svmdata::Dataset& dataset, const SolverParams& params,
                   const TrainOptions& options) {
-  const DistributedConfig config{params,
-                                 options.heuristic,
-                                 options.permanent_shrink,
-                                 options.openmp_gamma,
-                                 options.trace_active_interval,
-                                 options.pipelined_reconstruction};
+  DistributedConfig config{params,
+                           options.heuristic,
+                           options.permanent_shrink,
+                           options.openmp_gamma,
+                           options.trace_active_interval,
+                           options.pipelined_reconstruction};
+  resolve_pbm_blocks(config, options);
   TraceSession trace(options);
   TrainResult out = train_impl(dataset, options, config, /*injector=*/nullptr);
   maybe_write_metrics(out, options);
@@ -391,6 +417,7 @@ TrainResult train_with_recovery(const svmdata::Dataset& dataset, const SolverPar
                            options.pipelined_reconstruction};
   config.checkpoint_interval = recovery.checkpoint_interval;
   config.checkpoint_store = recovery.checkpoint_interval > 0 ? store : nullptr;
+  resolve_pbm_blocks(config, options);
 
   RecoveryReport local_report;
   RecoveryReport& rep = report != nullptr ? *report : local_report;

@@ -50,6 +50,10 @@ struct TrainOptions {
 struct TrainResult {
   SvmModel model;
   double beta = 0.0;
+  /// The full stitched multiplier vector (one entry per training sample);
+  /// what the model's support vectors were assembled from. Feeds post-hoc
+  /// optimality checks (kkt_report) without re-deriving alpha from the model.
+  std::vector<double> alpha;
   std::uint64_t iterations = 0;  ///< global iteration count (rank-invariant)
 
   std::vector<SolverStats> rank_stats;           ///< indexed by rank
@@ -91,6 +95,8 @@ struct TrainResult {
   /// report / trace metadata so artifacts record their provenance.
   std::string engine_backend;
   std::string engine_flavor;
+  /// Training algorithm that produced this result ("smo" or "pbm").
+  std::string solver_algo;
 
   [[nodiscard]] std::size_t num_support_vectors() const {
     return model.num_support_vectors();

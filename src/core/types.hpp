@@ -6,6 +6,8 @@
 
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -13,6 +15,41 @@
 #include "kernel/kernel_engine.hpp"
 
 namespace svmcore {
+
+/// Which distributed training algorithm drives the dual optimization.
+/// `smo` is the paper's shrinking-SMO (one working-set broadcast per
+/// iteration); `pbm` is Parallel Block Minimization (Hsieh, Si, Dhillon —
+/// arXiv:1608.02010): per-block subproblem re-solves with one delta
+/// allreduce per outer round, trading iterations for communication.
+enum class SolverAlgo : std::uint8_t { smo, pbm };
+
+[[nodiscard]] inline const char* to_string(SolverAlgo algo) noexcept {
+  return algo == SolverAlgo::pbm ? "pbm" : "smo";
+}
+
+[[nodiscard]] inline SolverAlgo solver_algo_from_string(const std::string& name) {
+  if (name == "smo") return SolverAlgo::smo;
+  if (name == "pbm") return SolverAlgo::pbm;
+  throw std::invalid_argument("unknown solver algorithm '" + name + "' (expected smo|pbm)");
+}
+
+/// Wire encoding of a PBM round's alpha delta. `dense` allreduces the full
+/// n-vector (one tree collective, partition-independent arithmetic —
+/// required for bit-identical shrink-world recovery); `sparse` circulates
+/// only the changed samples on the pipelined ring from PR 4 (cheaper when
+/// few alphas move, but the regrouping is partition-dependent);
+/// `auto_select` picks per round from the globally agreed nnz count using
+/// the alpha-beta model.
+enum class PbmDeltaEncoding : std::uint8_t { auto_select, dense, sparse };
+
+[[nodiscard]] inline const char* to_string(PbmDeltaEncoding encoding) noexcept {
+  switch (encoding) {
+    case PbmDeltaEncoding::dense: return "dense";
+    case PbmDeltaEncoding::sparse: return "sparse";
+    case PbmDeltaEncoding::auto_select: break;
+  }
+  return "auto";
+}
 
 struct SolverParams {
   double C = 1.0;  ///< box constraint
@@ -37,6 +74,27 @@ struct SolverParams {
   /// for imbalanced datasets; 1.0/1.0 is the paper's (unweighted) setting.
   double weight_positive = 1.0;
   double weight_negative = 1.0;
+
+  /// Distributed training algorithm (see SolverAlgo). Ignored by the
+  /// sequential solver and the baselines.
+  SolverAlgo algo = SolverAlgo::smo;
+
+  /// PBM: number of dual blocks. 0 means "one block per launch rank",
+  /// resolved by the trainer before the SPMD region so the block count —
+  /// and with it the optimization trajectory — stays fixed across
+  /// shrink-world recoveries and restarts.
+  int pbm_blocks = 0;
+
+  /// PBM: cap on inner SMO iterations per block per round. 0 picks a
+  /// heuristic from the block size. Small caps communicate more rounds;
+  /// large caps over-solve stale subproblems.
+  std::uint64_t pbm_inner_iterations = 0;
+
+  /// PBM: safety valve on outer rounds (like max_iterations for SMO).
+  std::uint64_t pbm_max_rounds = 10'000;
+
+  /// PBM: delta wire encoding (see PbmDeltaEncoding).
+  PbmDeltaEncoding pbm_delta = PbmDeltaEncoding::dense;
 
   [[nodiscard]] double C_of(double y) const noexcept {
     return C * (y > 0.0 ? weight_positive : weight_negative);

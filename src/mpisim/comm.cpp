@@ -198,6 +198,7 @@ std::vector<std::byte> Comm::collective(std::vector<std::byte> contribution,
   }
   TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
   ++s.collectives;
+  s.bytes_collective += payload_bytes;  // this rank's injected collective volume
   const int p = size();
   switch (model_as) {
     case ModelAs::tree: s.modeled_seconds += world_->model().tree(payload_bytes, p); break;

@@ -64,6 +64,11 @@ struct TrafficStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
   std::uint64_t collectives = 0;
+  /// This rank's contribution bytes across collectives (the b of the tree /
+  /// ring formulas, charged once per participating rank per collective).
+  /// Together with bytes_sent this is the rank's injected communication
+  /// volume — the quantity the solver comparisons (SMO vs PBM) gate on.
+  std::uint64_t bytes_collective = 0;
   double modeled_seconds = 0.0;
   double overlapped_seconds = 0.0;  ///< modeled network time hidden behind compute
 
@@ -73,6 +78,7 @@ struct TrafficStats {
     bytes_sent += other.bytes_sent;
     bytes_received += other.bytes_received;
     collectives += other.collectives;
+    bytes_collective += other.bytes_collective;
     modeled_seconds += other.modeled_seconds;
     overlapped_seconds += other.overlapped_seconds;
     return *this;

@@ -1,0 +1,115 @@
+// PBM under fault injection: a permanent rank death between outer rounds
+// must be survivable by shrink-world recovery, and — because the dense-delta
+// trajectory is partition-independent and checkpoints land at round
+// boundaries — the recovered model must be BIT-IDENTICAL to a fault-free
+// run's, even though the survivors finish the solve on p-1 ranks with a
+// repartitioned block assignment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "mpisim/fault.hpp"
+
+namespace {
+
+using svmcore::RecoveryOptions;
+using svmcore::RecoveryPolicy;
+using svmcore::RecoveryReport;
+using svmcore::SolverAlgo;
+using svmcore::SolverParams;
+using svmcore::TrainOptions;
+using svmcore::TrainResult;
+using svmdata::Dataset;
+using svmkernel::KernelParams;
+using svmmpi::FaultPlan;
+
+Dataset chaos_dataset() {
+  return svmdata::synthetic::gaussian_blobs(
+      {.n = 160, .d = 6, .separation = 1.8, .label_noise = 0.05, .seed = 41});
+}
+
+SolverParams pbm_params() {
+  SolverParams p;
+  p.C = 4.0;
+  p.eps = 1e-3;
+  p.kernel = KernelParams::rbf_with_sigma_sq(4.0);
+  p.algo = SolverAlgo::pbm;
+  return p;
+}
+
+TrainOptions ranks4() {
+  TrainOptions options;
+  options.num_ranks = 4;
+  options.net_model.timeout_s = 5.0;  // deadline-driven failure detection
+  return options;
+}
+
+TEST(PbmChaos, ShrinkMidRoundRecoversBitIdenticalModel) {
+  const Dataset d = chaos_dataset();
+  const SolverParams params = pbm_params();
+  const TrainOptions options = ranks4();
+
+  // Fault-free reference (same checkpoint cadence so schedules align).
+  RecoveryOptions clean;
+  clean.policy = RecoveryPolicy::shrink_world;
+  clean.checkpoint_interval = 1;  // every outer round
+  RecoveryReport clean_rep;
+  const TrainResult reference = svmcore::train_with_recovery(d, params, options, clean, &clean_rep);
+  ASSERT_TRUE(reference.converged);
+  ASSERT_EQ(clean_rep.shrinks, 0);
+
+  // Kill rank 2 permanently partway through the solve. PBM issues a handful
+  // of collectives per outer round; op 9 lands between outer rounds (after
+  // round-0's checkpoint exists on every rank).
+  RecoveryOptions faulty = clean;
+  faulty.fault_plan = FaultPlan{}.die(2, 9);
+  RecoveryReport rep;
+  const TrainResult recovered = svmcore::train_with_recovery(d, params, options, faulty, &rep);
+
+  EXPECT_TRUE(recovered.converged);
+  EXPECT_EQ(rep.shrinks, 1);
+  EXPECT_EQ(rep.ranks_lost, std::vector<int>{2});
+  EXPECT_GT(rep.checkpoints_saved, 0u);
+
+  // Bit-identical-model recovery: the survivors replayed from a round
+  // boundary with the same fixed block structure, so every multiplier, the
+  // threshold and the round count match the fault-free run exactly.
+  EXPECT_EQ(recovered.iterations, reference.iterations);
+  EXPECT_EQ(recovered.beta, reference.beta);
+  ASSERT_EQ(recovered.alpha.size(), reference.alpha.size());
+  for (std::size_t i = 0; i < reference.alpha.size(); ++i)
+    EXPECT_EQ(recovered.alpha[i], reference.alpha[i]) << "alpha[" << i << "]";
+  ASSERT_EQ(recovered.model.num_support_vectors(), reference.model.num_support_vectors());
+  for (std::size_t j = 0; j < reference.model.num_support_vectors(); ++j)
+    EXPECT_EQ(recovered.model.coefficients()[j], reference.model.coefficients()[j]);
+}
+
+TEST(PbmChaos, LateDeathAfterSeveralRoundsStillRecovers) {
+  const Dataset d = chaos_dataset();
+  const SolverParams params = pbm_params();
+  const TrainOptions options = ranks4();
+
+  RecoveryOptions clean;
+  clean.policy = RecoveryPolicy::shrink_world;
+  clean.checkpoint_interval = 1;
+  const TrainResult reference = svmcore::train_with_recovery(d, params, options, clean);
+
+  RecoveryOptions faulty = clean;
+  faulty.fault_plan = FaultPlan{}.die(1, 23);
+  RecoveryReport rep;
+  const TrainResult recovered = svmcore::train_with_recovery(d, params, options, faulty, &rep);
+
+  EXPECT_TRUE(recovered.converged);
+  EXPECT_GE(rep.shrinks + rep.restarts, 1);
+  EXPECT_EQ(recovered.iterations, reference.iterations);
+  EXPECT_EQ(recovered.beta, reference.beta);
+  ASSERT_EQ(recovered.alpha.size(), reference.alpha.size());
+  for (std::size_t i = 0; i < reference.alpha.size(); ++i)
+    EXPECT_EQ(recovered.alpha[i], reference.alpha[i]);
+}
+
+}  // namespace

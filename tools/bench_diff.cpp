@@ -6,16 +6,21 @@
 //     first and are "higher is better" — before the *_s time suffix, so
 //     pairs_per_s is not mistaken for a duration;
 //   - metrics whose key signals "lower is better" (times: *_s, *_seconds,
-//     wall/latency/makespan/overhead; losses: *lost, *rejected, *restarts,
-//     *requeues, *timeouts, *mismatch*, *disagreement*) regress when the
+//     wall/latency/makespan/overhead; losses and fault activity: *lost,
+//     *rejected, *restarts, *requeues, *timeouts, *mismatch*,
+//     *disagreement*, *shed*, *expired*, *depth*, *degraded*, *retries*,
+//     *hedge*, *failover*, *quarantine*, *shrink*) regress when the
 //     candidate rises more than --tolerance (relative, against
 //     max(|base|, floor));
+//   - volumes and counts-to-convergence (*comm_bytes*, *bytes*, *rounds*,
+//     *modeled_time*) are lower-better — the BENCH_pbm.json axes;
 //   - metrics whose key signals "higher is better" (*completed*,
-//     *accuracy*, *match*) regress when it falls;
+//     *accuracy*, *match*, *agreement*) regress when it falls;
 //   - booleans regress when true flips to false (quality predicates like
 //     matches_fault_free);
-//   - everything else (counts, ids, shapes) is reported when it drifts but
-//     is not a regression by itself.
+//   - a numeric leaf whose key matches NO direction rule is a hard failure
+//     the moment it drifts: an unclassifiable metric cannot be gated, so it
+//     must be added to the direction table rather than silently skipped.
 //
 // Exit status: 0 = no regressions, 1 = at least one regression beyond
 // tolerance, 2 = usage/parse error. Structural mismatches (missing keys,
@@ -52,23 +57,33 @@ struct Outcome {
   return haystack.find(needle) != std::string::npos;
 }
 
-/// Direction heuristic keyed on the leaf's path (lowercased keys).
+/// Direction heuristic keyed on the LEAF key only (lowercased). Matching the
+/// full path would let an enclosing object's name override the metric's own:
+/// "degraded.agreement_pos" must read as an agreement (higher-better), not be
+/// dragged lower-better by the "degraded" section it lives in.
 enum class Direction { lower_better, higher_better, neutral };
 
 [[nodiscard]] Direction direction_of(const std::string& path) {
+  const std::size_t dot = path.find_last_of('.');
+  const std::string leaf = dot == std::string::npos ? path : path.substr(dot + 1);
   std::string p;
-  p.reserve(path.size());
-  for (const char c : path) p += static_cast<char>(std::tolower(c));
+  p.reserve(leaf.size());
+  for (const char c : leaf) p += static_cast<char>(std::tolower(c));
   // Rates must win before the generic "_s" time suffix: "pairs_per_s" and
   // "evals_per_s_throughput" are higher-is-better despite ending in _s.
   for (const char* k : {"per_s", "per_sec", "throughput", "speedup"})
     if (contains(p, k)) return Direction::higher_better;
   for (const char* k : {"_s", "seconds", "wall", "latency", "makespan", "overhead", "queue_wait"})
     if (contains(p, k)) return Direction::lower_better;
-  for (const char* k : {"lost", "rejected", "restart", "requeue", "timeout", "mismatch", "delta",
-                        "replayed", "disagreement"})
+  // Volumes and round counts (the BENCH_pbm.json axes): fewer communicated
+  // bytes and fewer outer rounds to the same gap are the whole point.
+  for (const char* k : {"comm_bytes", "bytes", "rounds", "modeled_time"})
     if (contains(p, k)) return Direction::lower_better;
-  for (const char* k : {"completed", "accuracy", "match", "converged"})
+  for (const char* k : {"lost", "rejected", "restart", "requeue", "timeout", "mismatch", "delta",
+                        "replayed", "disagreement", "shed", "expired", "depth", "degraded",
+                        "retries", "hedge", "failover", "quarantine", "shrink", "fault_events"})
+    if (contains(p, k)) return Direction::lower_better;
+  for (const char* k : {"completed", "accuracy", "match", "converged", "agreement", "identical"})
     if (contains(p, k)) return Direction::higher_better;
   return Direction::neutral;
 }
@@ -88,6 +103,18 @@ void diff_number(const std::string& path, double base, double cand, const Option
     return;
   }
   const Direction dir = direction_of(path);
+  // A metric whose direction the heuristic cannot classify must not drift
+  // silently past the gate: there is no way to tell an improvement from a
+  // regression. Teach direction_of the key (or rename the metric so an
+  // existing rule matches) — that is a one-line change; an unguarded metric
+  // sliding for months is not.
+  if (dir == Direction::neutral) {
+    ++out.regressions;
+    report("REGRESSED", path, base, cand);
+    std::printf("             ^ unknown direction for this key; add it to "
+                "bench_diff's direction_of table\n");
+    return;
+  }
   // Relative drift with an absolute floor: sub-millisecond timing jitter on
   // near-zero baselines must not trip the gate.
   const double floor = contains(path, "_s") || contains(path, "seconds") ? 0.05 : 1.0;
@@ -105,7 +132,7 @@ void diff_number(const std::string& path, double base, double cand, const Option
     report("improved", path, base, cand);
   } else {
     ++out.drifted;
-    if (opt.list_all || dir == Direction::neutral) report("drift", path, base, cand);
+    if (opt.list_all) report("drift", path, base, cand);
   }
 }
 
