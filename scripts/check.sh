@@ -139,7 +139,8 @@ if $run_obs; then
   echo "=== obs: traced training run + artifact validation + overhead guard ==="
   cmake -B build -S . >/dev/null
   cmake --build build -j --target \
-    parallel_training trace_validate bench_trace_active bench_micro_mpisim
+    parallel_training trace_validate trace_analyze bench_pbm bench_trace_active \
+    bench_micro_mpisim
   obs_dir=$(mktemp -d)
   trap 'rm -rf "$obs_dir"' EXIT
   # A p=4 traced run must produce a Chrome trace with spans from all four
@@ -154,6 +155,16 @@ if $run_obs; then
   # A bench's run report must validate too (active-set trajectory bench).
   ./build/bench/bench_trace_active --quick --metrics-out "$obs_dir/bench_metrics.json" >/dev/null
   ./build/tools/trace_validate --metrics "$obs_dir/bench_metrics.json"
+  # Causal flow analysis on a p=8 PBM traced run: every flow start must be
+  # finished on another rank (strict default), the compute/comm/blocked/
+  # imbalance attribution must close to 100% +-2% on every round, and at
+  # least one round must show nonzero comm on every rank — proof the flow
+  # edges really bind senders to receivers.
+  (cd "$obs_dir" && "$OLDPWD"/build/bench/bench_pbm --quick --datasets=higgs --ranks=8 \
+    --trace-out "$obs_dir/pbm_trace.json" --metrics-out "$obs_dir/pbm_metrics.json" >/dev/null)
+  ./build/tools/trace_validate "$obs_dir/pbm_trace.json" --require-span round,pbm_round
+  ./build/tools/trace_analyze "$obs_dir/pbm_trace.json" --assert \
+    --out "$obs_dir/pbm_analysis.json"
   # Tracing disabled must cost < 2% on an SMO-shaped hot loop.
   ./build/bench/bench_micro_mpisim --assert-obs-overhead
 fi
@@ -171,7 +182,10 @@ if $run_sched; then
   # bench_scheduler exits nonzero if any regime loses accepted work; the
   # low-fault regime carries the trace/metrics artifacts.
   (cd "$sched_dir" && "$OLDPWD"/build/bench/bench_scheduler --quick     --trace-out "$sched_dir/trace.json" --metrics-out "$sched_dir/metrics.json")
-  ./build/tools/trace_validate "$sched_dir/trace.json" --require-span job,solve
+  # --allow-dangling-flows: the chaos regimes kill ranks mid-flight, so some
+  # flow starts legitimately never find their receiver.
+  ./build/tools/trace_validate "$sched_dir/trace.json" --require-span job,solve \
+    --allow-dangling-flows
   ./build/tools/trace_validate --metrics "$sched_dir/metrics.json"
   # The regression gate must be quiet on a self-diff and loud on a
   # perturbed candidate.
@@ -200,8 +214,10 @@ if $run_serve; then
   # committed BENCH_serving.json is not overwritten.
   (cd "$serve_dir" && "$OLDPWD"/build/bench/bench_serving --quick --assert \
     --trace-out "$serve_dir/trace.json" --metrics-out "$serve_dir/metrics.json")
+  # --allow-dangling-flows: the serving bench injects a mid-run rank death,
+  # so flows into the dead worker legitimately dangle.
   ./build/tools/trace_validate "$serve_dir/trace.json" \
-    --require-span serve_batch,serve_eval
+    --require-span serve_batch,serve_eval --allow-dangling-flows
   ./build/tools/trace_validate --metrics "$serve_dir/metrics.json"
   # The committed artifact must be gate-clean against itself and the gate
   # must still be loud on a perturbed copy (requests_lost is lower-better).

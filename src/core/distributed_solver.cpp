@@ -1,5 +1,6 @@
 #include "core/distributed_solver.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -231,7 +232,32 @@ DistributedSolver::PhaseExit DistributedSolver::phase_exit(PhaseExit exit) noexc
 }
 
 DistributedSolver::PhaseExit DistributedSolver::run_phase(double tolerance, bool shrinking) {
+  // Uniform round marker (one solver phase = one round for trace_analyze)
+  // nested inside the human-facing "phase" span.
+  svmobs::TraceRound round_marker("solver");
   svmobs::TraceSpan phase_span("phase", "solver");
+  // Local round time split, published on every exit path (including faults):
+  // wait_s is real wall time inside the phase's communication ops
+  // (select_violators' reductions, fetch_pair's send + Bcast), compute_s the
+  // remainder. Proxies only — exact per-peer blocking comes from the trace
+  // flow events via tools/trace_analyze, with no extra communication here.
+  struct PhaseObs {
+    explicit PhaseObs(svmobs::MetricsRegistry& m) : metrics(m) {}
+    svmobs::MetricsRegistry& metrics;
+    svmutil::Timer wall;
+    double wait_s = 0.0;
+    ~PhaseObs() {
+      const double wall_s = wall.seconds();
+      const double compute_s = std::max(0.0, wall_s - wait_s);
+      metrics.gauge("obs.round_compute_s").add(compute_s);
+      metrics.gauge("obs.round_wait_s").add(wait_s);
+      if (wall_s > 0.0) {
+        const double ratio = wait_s / wall_s;
+        metrics.gauge("obs.imbalance_ratio").set(ratio);
+        if (ratio > 0.5) metrics.counter("obs.straggler_suspects").add();
+      }
+    }
+  } obs(metrics_);
   // SMO iterations are spanned in batches of kIterationsPerBatchSpan; the
   // RAII guard closes the open batch on every exit path (returns, faults).
   struct BatchGuard {
@@ -249,7 +275,11 @@ DistributedSolver::PhaseExit DistributedSolver::run_phase(double tolerance, bool
     // Loop tops are the checkpoint boundaries: state is replica-consistent
     // here and a replay from any saved boundary is deterministic.
     maybe_checkpoint();
-    select_violators();
+    {
+      svmutil::Timer wait_timer;
+      select_violators();
+      obs.wait_s += wait_timer.seconds();
+    }
     if (i_up_ == std::numeric_limits<std::int64_t>::max() ||
         i_low_ == std::numeric_limits<std::int64_t>::max()) {
       // Active set lost one side entirely; only reconstruction can help.
@@ -261,7 +291,9 @@ DistributedSolver::PhaseExit DistributedSolver::run_phase(double tolerance, bool
 
     // Both violators arrive in one message + one Bcast (sample 0 = up,
     // sample 1 = low).
+    svmutil::Timer fetch_timer;
     const PackedSamples pair = fetch_pair(i_up_, i_low_);
+    obs.wait_s += fetch_timer.seconds();
     const auto x_up = pair.row(0);
     const auto x_low = pair.row(1);
     const double sq_up = pair.sq_norm(0);

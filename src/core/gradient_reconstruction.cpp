@@ -91,6 +91,7 @@ void DistributedSolver::reconstruct_gradients() {
       std::vector<double> coeffs;
 
       for (int step = 0; step < p; ++step) {
+        svmobs::TraceRound round_marker("recon");
         svmobs::TraceSpan step_span("ring_step", "recon");
         recon_ring_steps_.add();
         // Post block k+1's exchange before computing on block k. isend is
@@ -147,6 +148,7 @@ void DistributedSolver::reconstruct_gradients() {
       // one engine query scope per stale sample. Kept for before/after
       // benchmarking; byte-equal results to the pipelined path.
       for (int step = 0; step < p; ++step) {
+        svmobs::TraceRound round_marker("recon");
         svmobs::TraceSpan step_span("ring_step", "recon");
         recon_ring_steps_.add();
         const PackedSamples& b = current_block(step);

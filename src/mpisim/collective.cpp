@@ -5,6 +5,8 @@
 
 #include "mpisim/fault.hpp"
 #include "mpisim/mailbox.hpp"
+#include "mpisim/world.hpp"
+#include "obs/trace.hpp"
 
 namespace svmmpi {
 
@@ -49,6 +51,21 @@ std::vector<std::byte> CollectiveContext::run(int rank, std::vector<std::byte> c
   if (interrupted) throw RendezvousInterrupted{};
 
   contributions_[rank] = std::move(contribution);
+  // Causal flow for the round, emitted at the deposit point with the mutex
+  // held (so the per-round id is race-free) and inside the caller's open
+  // collective span (so the events bind to it). The FIRST arriver starts the
+  // flow; every later arriver finishes it at its own arrival time — the
+  // analyzer recovers each member's arrival, and the max-timestamp member is
+  // the round's straggler. Size-1 communicators skip the flow entirely: a
+  // start could never match a finish on another rank.
+  if (size_ > 1 && svmobs::trace_enabled()) {
+    if (arrived_ == 0) {
+      round_flow_id_ = acquire_flow_id();
+      svmobs::trace_flow_start("collective_round", "flow", round_flow_id_);
+    } else {
+      svmobs::trace_flow_finish("collective_round", "flow", round_flow_id_);
+    }
+  }
   ++arrived_;
   if (arrived_ == size_) {
     result_ = combine(contributions_);

@@ -78,6 +78,7 @@ class CollectiveContext {
   Phase phase_ = Phase::collecting;
   std::vector<std::vector<std::byte>> contributions_;
   std::vector<std::byte> result_;
+  std::uint64_t round_flow_id_ = 0;  ///< trace flow id of the in-flight round
   bool aborted_ = false;
 
   // agree() rounds keep separate state so a dirty, abandoned run() round

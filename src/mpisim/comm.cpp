@@ -49,9 +49,21 @@ void Comm::send_bytes(std::vector<std::byte> payload, int destination, int tag) 
   // A dropped send still charges the sender's stats: the sender cannot tell
   // the message was lost, exactly as on a real network.
   const bool dropped = faulted_op(FaultSite::send);
-  if (!dropped)
-    world_->mailbox((*group_)[destination])
-        .push(Message{context_id_, rank_, tag, std::move(payload)});
+  if (!dropped) {
+    Message m{context_id_, rank_, tag, /*flow_id=*/0, std::move(payload)};
+    if (svmobs::trace_enabled()) {
+      // Flow-start only for messages actually delivered into a mailbox: a
+      // fault-dropped send has no receiver, and an unmatched start would
+      // (correctly) fail trace_validate's dangling-flow gate. A re-sent
+      // message after a timeout goes through here again and gets a fresh id.
+      m.flow_id = acquire_flow_id();
+      svmobs::TraceSpan span("send", "net");
+      svmobs::trace_flow_start("msg", "flow", m.flow_id);
+      world_->mailbox((*group_)[destination]).push(std::move(m));
+    } else {
+      world_->mailbox((*group_)[destination]).push(std::move(m));
+    }
+  }
   TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
   ++s.sends;
   s.bytes_sent += bytes;
@@ -112,6 +124,9 @@ Message Comm::recv_message(int source, int tag) {
     check_cancelled();
     convert_timeout(timeout);
   }
+  // Bind the sender's flow to this (still open) recv span: Perfetto draws
+  // the cross-rank arrow, trace_analyze recovers the happens-before edge.
+  if (m.flow_id != 0) svmobs::trace_flow_finish("msg", "flow", m.flow_id);
   TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
   ++s.recvs;
   s.bytes_received += m.payload.size();
@@ -143,6 +158,7 @@ bool Comm::recv_bytes_deadline(std::vector<std::byte>& out, int source, int tag,
     check_cancelled();
     throw_rank_lost();
   }
+  if (m.flow_id != 0) svmobs::trace_flow_finish("msg", "flow", m.flow_id);
   TrafficStats& s = world_->mutable_stats((*group_)[rank_]);
   ++s.recvs;
   s.bytes_received += m.payload.size();

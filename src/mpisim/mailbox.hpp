@@ -6,6 +6,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -20,6 +21,7 @@ struct Message {
   int context = 0;  ///< communicator context id; exact match, no wildcard
   int source = 0;   ///< sender's rank within that communicator
   int tag = 0;
+  std::uint64_t flow_id = 0;  ///< trace flow correlation id; 0 = untraced
   std::vector<std::byte> payload;
 };
 

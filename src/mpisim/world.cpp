@@ -8,6 +8,11 @@
 
 namespace svmmpi {
 
+std::uint64_t acquire_flow_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 World::World(int size, NetModel model, FaultInjector* injector)
     : size_(size), model_(model), injector_(injector), stats_(size) {
   if (size <= 0) throw std::invalid_argument("svmmpi: world size must be positive");

@@ -20,6 +20,14 @@ namespace svmmpi {
 class Comm;
 class FaultInjector;
 
+/// Next trace flow-correlation id: process-globally monotone, starting at 1
+/// (0 means "untraced" in a Message envelope). Deliberately NOT per-World so
+/// ids stay unique across restarts, shrink generations and retried sends —
+/// a re-sent message gets a fresh id, never a duplicate. Ids only feed trace
+/// flow events; they never influence computation, so traced runs stay
+/// bit-identical.
+[[nodiscard]] std::uint64_t acquire_flow_id() noexcept;
+
 class World {
  public:
   /// `injector`, when non-null, is consulted by every communication op (see

@@ -1,0 +1,105 @@
+// Causal trace analysis: rebuilds the cross-rank happens-before DAG from the
+// flow events svmobs/mpisim emit (ph "s"/"f", see trace.hpp), segments the
+// timeline on the uniform "round" spans (TraceRound), and attributes each
+// round's wall time to compute / comm / blocked-on-peer / imbalance.
+//
+// Attribution model, per round and per participating rank:
+//
+//   round_wall = max(round end over ranks) - min(round begin over ranks)
+//   wait       = union of the rank's wait spans inside its round span
+//                (recv / recv_deadline / every collective / ring waits)
+//   blocked    = the part of each wait interval spent before the blocking
+//                peer was ready. For a pt2pt flow, ready = the sender's
+//                flow-start timestamp; for a collective round, ready = the
+//                LAST member's arrival (each member's deposit emits a flow
+//                event at its arrival time). Clamped to the wait interval,
+//                attributed to that peer.
+//   comm       = wait - blocked   (transfer/rendezvous mechanics)
+//   compute    = rank's own round span - wait
+//   imbalance  = round_wall - rank's own round span
+//
+// compute + comm + blocked + imbalance == round_wall holds exactly by
+// construction per rank; the reported per-round numbers are means over the
+// participating ranks, so the identity survives aggregation. The critical
+// path walks backward from the latest-finishing rank, jumping to the
+// blocking peer at each blocked wait. Stragglers are ranked by total
+// blocked-on-them time across the whole trace.
+//
+// Shares the JSON layer (obs/json.hpp) with src/obs/validate; consumed by
+// tools/trace_analyze and the obs tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svmobs {
+
+/// One rank's share of one round.
+struct RankAttribution {
+  int rank = -1;
+  double wall_s = 0.0;       ///< this rank's own round-span duration
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double blocked_s = 0.0;
+  double imbalance_s = 0.0;  ///< round_wall - wall_s (idle before/after)
+  int blocked_on = -1;       ///< peer charged with most blocked time, -1 none
+};
+
+/// One hop of the critical path: [from_s, to_s] on `rank`'s track.
+struct CriticalSegment {
+  int rank = -1;
+  double from_s = 0.0;
+  double to_s = 0.0;
+};
+
+struct RoundAnalysis {
+  std::uint64_t seq = 0;
+  std::string category;      ///< TraceRound category ("pbm", "solver", ...)
+  double begin_s = 0.0;      ///< earliest participant begin (trace seconds)
+  double wall_s = 0.0;       ///< round_wall (see file comment)
+  double compute_s = 0.0;    ///< mean over participating ranks
+  double comm_s = 0.0;
+  double blocked_s = 0.0;
+  double imbalance_s = 0.0;
+  double closure = 1.0;      ///< (compute+comm+blocked+imbalance)/wall
+  int straggler = -1;        ///< rank charged with most blocked time, -1 none
+  std::vector<RankAttribution> ranks;          ///< ascending by rank
+  std::vector<CriticalSegment> critical_path;  ///< chronological order
+};
+
+struct StragglerEntry {
+  int rank = -1;
+  double blocked_on_s = 0.0;  ///< total time other ranks spent blocked on it
+};
+
+struct TraceAnalysis {
+  std::vector<std::string> errors;  ///< non-empty => analysis unusable
+  std::vector<RoundAnalysis> rounds;       ///< ascending by seq
+  std::vector<StragglerEntry> stragglers;  ///< descending by blocked_on_s
+  // Whole-trace totals (sums of the per-round means).
+  double total_wall_s = 0.0;
+  double total_compute_s = 0.0;
+  double total_comm_s = 0.0;
+  double total_blocked_s = 0.0;
+  double total_imbalance_s = 0.0;
+  std::size_t flow_edges = 0;  ///< matched happens-before edges
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+  [[nodiscard]] double compute_fraction() const noexcept {
+    return total_wall_s > 0.0 ? total_compute_s / total_wall_s : 1.0;
+  }
+};
+
+/// Analyzes Chrome trace-event JSON produced by trace_json(). Traces without
+/// round markers yield zero rounds (not an error); malformed JSON or schema
+/// mismatch lands in `errors`.
+[[nodiscard]] TraceAnalysis analyze_trace(const std::string& json);
+
+/// Renders the analysis as a `svmobs.analysis.v1` JSON document.
+[[nodiscard]] std::string analysis_json(const TraceAnalysis& analysis);
+
+/// Renders the human-readable per-round table plus the straggler ranking.
+[[nodiscard]] std::string analysis_table(const TraceAnalysis& analysis);
+
+}  // namespace svmobs

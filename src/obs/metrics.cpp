@@ -20,6 +20,27 @@ void Histogram::merge(const Histogram& other) {
   count_ += other.count_;
 }
 
+double Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (b >= bounds_.size())  // overflow bucket: no upper edge
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    const double lower = b == 0 ? std::min(0.0, bounds_[0]) : bounds_[b - 1];
+    const double upper = bounds_[b];
+    const double fraction =
+        std::clamp((target - before) / static_cast<double>(counts_[b]), 0.0, 1.0);
+    return lower + fraction * (upper - lower);
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 std::string MetricsRegistry::canonical_key(const std::string& name, const Labels& labels) {
   if (labels.empty()) return name;
   Labels sorted = labels;
@@ -98,6 +119,12 @@ void MetricsRegistry::to_json(JsonWriter& w) const {
     w.value(h.sum());
     w.key("count");
     w.value(h.count());
+    w.key("p50");
+    w.value(h.percentile(50.0));
+    w.key("p95");
+    w.value(h.percentile(95.0));
+    w.key("p99");
+    w.value(h.percentile(99.0));
     w.end_object();
   }
   w.end_object();

@@ -71,6 +71,13 @@ class Histogram {
   /// Bucket-wise merge; bounds must match (or this histogram be empty).
   void merge(const Histogram& other);
 
+  /// Estimates the p-th percentile (p in [0,100]) by linear interpolation
+  /// within the bucket holding the target rank. The overflow bucket has no
+  /// upper edge, so percentiles landing there report the highest finite
+  /// bound (a known underestimate — size the bounds to cover the tail).
+  /// Returns 0 for an empty histogram.
+  [[nodiscard]] double percentile(double p) const noexcept;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_{0};

@@ -124,6 +124,20 @@ void emit(EventType type, const char* name, const char* category, double value) 
   }
 }
 
+std::uint64_t next_round_seq() noexcept {
+  // Generation-checked like the buffer slot: a trace_reset between runs
+  // restarts every thread's round numbering at 0, so round N in run 2 is
+  // never confused with round N of run 1.
+  thread_local std::uint64_t seq = 0;
+  thread_local std::uint64_t generation = ~0ULL;
+  const std::uint64_t current = g_generation.load(std::memory_order_relaxed);
+  if (generation != current) {
+    generation = current;
+    seq = 0;
+  }
+  return seq++;
+}
+
 }  // namespace detail
 
 using detail::EventType;
@@ -181,6 +195,8 @@ void write_event(JsonWriter& w, const ExportEvent& e) {
     case EventType::end: ph = "E"; break;
     case EventType::counter: ph = "C"; break;
     case EventType::instant: ph = "i"; break;
+    case EventType::flow_start: ph = "s"; break;
+    case EventType::flow_finish: ph = "f"; break;
   }
   w.key("ph");
   w.value(std::string_view(ph));
@@ -203,6 +219,15 @@ void write_event(JsonWriter& w, const ExportEvent& e) {
   } else if (e.event.type == EventType::instant) {
     w.key("s");
     w.value(std::string_view("t"));
+  } else if (e.event.type == EventType::flow_start || e.event.type == EventType::flow_finish) {
+    // Legacy Chrome flow events: the finish binds to the ENCLOSING slice
+    // (bp:"e"), which is exactly the receiver's recv/wait span.
+    w.key("id");
+    w.value(static_cast<std::int64_t>(e.event.value));
+    if (e.event.type == EventType::flow_finish) {
+      w.key("bp");
+      w.value(std::string_view("e"));
+    }
   }
   w.end_object();
 }

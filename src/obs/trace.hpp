@@ -46,17 +46,21 @@ namespace detail {
 
 extern std::atomic<bool> g_trace_enabled;
 
-enum class EventType : std::uint8_t { begin, end, counter, instant };
+enum class EventType : std::uint8_t { begin, end, counter, instant, flow_start, flow_finish };
 
 struct TraceEvent {
   const char* name = nullptr;
   const char* category = nullptr;
-  double value = 0.0;       ///< counter events only
+  double value = 0.0;       ///< counter value, or the flow id (exact <= 2^53)
   std::uint64_t ts_ns = 0;  ///< since the recorder epoch
   EventType type = EventType::instant;
 };
 
 void emit(EventType type, const char* name, const char* category, double value) noexcept;
+
+/// Per-thread round sequence counter for TraceRound; resets with the
+/// recorder generation so successive traced runs restart at 0.
+[[nodiscard]] std::uint64_t next_round_seq() noexcept;
 
 }  // namespace detail
 
@@ -109,6 +113,26 @@ inline void trace_instant(const char* name, const char* category) noexcept {
   detail::emit(detail::EventType::instant, name, category, 0.0);
 }
 
+// --- causal flow events ----------------------------------------------------
+//
+// A flow binds two slices on DIFFERENT tracks: the start event is emitted
+// inside the producing span (e.g. a sender's isend), the finish inside the
+// consuming span (the receiver's recv / collective wait). The exporter maps
+// them to legacy Chrome flow phases `ph:"s"` / `ph:"f","bp":"e"` keyed on
+// `id`, which Perfetto renders as cross-rank arrows. Flow ids come from
+// svmmpi::acquire_flow_id() — process-globally unique, monotone, and <= 2^53
+// so storing them in the event's double `value` slot is exact.
+
+inline void trace_flow_start(const char* name, const char* category, std::uint64_t id) noexcept {
+  if (!trace_enabled()) return;
+  detail::emit(detail::EventType::flow_start, name, category, static_cast<double>(id));
+}
+
+inline void trace_flow_finish(const char* name, const char* category, std::uint64_t id) noexcept {
+  if (!trace_enabled()) return;
+  detail::emit(detail::EventType::flow_finish, name, category, static_cast<double>(id));
+}
+
 /// RAII span. `name`/`category` must be string literals.
 class TraceSpan {
  public:
@@ -123,6 +147,31 @@ class TraceSpan {
  private:
   const char* name_;
   const char* category_;
+};
+
+/// RAII marker for one synchronization round. Emits a uniform span named
+/// "round" in the given category plus a "round_seq" counter carrying the
+/// per-thread sequence number, so traces from the SMO solver, PBM, gradient
+/// reconstruction and serving all segment identically for trace_analyze.
+/// In SPMD workloads every rank's thread counts rounds in lockstep, so equal
+/// sequence numbers across ranks name the same logical round.
+class TraceRound {
+ public:
+  explicit TraceRound(const char* category) noexcept : category_(category) {
+    if (!trace_enabled()) return;
+    seq_ = detail::next_round_seq();
+    trace_begin("round", category_);
+    trace_counter("round_seq", static_cast<double>(seq_));
+  }
+  ~TraceRound() { trace_end("round", category_); }
+  TraceRound(const TraceRound&) = delete;
+  TraceRound& operator=(const TraceRound&) = delete;
+
+  [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
+
+ private:
+  const char* category_;
+  std::uint64_t seq_ = 0;
 };
 
 // --- export ----------------------------------------------------------------

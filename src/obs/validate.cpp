@@ -34,7 +34,7 @@ std::string read_file(const std::string& path) {
 
 ValidationResult validate_trace(const std::string& json,
                                 const std::vector<std::string>& required_spans,
-                                std::size_t min_counter_tracks) {
+                                std::size_t min_counter_tracks, bool strict_flows) {
   ValidationResult result;
   JsonValue root;
   try {
@@ -51,6 +51,13 @@ ValidationResult validate_trace(const std::string& json,
   const JsonValue* schema = other != nullptr ? get(*other, "schema") : nullptr;
   if (schema == nullptr || !schema->is(JsonType::string) || schema->string != "svmobs.trace.v1")
     result.errors.emplace_back("otherData.schema is not \"svmobs.trace.v1\"");
+  // Ring overflow evicts oldest events, which can orphan one side of a flow
+  // through no fault of the emitter; a trace that admits to dropped events
+  // is therefore exempt from the strict dangling-flow gate (uniqueness of
+  // the surviving start ids still holds — ids are never reused).
+  const JsonValue* dropped = other != nullptr ? get(*other, "dropped_events") : nullptr;
+  if (dropped != nullptr && dropped->is(JsonType::number) && dropped->number > 0)
+    strict_flows = false;
   const JsonValue* events = get(root, "traceEvents");
   if (events == nullptr || !events->is(JsonType::array)) {
     result.errors.emplace_back("traceEvents missing or not an array");
@@ -64,6 +71,16 @@ ValidationResult validate_trace(const std::string& json,
   std::map<std::pair<std::int64_t, std::int64_t>, TrackState> tracks;
   std::set<std::string> counter_names;
   std::set<std::string> span_names;
+
+  // Flow bookkeeping: starts/finishes are matched AFTER the event loop —
+  // the exporter orders events by rank, so a finish can legitimately appear
+  // in the file before its start.
+  struct FlowState {
+    std::size_t starts = 0;  ///< duplicate-id detection
+    std::int64_t start_pid = 0;
+    std::vector<std::int64_t> finish_pids;
+  };
+  std::map<std::int64_t, FlowState> flow_by_id;
 
   for (const JsonValue& e : events->array) {
     if (!e.is(JsonType::object)) {
@@ -121,6 +138,24 @@ ValidationResult validate_trace(const std::string& json,
           result.errors.emplace_back("counter \"" + name->string + "\" has no args.value");
       }
       counter_names.insert(name->string);
+    } else if (ph->string == "s" || ph->string == "f") {
+      const JsonValue* id = get(e, "id");
+      if (id == nullptr || !id->is(JsonType::number)) {
+        if (result.errors.size() < 32)
+          result.errors.emplace_back("flow event \"" + name->string + "\" has no numeric id");
+        continue;
+      }
+      FlowState& flow = flow_by_id[static_cast<std::int64_t>(id->number)];
+      if (ph->string == "s") {
+        if (flow.starts > 0 && result.errors.size() < 32)
+          result.errors.emplace_back("flow id " +
+                                     std::to_string(static_cast<std::int64_t>(id->number)) +
+                                     " started more than once (ids must be unique per run)");
+        ++flow.starts;
+        flow.start_pid = track_key.first;
+      } else {
+        flow.finish_pids.push_back(track_key.first);
+      }
     } else if (ph->string != "i") {
       if (result.errors.size() < 32)
         result.errors.emplace_back("unknown phase \"" + ph->string + "\"");
@@ -131,6 +166,35 @@ ValidationResult validate_trace(const std::string& json,
     for (const std::string& name : track.open)
       result.errors.emplace_back(describe_track(key.first, key.second) +
                                  ": span \"" + name + "\" never ends");
+
+  // Flow integrity, judged with the full picture (starts and finishes land
+  // on different tracks, hence in arbitrary file order).
+  for (const auto& [id, flow] : flow_by_id) {
+    if (flow.starts > 0) {
+      ++result.flows;
+      if (flow.finish_pids.empty()) ++result.dangling_flows;
+    }
+    if (!strict_flows) continue;
+    if (flow.starts == 0) {
+      if (result.errors.size() < 48)
+        result.errors.emplace_back("flow id " + std::to_string(id) +
+                                   " finished but never started");
+      continue;
+    }
+    if (flow.finish_pids.empty()) {
+      if (result.errors.size() < 48)
+        result.errors.emplace_back("flow id " + std::to_string(id) +
+                                   " dangles: started on pid " +
+                                   std::to_string(flow.start_pid) + " but never finished");
+      continue;
+    }
+    bool crossed = false;
+    for (const std::int64_t pid : flow.finish_pids) crossed = crossed || pid != flow.start_pid;
+    if (!crossed && result.errors.size() < 48)
+      result.errors.emplace_back("flow id " + std::to_string(id) +
+                                 " never leaves its own rank (pid " +
+                                 std::to_string(flow.start_pid) + ")");
+  }
 
   for (const std::string& required : required_spans)
     if (span_names.count(required) == 0)

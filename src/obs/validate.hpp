@@ -5,7 +5,13 @@
 //  trace:   parses as JSON, schema tag matches, per-track (pid,tid)
 //           timestamps are monotonic non-decreasing, every track's B/E spans
 //           balance and nest properly, all required span names are present,
-//           and at least `min_counter_tracks` distinct counter tracks exist.
+//           at least `min_counter_tracks` distinct counter tracks exist, and
+//           flow events (ph "s"/"f") carry numeric ids that are unique per
+//           start. With `strict_flows`, every flow-start must additionally
+//           be finished on a DIFFERENT rank and no finish may lack its start
+//           — crash-chaos traces (flows into dead ranks) and overflow-
+//           truncated rings legitimately dangle, so strictness is opt-in and
+//           auto-relaxed when the trace reports dropped events.
 //  metrics: parses as JSON, schema tag matches, every run has a name, every
 //           rank entry carries counters/gauges/histograms objects, histogram
 //           counts arrays are bounds.size()+1 long.
@@ -24,6 +30,8 @@ struct ValidationResult {
   std::size_t counter_tracks = 0;  ///< trace: distinct counter names
   std::size_t spans = 0;           ///< trace: matched begin/end pairs
   std::size_t runs = 0;            ///< metrics: run entries
+  std::size_t flows = 0;           ///< trace: flow-start events
+  std::size_t dangling_flows = 0;  ///< trace: starts without any finish
 
   [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
 };
@@ -32,9 +40,12 @@ struct ValidationResult {
 /// `required_spans`: names that must appear as at least one B/E span
 /// somewhere in the trace (e.g. the four layer-coverage spans).
 /// `min_counter_tracks`: minimum number of distinct counter-track names.
+/// `strict_flows`: fail on dangling flow-starts, orphan finishes and flows
+/// that never leave their own rank (see file comment for when NOT to use).
 [[nodiscard]] ValidationResult validate_trace(const std::string& json,
                                               const std::vector<std::string>& required_spans = {},
-                                              std::size_t min_counter_tracks = 0);
+                                              std::size_t min_counter_tracks = 0,
+                                              bool strict_flows = false);
 
 /// Validates a run-report JSON document produced by reports_json().
 [[nodiscard]] ValidationResult validate_metrics(const std::string& json);

@@ -19,7 +19,6 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
-#include "util/stats.hpp"
 #include "util/timer.hpp"
 
 namespace svmserve {
@@ -249,6 +248,7 @@ void worker_body(Comm& comm, const svmcore::SvmModel& model, const ServeOptions&
     if (batch.header.opcode == kOpExit) return;
     partials.resize(batch.header.count);
     {
+      svmobs::TraceRound round_marker("serve");
       svmobs::TraceSpan span("serve_eval", "serve");
       svmkernel::KernelEngine& eng =
           (batch.header.degraded != 0 && degraded) ? *degraded : engine;
@@ -389,6 +389,7 @@ class Frontend {
   }
 
   void serve_batch(const std::vector<std::uint32_t>& ids) {
+    svmobs::TraceRound round_marker("serve");
     svmobs::TraceSpan span("serve_batch", "serve");
     ++counters_.batches;
     const svmutil::Timer batch_timer;
@@ -851,15 +852,19 @@ void fill_report(ServeReport& report, const Shared& sh, const FrontendCounters& 
     report.completed_qps = static_cast<double>(report.completed) / wall_s;
   }
 
-  std::vector<double> latencies;
-  latencies.reserve(report.requests.size());
-  for (const RequestRecord& rec : report.requests)
-    if (rec.status == RequestStatus::completed) latencies.push_back(rec.latency_s);
-  report.latency_p50_s = svmutil::percentile(latencies, 50.0);
-  report.latency_p99_s = svmutil::percentile(latencies, 99.0);
-  report.latency_p999_s = svmutil::percentile(latencies, 99.9);
-
+  // Completed-request latencies go through a fine log-spaced histogram
+  // (8 buckets/decade over 100µs..10s) and the reported percentiles are
+  // derived from it, so bench_serving and the run-report emitter agree on
+  // one estimator instead of keeping a parallel sorted-sample path.
   auto& m = report.metrics;
+  std::vector<double> bounds;
+  for (int i = 0; i <= 40; ++i) bounds.push_back(1e-4 * std::pow(10.0, i / 8.0));
+  auto& latency_hist = m.histogram("serve.latency_s", std::move(bounds));
+  for (const RequestRecord& rec : report.requests)
+    if (rec.status == RequestStatus::completed) latency_hist.observe(rec.latency_s);
+  report.latency_p50_s = latency_hist.percentile(50.0);
+  report.latency_p99_s = latency_hist.percentile(99.0);
+  report.latency_p999_s = latency_hist.percentile(99.9);
   m.counter("serve.submitted").add(report.submitted);
   m.counter("serve.accepted").add(report.accepted);
   m.counter("serve.completed").add(report.completed);

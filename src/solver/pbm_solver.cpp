@@ -361,8 +361,30 @@ void PbmSolver::sync_sparse(const std::vector<double>& previous_alpha) {
   }
 }
 
+void PbmSolver::record_round_obs(double wall_s, double compute_s, double wait_s) {
+  // Live skew signal for benches/scheduler without post-processing the trace.
+  // These are LOCAL proxies: wait_s is this rank's wall time inside the
+  // round's collectives/sync (which includes blocking on the slowest peer),
+  // and imbalance_ratio is wait/wall — a rank whose peers straggle sees a
+  // high ratio. Exact per-peer attribution needs the cross-rank flow events
+  // and lives in tools/trace_analyze.
+  metrics_.gauge("obs.round_compute_s").add(compute_s);
+  metrics_.gauge("obs.round_wait_s").add(wait_s);
+  if (wall_s > 0.0) {
+    const double ratio = wait_s / wall_s;
+    metrics_.gauge("obs.imbalance_ratio").set(ratio);
+    if (ratio > 0.5) metrics_.counter("obs.straggler_suspects").add();
+  }
+}
+
 bool PbmSolver::run_round() {
+  // Uniform round marker + the PBM-specific span: trace_analyze segments on
+  // the former, humans reading Perfetto keep the latter.
+  svmobs::TraceRound round_marker("pbm");
   svmobs::TraceSpan round_span("pbm_round", "pbm");
+  svmutil::Timer round_timer;
+  double compute_s = 0.0;
+  double wait_s = 0.0;
   const std::vector<double> previous_alpha = alpha_;
   gamma_prev_.assign(gamma_.begin(), gamma_.end());
   dgamma_.assign(span_.size(), 0.0);
@@ -373,6 +395,7 @@ bool PbmSolver::run_round() {
 
   {
     svmobs::TraceSpan solve_span("pbm_block_solve", "pbm");
+    svmutil::Timer compute_timer;
     for (int b = first_block_; b < last_block_; ++b) {
       const svmdata::BlockRange blk = block_of(b);
       const BlockSolveResult r = solve_sequential_block(
@@ -382,6 +405,7 @@ bool PbmSolver::run_round() {
           inner_cap);
       inner_iterations_.add(r.iterations);
     }
+    compute_s = compute_timer.seconds();
   }
 
   // Delta census: one small control allreduce carries the global changed
@@ -402,10 +426,15 @@ bool PbmSolver::run_round() {
     }
     if (block_changed) ++census[2];
   }
+  svmutil::Timer census_timer;
   const std::vector<std::int64_t> global =
       comm_.allreduce(std::span<const std::int64_t>(census, 3), svmmpi::ReduceOp::sum);
+  wait_s += census_timer.seconds();
   delta_nnz_.add(static_cast<std::uint64_t>(global[0]));
-  if (global[0] == 0) return false;  // nothing moved: caller escalates to polishing
+  if (global[0] == 0) {  // nothing moved: caller escalates to polishing
+    record_round_obs(round_timer.seconds(), compute_s, wait_s);
+    return false;
+  }
 
   PbmDeltaEncoding encoding = config_.params.pbm_delta;
   if (encoding == PbmDeltaEncoding::auto_select) {
@@ -420,6 +449,7 @@ bool PbmSolver::run_round() {
   }
   {
     svmobs::TraceSpan sync_span("pbm_sync", "pbm");
+    svmutil::Timer sync_timer;
     const double sync_before = comm_.traffic().modeled_seconds;
     if (encoding == PbmDeltaEncoding::sparse) {
       sparse_rounds_.add();
@@ -431,6 +461,7 @@ bool PbmSolver::run_round() {
       sync_dense(previous_alpha);
     }
     metrics_.gauge("pbm.sync_s").add(comm_.traffic().modeled_seconds - sync_before);
+    wait_s += sync_timer.seconds();
   }
 
   // Commit alpha_prev + t*D. Simultaneous block solves are a Jacobi step:
@@ -441,7 +472,9 @@ bool PbmSolver::run_round() {
   // sequential solver's.
   double t = 1.0;
   if (global[2] > 1) {
+    svmutil::Timer search_timer;
     t = line_search(previous_alpha);
+    wait_s += search_timer.seconds();
     metrics_.counter("pbm.line_search_rounds").add();
     metrics_.gauge("pbm.step_t").set(t);
   }
@@ -462,6 +495,7 @@ bool PbmSolver::run_round() {
     for (std::size_t i = 0; i < span_.size(); ++i)
       if (dgamma_[i] != 0.0) gamma_[i] += dgamma_[i];
   }
+  record_round_obs(round_timer.seconds(), compute_s, wait_s);
   return true;
 }
 

@@ -105,6 +105,12 @@ class PbmSolver {
   void maybe_restore();
   void maybe_checkpoint();
 
+  /// Publishes one outer round's local time split through MetricsRegistry
+  /// (obs.round_compute_s / obs.round_wait_s / obs.imbalance_ratio plus the
+  /// obs.straggler_suspects counter). Local wall-clock proxies only — no
+  /// extra communication, so the solver's message/byte counts are untouched.
+  void record_round_obs(double wall_s, double compute_s, double wait_s);
+
   /// Partition-independent threshold: per-block I0 (sum, count) slots
   /// allreduced exactly (one contributor per slot), combined in ascending
   /// block order on every rank.

@@ -17,6 +17,7 @@
 #include "core/trainer.hpp"
 #include "data/synthetic.hpp"
 #include "mpisim/fault.hpp"
+#include "obs/analyze.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -283,6 +284,143 @@ TEST_F(ObsTest, CrashMidSolveStillFlushesWellFormedPartialTrace) {
       svmobs::validate_trace(svmobs::read_file(trace_path), {"rank_main", "solve"});
   EXPECT_TRUE(result.ok()) << (result.errors.empty() ? "" : result.errors.front());
   EXPECT_GT(result.events, 0u);
+  std::filesystem::remove(trace_path);
+}
+
+// --- flow correlation & causal analysis ------------------------------------
+
+TEST(MetricsRegistry, HistogramPercentilesInterpolateAndSerialize) {
+  svmobs::Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 8; ++i) h.observe(0.5);   // bucket (0,1]
+  for (int i = 0; i < 2; ++i) h.observe(3.0);   // bucket (2,4]
+  // p50 rank = 5 of 10, 5/8 through the first bucket -> 0.625.
+  EXPECT_NEAR(h.percentile(50.0), 0.625, 1e-12);
+  // p95 rank = 9.5 of 10, 1.5/2 through (2,4] -> 3.5.
+  EXPECT_NEAR(h.percentile(95.0), 3.5, 1e-12);
+  h.observe(100.0);  // overflow bucket reports the last finite bound
+  EXPECT_EQ(h.percentile(100.0), 4.0);
+
+  MetricsRegistry registry;
+  registry.histogram("lat", {1.0}).observe(0.5);
+  const std::string json = registry.json();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(TraceAnalyze, SyntheticTraceAttributesRoundExactly) {
+  // Two ranks, one round of 100ms (rank 0) / 60ms (rank 1). Rank 1 computes
+  // 50ms then sends (flow 7); rank 0 computes 20ms then blocks in a recv
+  // until 52ms, with the message ready at 50ms. Expected per-rank split:
+  //   rank 0: wait 32ms = 30ms blocked (on rank 1) + 2ms comm; compute 68ms
+  //   rank 1: compute 60ms, imbalance 40ms (round wall is 100ms)
+  const std::string trace = R"({
+    "otherData": {"schema": "svmobs.trace.v1"},
+    "traceEvents": [
+      {"name":"round","cat":"pbm","ph":"B","pid":0,"tid":0,"ts":0},
+      {"name":"round_seq","ph":"C","pid":0,"tid":0,"ts":0,"args":{"value":0}},
+      {"name":"recv","cat":"net","ph":"B","pid":0,"tid":0,"ts":20000},
+      {"name":"msg","cat":"flow","ph":"f","bp":"e","pid":0,"tid":0,"ts":51000,"id":7},
+      {"name":"recv","cat":"net","ph":"E","pid":0,"tid":0,"ts":52000},
+      {"name":"round","cat":"pbm","ph":"E","pid":0,"tid":0,"ts":100000},
+      {"name":"round","cat":"pbm","ph":"B","pid":1,"tid":1,"ts":0},
+      {"name":"round_seq","ph":"C","pid":1,"tid":1,"ts":0,"args":{"value":0}},
+      {"name":"msg","cat":"flow","ph":"s","pid":1,"tid":1,"ts":50000,"id":7},
+      {"name":"round","cat":"pbm","ph":"E","pid":1,"tid":1,"ts":60000}
+    ]})";
+
+  const svmobs::TraceAnalysis analysis = svmobs::analyze_trace(trace);
+  ASSERT_TRUE(analysis.ok()) << (analysis.errors.empty() ? "" : analysis.errors.front());
+  ASSERT_EQ(analysis.rounds.size(), 1u);
+  const svmobs::RoundAnalysis& round = analysis.rounds.front();
+  EXPECT_EQ(round.seq, 0u);
+  EXPECT_EQ(round.category, "pbm");
+  EXPECT_NEAR(round.wall_s, 0.100, 1e-9);
+  EXPECT_NEAR(round.compute_s, 0.064, 1e-9);    // mean(68ms, 60ms)
+  EXPECT_NEAR(round.comm_s, 0.001, 1e-9);       // mean(2ms, 0)
+  EXPECT_NEAR(round.blocked_s, 0.015, 1e-9);    // mean(30ms, 0)
+  EXPECT_NEAR(round.imbalance_s, 0.020, 1e-9);  // mean(0, 40ms)
+  EXPECT_NEAR(round.closure, 1.0, 1e-9);        // exact closure by construction
+  EXPECT_EQ(round.straggler, 1);
+
+  ASSERT_EQ(round.ranks.size(), 2u);
+  EXPECT_NEAR(round.ranks[0].blocked_s, 0.030, 1e-9);
+  EXPECT_EQ(round.ranks[0].blocked_on, 1);
+  EXPECT_NEAR(round.ranks[1].imbalance_s, 0.040, 1e-9);
+
+  // Critical path: rank 1 computes [0,50ms], hands off to rank 0 [50,100ms].
+  ASSERT_EQ(round.critical_path.size(), 2u);
+  EXPECT_EQ(round.critical_path[0].rank, 1);
+  EXPECT_NEAR(round.critical_path[0].to_s, 0.050, 1e-9);
+  EXPECT_EQ(round.critical_path[1].rank, 0);
+  EXPECT_NEAR(round.critical_path[1].from_s, 0.050, 1e-9);
+
+  ASSERT_EQ(analysis.stragglers.size(), 1u);
+  EXPECT_EQ(analysis.stragglers.front().rank, 1);
+  EXPECT_NEAR(analysis.stragglers.front().blocked_on_s, 0.030, 1e-9);
+  EXPECT_EQ(analysis.flow_edges, 1u);
+}
+
+TEST_F(ObsTest, FlowIdsStayUniqueAcrossShrinkRecovery) {
+  const std::string trace_path = temp_path("svmobs_test_flow_trace.json");
+  SolverParams params = obs_params();
+  params.algo = svmcore::SolverAlgo::pbm;
+  TrainOptions options;
+  options.num_ranks = 4;
+  options.net_model.timeout_s = 5.0;
+  options.trace_path = trace_path;
+
+  // Kill rank 2 between outer rounds: the shrunk world re-runs collectives
+  // and re-sends messages, so flow ids must keep advancing, never repeat.
+  svmcore::RecoveryOptions recovery;
+  recovery.policy = svmcore::RecoveryPolicy::shrink_world;
+  recovery.checkpoint_interval = 1;
+  recovery.fault_plan = svmmpi::FaultPlan{}.die(2, 9);
+  svmcore::RecoveryReport report;
+  const TrainResult result =
+      svmcore::train_with_recovery(obs_dataset(), params, options, recovery, &report);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(report.shrinks, 1);
+
+  // Lenient validation still enforces flow-id uniqueness (duplicate starts
+  // are an error regardless of strictness); the killed rank legitimately
+  // leaves dangling flows, so strict is NOT expected to pass here.
+  const ValidationResult lenient = svmobs::validate_trace(svmobs::read_file(trace_path));
+  EXPECT_TRUE(lenient.ok()) << (lenient.errors.empty() ? "" : lenient.errors.front());
+  EXPECT_GT(lenient.flows, 0u);
+  std::filesystem::remove(trace_path);
+}
+
+TEST_F(ObsTest, InjectedDelayRankIsTopStragglerAtEightRanks) {
+  const std::string trace_path = temp_path("svmobs_test_straggler_trace.json");
+  SolverParams params = obs_params();
+  params.algo = svmcore::SolverAlgo::pbm;
+  TrainOptions options;
+  options.num_ranks = 8;
+  options.trace_path = trace_path;
+
+  // 5ms delay on every collective rank 3 enters (one consumable event per
+  // op): rank 3 always arrives last, so everyone else blocks on it.
+  svmcore::RecoveryOptions recovery;
+  for (std::uint64_t op = 1; op <= 400; ++op)
+    recovery.fault_plan.delay(3, op, 0.005, svmmpi::FaultSite::collective);
+  const TrainResult result =
+      svmcore::train_with_recovery(obs_dataset(), params, options, recovery);
+  EXPECT_TRUE(result.converged);
+
+  const svmobs::TraceAnalysis analysis =
+      svmobs::analyze_trace(svmobs::read_file(trace_path));
+  ASSERT_TRUE(analysis.ok()) << (analysis.errors.empty() ? "" : analysis.errors.front());
+  EXPECT_FALSE(analysis.rounds.empty());
+  EXPECT_GT(analysis.flow_edges, 0u);
+  ASSERT_FALSE(analysis.stragglers.empty());
+  EXPECT_EQ(analysis.stragglers.front().rank, 3);
+  EXPECT_GT(analysis.stragglers.front().blocked_on_s, 0.0);
+
+  // Attribution closes on every round: compute+comm+blocked+imbalance must
+  // account for the full round wall within 2%.
+  for (const svmobs::RoundAnalysis& round : analysis.rounds)
+    EXPECT_NEAR(round.closure, 1.0, 0.02) << "round " << round.seq;
   std::filesystem::remove(trace_path);
 }
 

@@ -73,6 +73,12 @@ enum class Direction { lower_better, higher_better, neutral };
   // "evals_per_s_throughput" are higher-is-better despite ending in _s.
   for (const char* k : {"per_s", "per_sec", "throughput", "speedup"})
     if (contains(p, k)) return Direction::higher_better;
+  // Attribution axes from trace_analyze / the obs.round_* gauges: a larger
+  // share of the round spent computing is the goal; waiting, imbalance and
+  // blocked-on-peer time are the costs.
+  if (contains(p, "compute_fraction")) return Direction::higher_better;
+  for (const char* k : {"imbalance", "wait", "blocked", "straggler"})
+    if (contains(p, k)) return Direction::lower_better;
   for (const char* k : {"_s", "seconds", "wall", "latency", "makespan", "overhead", "queue_wait"})
     if (contains(p, k)) return Direction::lower_better;
   // Volumes and round counts (the BENCH_pbm.json axes): fewer communicated

@@ -1,0 +1,113 @@
+// Causal trace analyzer: rebuilds the cross-rank happens-before DAG from the
+// flow events in a svmobs trace, attributes every round's wall time to
+// compute / comm / blocked-on-peer / imbalance, walks the per-round critical
+// path and ranks stragglers (see src/obs/analyze.hpp for the model).
+//
+//   trace_analyze trace.json
+//       [--out analysis.json]    write the svmobs.analysis.v1 report
+//       [--json]                 print the report to stdout instead of a table
+//       [--assert]               gate: attribution must close to 100% within
+//                                --tolerance on every round, and at least one
+//                                round must show nonzero comm on EVERY
+//                                participating rank (proves the flow edges
+//                                actually bound sender to receiver)
+//       [--tolerance F]          closure tolerance, default 0.02 (2%)
+//
+// Used by scripts/check.sh --obs on the p=8 PBM traced run.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/analyze.hpp"
+#include "obs/validate.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+/// --assert: closure within tolerance per round, plus one round where every
+/// participating rank spent nonzero time in communication.
+bool check_assertions(const svmobs::TraceAnalysis& analysis, double tolerance) {
+  bool ok = true;
+  if (analysis.rounds.empty()) {
+    std::fprintf(stderr, "assert: trace contains no round markers\n");
+    return false;
+  }
+  for (const svmobs::RoundAnalysis& round : analysis.rounds) {
+    if (std::fabs(round.closure - 1.0) > tolerance) {
+      std::fprintf(stderr, "assert: round %llu (%s) closure %.4f outside 1±%.3f\n",
+                   static_cast<unsigned long long>(round.seq), round.category.c_str(),
+                   round.closure, tolerance);
+      ok = false;
+    }
+  }
+  bool any_full_comm_round = false;
+  for (const svmobs::RoundAnalysis& round : analysis.rounds) {
+    if (round.ranks.size() < 2) continue;
+    bool all_comm = true;
+    for (const svmobs::RankAttribution& a : round.ranks)
+      all_comm = all_comm && (a.comm_s + a.blocked_s) > 0.0;
+    any_full_comm_round = any_full_comm_round || all_comm;
+  }
+  if (!any_full_comm_round) {
+    std::fprintf(stderr,
+                 "assert: no round has nonzero comm on every participating rank "
+                 "(flow correlation appears broken)\n");
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const svmutil::CliFlags flags(argc, argv, {"out", "json!", "assert!", "tolerance"});
+    if (flags.positional().size() != 1) {
+      std::fprintf(stderr,
+                   "usage: %s trace.json [--out analysis.json] [--json] [--assert] "
+                   "[--tolerance F]\n",
+                   flags.program().c_str());
+      return 2;
+    }
+    const std::string& path = flags.positional().front();
+    const svmobs::TraceAnalysis analysis = svmobs::analyze_trace(svmobs::read_file(path));
+    if (!analysis.ok()) {
+      std::fprintf(stderr, "%s: ANALYSIS FAILED (%zu errors)\n", path.c_str(),
+                   analysis.errors.size());
+      for (const std::string& error : analysis.errors)
+        std::fprintf(stderr, "  %s\n", error.c_str());
+      return 1;
+    }
+
+    if (flags.get_bool("json")) {
+      std::printf("%s\n", svmobs::analysis_json(analysis).c_str());
+    } else {
+      std::printf("%s: %zu round(s), %zu flow edge(s), compute fraction %.3f\n\n", path.c_str(),
+                  analysis.rounds.size(), analysis.flow_edges, analysis.compute_fraction());
+      std::fputs(svmobs::analysis_table(analysis).c_str(), stdout);
+    }
+
+    const std::string out_path = flags.get("out", "");
+    if (!out_path.empty()) {
+      std::ofstream out(out_path, std::ios::binary);
+      out << svmobs::analysis_json(analysis) << '\n';
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+
+    if (flags.get_bool("assert")) {
+      const double tolerance = flags.get_double("tolerance", 0.02);
+      if (!check_assertions(analysis, tolerance)) return 1;
+      std::printf("assert: OK (%zu rounds close within %.1f%%)\n", analysis.rounds.size(),
+                  tolerance * 100.0);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

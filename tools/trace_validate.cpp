@@ -4,11 +4,15 @@
 //   trace_validate trace.json [trace2.json ...]
 //       [--require-span NAME[,NAME...]]   span names that must be present
 //       [--min-counter-tracks N]          distinct counter tracks required
+//       [--allow-dangling-flows]          relax flow-integrity strictness
 //   trace_validate --metrics report.json [report2.json ...]
 //
 // Used by scripts/check.sh --obs to gate the traced training run: a trace
 // must be valid Chrome trace-event JSON with monotonic per-rank timestamps,
 // balanced begin/end spans, every required span and enough counter tracks.
+// Flow events are checked strictly by default (unique ids, every start
+// finished on another rank); crash-chaos lanes pass --allow-dangling-flows
+// because flows into killed ranks legitimately never finish.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -18,8 +22,9 @@
 
 int main(int argc, char** argv) {
   try {
-    const svmutil::CliFlags flags(argc, argv,
-                                  {"metrics!", "require-span", "min-counter-tracks"});
+    const svmutil::CliFlags flags(
+        argc, argv,
+        {"metrics!", "require-span", "min-counter-tracks", "allow-dangling-flows!"});
     if (flags.positional().empty()) {
       std::fprintf(stderr,
                    "usage: %s [--metrics] [--require-span a,b,..] [--min-counter-tracks N] "
@@ -45,14 +50,17 @@ int main(int argc, char** argv) {
       const svmobs::ValidationResult result =
           flags.get_bool("metrics")
               ? svmobs::validate_metrics(json)
-              : svmobs::validate_trace(json, required_spans, min_counters);
+              : svmobs::validate_trace(json, required_spans, min_counters,
+                                       /*strict_flows=*/!flags.get_bool("allow-dangling-flows"));
       if (result.ok()) {
         if (flags.get_bool("metrics"))
           std::printf("%s: OK (%zu runs)\n", path.c_str(), result.runs);
         else
-          std::printf("%s: OK (%zu events, %zu tracks, %zu spans, %zu counter tracks)\n",
-                      path.c_str(), result.events, result.tracks, result.spans,
-                      result.counter_tracks);
+          std::printf(
+              "%s: OK (%zu events, %zu tracks, %zu spans, %zu counter tracks, "
+              "%zu flows, %zu dangling)\n",
+              path.c_str(), result.events, result.tracks, result.spans, result.counter_tracks,
+              result.flows, result.dangling_flows);
       } else {
         all_ok = false;
         std::fprintf(stderr, "%s: INVALID (%zu errors)\n", path.c_str(), result.errors.size());
